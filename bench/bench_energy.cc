@@ -1,0 +1,41 @@
+/** Extension: first-order dynamic-energy comparison.
+ *
+ * The paper's motivation is energy (Chapter 1: data movement will
+ * cost as much as compute), but its results are in flit-hops.  This
+ * bench converts the sweep into picojoules with the configurable
+ * constants of profile/energy.hh.
+ */
+
+#include <cstdio>
+
+#include "common/stats.hh"
+#include "profile/energy.hh"
+#include "system/report.hh"
+
+int
+main()
+{
+    using namespace wastesim;
+    const Sweep s = cachedFullSweep();
+
+    std::printf("Extension: estimated dynamic energy "
+                "(normalized to MESI)\n\n");
+    for (std::size_t b = 0; b < s.benchNames.size(); ++b) {
+        TextTable t;
+        t.header({s.benchNames[b], "Network", "L1", "L2", "DRAM",
+                  "Total"});
+        const double base =
+            estimateEnergy(s.results[b][0]).total();
+        for (std::size_t p = 0; p < s.protoNames.size(); ++p) {
+            const EnergyBreakdown e = estimateEnergy(s.results[b][p]);
+            t.row({s.protoNames[p], pct(e.network / base),
+                   pct(e.l1 / base), pct(e.l2 / base),
+                   pct(e.dram / base), pct(e.total() / base)});
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+    std::printf("Constants are ballpark projections (see "
+                "profile/energy.hh); read the\nordering, not the "
+                "absolute picojoules.\n");
+    return 0;
+}

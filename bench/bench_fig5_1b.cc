@@ -1,0 +1,18 @@
+/** Figure 5.1b: load traffic breakdown. */
+
+#include <cstdio>
+
+#include "system/report.hh"
+
+int
+main()
+{
+    using namespace wastesim;
+    const Sweep s = cachedFullSweep();
+    std::printf("%s", renderFig51b(s).c_str());
+    std::printf(
+        "Paper reference points: Flex cuts barnes/kD-tree load "
+        "traffic ~32%%/44%%\nvs DeNovo; bypass cuts load traffic for "
+        "fluidanimate/FFT/radix/kD-tree.\n");
+    return 0;
+}

@@ -1,0 +1,19 @@
+/** Figure 5.1d: writeback traffic breakdown. */
+
+#include <cstdio>
+
+#include "system/report.hh"
+
+int
+main()
+{
+    using namespace wastesim;
+    const Sweep s = cachedFullSweep();
+    std::printf("%s", renderFig51d(s).c_str());
+    std::printf(
+        "Paper reference points: dirty-words-only L1->L2 writebacks "
+        "(all DeNovo)\nremove 'L2 Waste'; dirty-words-only L2->mem "
+        "writebacks (DValidateL2+)\nremove 'Mem Waste' (paper: "
+        "-15.9%% and -21.5%% of WB traffic vs MESI).\n");
+    return 0;
+}

@@ -1,0 +1,19 @@
+/** Figure 5.3a: words fetched into the L1s, by waste category. */
+
+#include <cstdio>
+
+#include "system/report.hh"
+
+int
+main()
+{
+    using namespace wastesim;
+    const Sweep s = cachedFullSweep();
+    std::printf("%s", renderFig53(s, WasteLevel::L1).c_str());
+    std::printf(
+        "Paper reference points: DBypFull fetches -39.8%% words into "
+        "the L1s vs\nMESI; residual waste is irregular-access Evict/"
+        "Fetch waste (fluidanimate\ncell tails, LU upper triangles, "
+        "barnes conditional fields, kD-tree\npointer pairs).\n");
+    return 0;
+}

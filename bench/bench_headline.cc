@@ -1,0 +1,14 @@
+/** Headline comparisons from the abstract / Section 5.1. */
+
+#include <cstdio>
+
+#include "system/report.hh"
+
+int
+main()
+{
+    using namespace wastesim;
+    const Sweep s = cachedFullSweep();
+    std::printf("%s", renderHeadline(s).c_str());
+    return 0;
+}

@@ -1,0 +1,116 @@
+/** Google-benchmark microbenchmarks of the simulator substrates:
+ *  event queue, mesh math, Bloom filters, cache array, DRAM channel,
+ *  and a full small simulation. */
+
+#include <benchmark/benchmark.h>
+
+#include "bloom/bloom_bank.hh"
+#include "cache/cache_array.hh"
+#include "dram/dram_channel.hh"
+#include "noc/mesh.hh"
+#include "sim/event_queue.hh"
+#include "system/runner.hh"
+
+namespace wastesim
+{
+
+static void
+BM_EventQueue(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        long sink = 0;
+        for (int i = 0; i < 1024; ++i)
+            eq.schedule(static_cast<Tick>(i % 17), [&] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+}
+BENCHMARK(BM_EventQueue);
+
+static void
+BM_MeshHops(benchmark::State &state)
+{
+    unsigned acc = 0;
+    for (auto _ : state) {
+        for (NodeId a = 0; a < numTiles; ++a)
+            for (NodeId b = 0; b < numTiles; ++b)
+                acc += Mesh::hops(a, b);
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_MeshHops);
+
+static void
+BM_BloomBankOps(benchmark::State &state)
+{
+    BloomBank bank;
+    Addr la = 1 << 20;
+    for (auto _ : state) {
+        bank.insert(la);
+        benchmark::DoNotOptimize(bank.maybeContains(la));
+        bank.remove(la);
+        la += 64;
+    }
+}
+BENCHMARK(BM_BloomBankOps);
+
+static void
+BM_CacheArrayLookup(benchmark::State &state)
+{
+    CacheArray arr(64, 8);
+    for (unsigned i = 0; i < 512; ++i) {
+        const Addr la = static_cast<Addr>(i) * 64;
+        if (CacheLine *s = arr.victimFor(la))
+            s->resetTo(la);
+    }
+    Addr la = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(arr.find(la));
+        la = (la + 64) % (512 * 64);
+    }
+}
+BENCHMARK(BM_CacheArrayLookup);
+
+static void
+BM_DramChannel(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        DramChannel ch(eq, DramMap{});
+        for (unsigned i = 0; i < 64; ++i)
+            ch.enqueue({static_cast<Addr>(i) * numMemCtrls * 64, false, wordsPerLine,
+                        nullptr});
+        eq.run();
+        benchmark::DoNotOptimize(ch.rowHits());
+    }
+}
+BENCHMARK(BM_DramChannel);
+
+static void
+BM_FullRunBarnesMesi(benchmark::State &state)
+{
+    auto wl = makeBenchmark(BenchmarkName::Barnes);
+    for (auto _ : state) {
+        const RunResult r =
+            runOne(ProtocolName::MESI, *wl, SimParams::scaled());
+        benchmark::DoNotOptimize(r.traffic.total());
+    }
+}
+BENCHMARK(BM_FullRunBarnesMesi)->Unit(benchmark::kMillisecond);
+
+static void
+BM_FullRunBarnesDBypFull(benchmark::State &state)
+{
+    auto wl = makeBenchmark(BenchmarkName::Barnes);
+    for (auto _ : state) {
+        const RunResult r =
+            runOne(ProtocolName::DBypFull, *wl, SimParams::scaled());
+        benchmark::DoNotOptimize(r.traffic.total());
+    }
+}
+BENCHMARK(BM_FullRunBarnesDBypFull)->Unit(benchmark::kMillisecond);
+
+} // namespace wastesim
+
+BENCHMARK_MAIN();

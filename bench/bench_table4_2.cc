@@ -1,0 +1,33 @@
+/** Table 4.2: application input sizes (paper vs. scaled). */
+
+#include <cstdio>
+
+#include "common/stats.hh"
+#include "workload/workload.hh"
+
+int
+main()
+{
+    using namespace wastesim;
+
+    const char *paper_sizes[numBenchmarks] = {
+        "simmedium",
+        "512x512 matrix, 16x16 blocks",
+        "256K points",
+        "4 million keys, 1024 radix",
+        "16K bodies",
+        "bunny",
+    };
+
+    TextTable t;
+    t.header({"Application", "Paper input", "Scaled input (ours)",
+              "Ops"});
+    for (unsigned i = 0; i < numBenchmarks; ++i) {
+        auto wl = makeBenchmark(allBenchmarks[i]);
+        t.row({wl->name(), paper_sizes[i], wl->inputDesc(),
+               std::to_string(wl->totalOps())});
+    }
+    std::printf("Table 4.2: application input sizes\n\n%s\n",
+                t.render().c_str());
+    return 0;
+}

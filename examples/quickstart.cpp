@@ -1,0 +1,75 @@
+/**
+ * Quickstart: run one benchmark under two protocols and print the
+ * headline numbers.
+ *
+ *   ./quickstart [benchmark] [scale]
+ *
+ * Benchmarks: fluidanimate LU FFT radix barnes kD-tree
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/stats.hh"
+#include "system/runner.hh"
+
+using namespace wastesim;
+
+int
+main(int argc, char **argv)
+{
+    BenchmarkName bench = BenchmarkName::Barnes;
+    if (argc > 1) {
+        bool found = false;
+        for (BenchmarkName b : allBenchmarks) {
+            if (std::strcmp(argv[1], benchmarkName(b)) == 0) {
+                bench = b;
+                found = true;
+            }
+        }
+        if (!found) {
+            std::fprintf(stderr,
+                         "unknown benchmark '%s'; options:", argv[1]);
+            for (BenchmarkName b : allBenchmarks)
+                std::fprintf(stderr, " %s", benchmarkName(b));
+            std::fprintf(stderr, "\n");
+            return 1;
+        }
+    }
+    const unsigned scale = argc > 2 ? std::atoi(argv[2]) : 1;
+
+    auto wl = makeBenchmark(bench, scale);
+    std::printf("benchmark: %s (%s), %zu trace ops\n\n",
+                wl->name().c_str(), wl->inputDesc().c_str(),
+                wl->totalOps());
+
+    const RunResult mesi =
+        runOne(ProtocolName::MESI, *wl, SimParams::scaled());
+    const RunResult dn =
+        runOne(ProtocolName::DBypFull, *wl, SimParams::scaled());
+
+    TextTable t;
+    t.header({"Metric", "MESI", "DBypFull", "vs MESI"});
+    auto row = [&](const char *name, double a, double b) {
+        t.row({name, fixed(a, 0), fixed(b, 0),
+               pct(a > 0 ? 1.0 - b / a : 0.0)});
+    };
+    row("network traffic (flit-hops)", mesi.traffic.total(),
+        dn.traffic.total());
+    row("  load", mesi.traffic.load(), dn.traffic.load());
+    row("  store", mesi.traffic.store(), dn.traffic.store());
+    row("  writeback", mesi.traffic.writeback(),
+        dn.traffic.writeback());
+    row("  overhead", mesi.traffic.overhead(), dn.traffic.overhead());
+    row("execution time (cycles)",
+        static_cast<double>(mesi.cycles),
+        static_cast<double>(dn.cycles));
+    row("words fetched from memory",
+        mesi.memWaste.total(), dn.memWaste.total());
+    std::printf("%s\n", t.render().c_str());
+
+    std::printf("DBypFull residual waste: %s of its data traffic\n",
+                pct(dn.traffic.wasteData() / dn.traffic.total())
+                    .c_str());
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * Traffic study: walk one benchmark through the full protocol ladder
+ * (the paper's Section 5 progression) and show where each
+ * optimization's savings come from.
+ *
+ *   ./traffic_study [benchmark]
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/stats.hh"
+#include "system/runner.hh"
+
+using namespace wastesim;
+
+int
+main(int argc, char **argv)
+{
+    BenchmarkName bench = BenchmarkName::KdTree;
+    if (argc > 1) {
+        for (BenchmarkName b : allBenchmarks)
+            if (std::strcmp(argv[1], benchmarkName(b)) == 0)
+                bench = b;
+    }
+
+    auto wl = makeBenchmark(bench);
+    std::printf("protocol ladder on %s (%s)\n\n", wl->name().c_str(),
+                wl->inputDesc().c_str());
+
+    TextTable t;
+    t.header({"Protocol", "LD", "ST", "WB", "Overhead", "Total",
+              "vs MESI", "Waste frac"});
+
+    double mesi_total = 0;
+    for (ProtocolName p : allProtocols) {
+        const RunResult r = runOne(p, *wl, SimParams::scaled());
+        const double total = r.traffic.total();
+        if (p == ProtocolName::MESI)
+            mesi_total = total;
+        t.row({protocolName(p), fixed(r.traffic.load(), 0),
+               fixed(r.traffic.store(), 0),
+               fixed(r.traffic.writeback(), 0),
+               fixed(r.traffic.overhead(), 0), fixed(total, 0),
+               pct(total / mesi_total),
+               pct(r.traffic.wasteData() / total)});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Each row adds one optimization (Sections 3.1-3.3); "
+                "'vs MESI' is the\nnormalized bar height of Fig. "
+                "5.1a.\n");
+    return 0;
+}

@@ -1,0 +1,114 @@
+#include "bloom/bloom_bank.hh"
+
+namespace wastesim
+{
+
+const H3Hash &
+bloomHash()
+{
+    static const H3Hash hash(9, 0xb100f11737ULL);
+    return hash;
+}
+
+unsigned
+bloomFilterIndex(Addr line_addr, unsigned num_filters)
+{
+    // Multiplicative scramble of the line number, independent of the
+    // in-filter H3 hash.
+    const std::uint64_t ln = line_addr / bytesPerLine;
+    return static_cast<unsigned>((ln * 0x9e3779b97f4a7c15ULL) >> 59) %
+           num_filters;
+}
+
+BloomBank::BloomBank(unsigned num_filters)
+{
+    filters_.reserve(num_filters);
+    for (unsigned i = 0; i < num_filters; ++i)
+        filters_.emplace_back(bloomHash());
+}
+
+void
+BloomBank::insert(Addr line_addr)
+{
+    filters_[bloomFilterIndex(line_addr, numFilters())].insert(
+        bloomKey(line_addr));
+}
+
+void
+BloomBank::remove(Addr line_addr)
+{
+    filters_[bloomFilterIndex(line_addr, numFilters())].remove(
+        bloomKey(line_addr));
+}
+
+bool
+BloomBank::maybeContains(Addr line_addr) const
+{
+    return filters_[bloomFilterIndex(line_addr,
+                                     static_cast<unsigned>(
+                                         filters_.size()))]
+        .maybeContains(bloomKey(line_addr));
+}
+
+BloomImage
+BloomBank::image(unsigned idx) const
+{
+    return filters_[idx].image();
+}
+
+BloomShadow::BloomShadow(unsigned num_filters)
+    : numFilters_(num_filters),
+      valid_(numTiles * num_filters, false)
+{
+    filters_.reserve(numTiles * num_filters);
+    for (unsigned i = 0; i < numTiles * num_filters; ++i)
+        filters_.emplace_back(bloomHash());
+}
+
+bool
+BloomShadow::query(Addr line_addr, bool &need_copy) const
+{
+    const NodeId slice = homeSlice(line_addr);
+    const unsigned idx = bloomFilterIndex(line_addr, numFilters_);
+    const unsigned f = flatIndex(slice, idx);
+    if (!valid_[f]) {
+        need_copy = true;
+        return true; // conservative until the copy arrives
+    }
+    need_copy = false;
+    return filters_[f].maybeContains(bloomKey(line_addr));
+}
+
+void
+BloomShadow::installImage(NodeId slice, unsigned idx,
+                          const BloomImage &img)
+{
+    const unsigned f = flatIndex(slice, idx);
+    filters_[f].unionImage(img);
+    valid_[f] = true;
+}
+
+bool
+BloomShadow::hasCopy(Addr line_addr) const
+{
+    return valid_[flatIndex(homeSlice(line_addr),
+                            bloomFilterIndex(line_addr, numFilters_))];
+}
+
+void
+BloomShadow::insertWriteback(Addr line_addr)
+{
+    filters_[flatIndex(homeSlice(line_addr),
+                       bloomFilterIndex(line_addr, numFilters_))]
+        .insert(bloomKey(line_addr));
+}
+
+void
+BloomShadow::clearAll()
+{
+    for (auto &f : filters_)
+        f.clear();
+    std::fill(valid_.begin(), valid_.end(), false);
+}
+
+} // namespace wastesim

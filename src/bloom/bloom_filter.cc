@@ -1,0 +1,27 @@
+#include "bloom/bloom_filter.hh"
+
+#include <bit>
+
+namespace wastesim
+{
+
+double
+BloomFilter::fillRatio() const
+{
+    unsigned set = 0;
+    for (std::uint64_t w : bits_)
+        set += std::popcount(w);
+    return static_cast<double>(set) / bloomEntries;
+}
+
+BloomImage
+CountingBloomFilter::image() const
+{
+    BloomImage img{};
+    for (unsigned i = 0; i < bloomEntries; ++i)
+        if (counters_[i] != 0)
+            img[i / 64] |= 1ull << (i % 64);
+    return img;
+}
+
+} // namespace wastesim

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Plain (1-bit) and counting (8-bit) Bloom filters with a single H3
+ * hash function, per Section 4.4: 512 entries each; counting filters
+ * sit at the L2 slices (supporting removal as lines go clean), plain
+ * filters are the L1-side shadow copies.
+ */
+
+#ifndef WASTESIM_BLOOM_BLOOM_FILTER_HH
+#define WASTESIM_BLOOM_BLOOM_FILTER_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "bloom/h3.hh"
+
+namespace wastesim
+{
+
+/** Number of entries per Bloom filter (Section 4.4). */
+constexpr unsigned bloomEntries = 512;
+
+/** Bit image of one filter: 512 bits = 64 bytes = one data packet. */
+using BloomImage = std::array<std::uint64_t, bloomEntries / 64>;
+
+/** 1-bit-per-entry Bloom filter. */
+class BloomFilter
+{
+  public:
+    explicit BloomFilter(const H3Hash &hash) : hash_(&hash) { clear(); }
+
+    void
+    insert(std::uint64_t key)
+    {
+        setBit((*hash_)(key));
+    }
+
+    bool
+    maybeContains(std::uint64_t key) const
+    {
+        const std::uint32_t i = (*hash_)(key);
+        return (bits_[i / 64] >> (i % 64)) & 1;
+    }
+
+    void clear() { bits_.fill(0); }
+
+    /** OR another filter's image into this one. */
+    void
+    unionImage(const BloomImage &img)
+    {
+        for (std::size_t i = 0; i < bits_.size(); ++i)
+            bits_[i] |= img[i];
+    }
+
+    const BloomImage &image() const { return bits_; }
+
+    /** Fraction of set bits (testing / ablation hook). */
+    double fillRatio() const;
+
+  private:
+    void setBit(std::uint32_t i) { bits_[i / 64] |= 1ull << (i % 64); }
+
+    const H3Hash *hash_;
+    BloomImage bits_;
+};
+
+/** 8-bit-counter Bloom filter supporting removal. */
+class CountingBloomFilter
+{
+  public:
+    explicit CountingBloomFilter(const H3Hash &hash) : hash_(&hash)
+    {
+        counters_.fill(0);
+    }
+
+    void
+    insert(std::uint64_t key)
+    {
+        auto &c = counters_[(*hash_)(key)];
+        if (c != 0xff)
+            ++c;
+    }
+
+    void
+    remove(std::uint64_t key)
+    {
+        auto &c = counters_[(*hash_)(key)];
+        // Saturated counters can never be decremented safely; leaving
+        // them stuck-high is conservative (false positives only).
+        if (c != 0 && c != 0xff)
+            --c;
+    }
+
+    bool
+    maybeContains(std::uint64_t key) const
+    {
+        return counters_[(*hash_)(key)] != 0;
+    }
+
+    /** Collapse counters to a 1-bit image for copying to an L1. */
+    BloomImage image() const;
+
+    void clear() { counters_.fill(0); }
+
+  private:
+    const H3Hash *hash_;
+    std::array<std::uint8_t, bloomEntries> counters_;
+};
+
+} // namespace wastesim
+
+#endif // WASTESIM_BLOOM_BLOOM_FILTER_HH

@@ -1,0 +1,18 @@
+#include "bloom/h3.hh"
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace wastesim
+{
+
+H3Hash::H3Hash(unsigned out_bits, std::uint64_t seed)
+    : outBits_(out_bits), mask_((1u << out_bits) - 1)
+{
+    panic_if(out_bits == 0 || out_bits > 31, "bad H3 output width");
+    Rng rng(seed);
+    for (auto &row : matrix_)
+        row = static_cast<std::uint32_t>(rng.next()) & mask_;
+}
+
+} // namespace wastesim

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * H3 universal hash family (Carter & Wegman): the output is the XOR of
+ * a fixed random matrix row per set input bit.  Section 4.4 of the
+ * paper uses one H3 hash per Bloom filter.
+ */
+
+#ifndef WASTESIM_BLOOM_H3_HH
+#define WASTESIM_BLOOM_H3_HH
+
+#include <array>
+#include <cstdint>
+
+namespace wastesim
+{
+
+/** One member of the H3 family mapping 64-bit keys to [0, 2^bits). */
+class H3Hash
+{
+  public:
+    /**
+     * @param out_bits output width in bits (9 for 512-entry filters)
+     * @param seed     selects the matrix (deterministic)
+     */
+    H3Hash(unsigned out_bits, std::uint64_t seed);
+
+    /** Hash @p key. */
+    std::uint32_t
+    operator()(std::uint64_t key) const
+    {
+        std::uint32_t h = 0;
+        while (key) {
+            const int b = __builtin_ctzll(key);
+            h ^= matrix_[b];
+            key &= key - 1;
+        }
+        return h & mask_;
+    }
+
+    unsigned outBits() const { return outBits_; }
+
+  private:
+    unsigned outBits_;
+    std::uint32_t mask_;
+    std::array<std::uint32_t, 64> matrix_;
+};
+
+} // namespace wastesim
+
+#endif // WASTESIM_BLOOM_H3_HH

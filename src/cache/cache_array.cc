@@ -1,0 +1,63 @@
+#include "cache/cache_array.hh"
+
+#include "common/log.hh"
+
+namespace wastesim
+{
+
+const char *
+mesiStateName(MesiState s)
+{
+    switch (s) {
+      case MesiState::I: return "I";
+      case MesiState::S: return "S";
+      case MesiState::E: return "E";
+      case MesiState::M: return "M";
+      default: return "?";
+    }
+}
+
+CacheArray::CacheArray(unsigned sets, unsigned ways, unsigned index_div)
+    : sets_(sets), ways_(ways), indexDiv_(index_div),
+      slots_(static_cast<std::size_t>(sets) * ways)
+{
+    panic_if(sets == 0 || ways == 0, "degenerate cache geometry");
+    panic_if((sets & (sets - 1)) != 0, "set count must be a power of two");
+}
+
+CacheLine *
+CacheArray::find(Addr line_addr)
+{
+    const unsigned set = setIndex(line_addr);
+    for (unsigned w = 0; w < ways_; ++w) {
+        CacheLine &cl = slots_[static_cast<std::size_t>(set) * ways_ + w];
+        if (cl.valid && cl.line == line_addr)
+            return &cl;
+    }
+    return nullptr;
+}
+
+const CacheLine *
+CacheArray::find(Addr line_addr) const
+{
+    return const_cast<CacheArray *>(this)->find(line_addr);
+}
+
+CacheLine *
+CacheArray::victimFor(Addr line_addr)
+{
+    const unsigned set = setIndex(line_addr);
+    CacheLine *lru = nullptr;
+    for (unsigned w = 0; w < ways_; ++w) {
+        CacheLine &cl = slots_[static_cast<std::size_t>(set) * ways_ + w];
+        if (!cl.valid)
+            return &cl;
+        if (cl.busy)
+            continue;
+        if (!lru || cl.lastUse < lru->lastUse)
+            lru = &cl;
+    }
+    return lru;
+}
+
+} // namespace wastesim

@@ -1,0 +1,64 @@
+#include "common/log.hh"
+
+#include <cstdarg>
+#include <vector>
+
+namespace wastesim
+{
+
+int logVerbosity = 0;
+
+std::function<void(std::uint64_t)> debugLineDump;
+
+namespace detail
+{
+
+std::string
+formatv(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    if (n < 0) {
+        va_end(ap2);
+        return std::string(fmt);
+    }
+    std::vector<char> buf(static_cast<std::size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+    va_end(ap2);
+    return std::string(buf.data(), static_cast<std::size_t>(n));
+}
+
+void
+terminatePanic(const std::string &msg, const char *file, int line)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+terminateFatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+emitWarn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+emitInform(const std::string &msg)
+{
+    if (logVerbosity >= 1)
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace wastesim

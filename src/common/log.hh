@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Minimal logging and error-termination helpers in the spirit of
+ * gem5's base/logging.hh: panic() for internal invariant violations,
+ * fatal() for user configuration errors, warn()/inform() for status.
+ */
+
+#ifndef WASTESIM_COMMON_LOG_HH
+#define WASTESIM_COMMON_LOG_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+
+namespace wastesim
+{
+
+/** Global verbosity: 0 = quiet, 1 = inform, 2 = debug. */
+extern int logVerbosity;
+
+/**
+ * Debug hook: when set (the System installs one), protocol-level
+ * stuck-progress panics call it with the affected line address so the
+ * whole hierarchy's state for that line is dumped before aborting.
+ */
+extern std::function<void(std::uint64_t)> debugLineDump;
+
+namespace detail
+{
+
+[[noreturn]] void terminatePanic(const std::string &msg, const char *file,
+                                 int line);
+[[noreturn]] void terminateFatal(const std::string &msg);
+void emitWarn(const std::string &msg);
+void emitInform(const std::string &msg);
+
+std::string formatv(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+} // namespace wastesim
+
+/** Internal invariant violation: a simulator bug. Aborts. */
+#define panic(...)                                                          \
+    ::wastesim::detail::terminatePanic(                                     \
+        ::wastesim::detail::formatv(__VA_ARGS__), __FILE__, __LINE__)
+
+/** User/configuration error: the simulation cannot continue. Exits. */
+#define fatal(...)                                                          \
+    ::wastesim::detail::terminateFatal(                                     \
+        ::wastesim::detail::formatv(__VA_ARGS__))
+
+/** Something looks off but simulation proceeds. */
+#define warn(...)                                                           \
+    ::wastesim::detail::emitWarn(::wastesim::detail::formatv(__VA_ARGS__))
+
+/** Normal status output. */
+#define inform(...)                                                         \
+    ::wastesim::detail::emitInform(::wastesim::detail::formatv(__VA_ARGS__))
+
+/** panic() unless @p cond holds. */
+#define panic_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond)                                                           \
+            panic(__VA_ARGS__);                                             \
+    } while (0)
+
+/** fatal() unless @p cond is false. */
+#define fatal_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond)                                                           \
+            fatal(__VA_ARGS__);                                             \
+    } while (0)
+
+#endif // WASTESIM_COMMON_LOG_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro256**) used by
+ * workload trace generators.  Simulations must be bit-reproducible
+ * across protocols, so every workload derives its streams from fixed
+ * seeds rather than std::random_device.
+ */
+
+#ifndef WASTESIM_COMMON_RNG_HH
+#define WASTESIM_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace wastesim
+{
+
+/** Small, fast, deterministic RNG (xoshiro256**). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // SplitMix64 expansion of the seed into the 4-word state.
+        std::uint64_t x = seed;
+        for (auto &w : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            w = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Modulo bias is irrelevant for trace generation purposes.
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return real() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace wastesim
+
+#endif // WASTESIM_COMMON_RNG_HH

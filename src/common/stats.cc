@@ -1,0 +1,102 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+namespace wastesim
+{
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    rows_.insert(rows_.begin(), std::move(cells));
+    isRule_.insert(isRule_.begin(), false);
+    hasHeader_ = true;
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+    isRule_.push_back(false);
+}
+
+void
+TextTable::rule()
+{
+    rows_.emplace_back();
+    isRule_.push_back(true);
+}
+
+std::string
+TextTable::render() const
+{
+    std::size_t ncols = 0;
+    for (const auto &r : rows_)
+        ncols = std::max(ncols, r.size());
+
+    std::vector<std::size_t> width(ncols, 0);
+    for (const auto &r : rows_)
+        for (std::size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+
+    std::string out;
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        if (isRule_[i]) {
+            for (std::size_t c = 0; c < ncols; ++c) {
+                out.append(width[c] + 2, '-');
+                if (c + 1 < ncols)
+                    out.push_back('+');
+            }
+            out.push_back('\n');
+            continue;
+        }
+        const auto &r = rows_[i];
+        for (std::size_t c = 0; c < ncols; ++c) {
+            const std::string &cell = c < r.size() ? r[c] : std::string();
+            out.push_back(' ');
+            out.append(cell);
+            out.append(width[c] - cell.size() + 1, ' ');
+            if (c + 1 < ncols)
+                out.push_back('|');
+        }
+        out.push_back('\n');
+        if (i == 0 && hasHeader_) {
+            for (std::size_t c = 0; c < ncols; ++c) {
+                out.append(width[c] + 2, '=');
+                if (c + 1 < ncols)
+                    out.push_back('+');
+            }
+            out.push_back('\n');
+        }
+    }
+    return out;
+}
+
+std::string
+pct(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, v * 100.0);
+    return buf;
+}
+
+std::string
+fixed(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    return std::accumulate(xs.begin(), xs.end(), 0.0) /
+           static_cast<double>(xs.size());
+}
+
+} // namespace wastesim

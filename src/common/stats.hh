@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Lightweight text-table formatting used by the report generators and
+ * benchmark harnesses: fixed-width columns, percentage rendering, and
+ * stacked-bar style category tables matching the paper's figures.
+ */
+
+#ifndef WASTESIM_COMMON_STATS_HH
+#define WASTESIM_COMMON_STATS_HH
+
+#include <string>
+#include <vector>
+
+namespace wastesim
+{
+
+/** A simple fixed-width text table builder. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a horizontal separator. */
+    void rule();
+
+    /** Render the table with aligned columns. */
+    std::string render() const;
+
+  private:
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<bool> isRule_;
+    bool hasHeader_ = false;
+};
+
+/** Format @p v as a percentage string, e.g. "39.5%". */
+std::string pct(double v, int decimals = 1);
+
+/** Format @p v with fixed decimals. */
+std::string fixed(double v, int decimals = 2);
+
+/** Geometric-style arithmetic mean of a vector (plain average). */
+double mean(const std::vector<double> &xs);
+
+} // namespace wastesim
+
+#endif // WASTESIM_COMMON_STATS_HH

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Fundamental scalar types and geometry constants for the simulated
+ * 16-tile processor (Table 4.1 of the paper).
+ *
+ * A "word" is 4 bytes, a cache line is 64 bytes = 16 words, and a
+ * network link moves 16 bytes = 4 words per flit.
+ */
+
+#ifndef WASTESIM_COMMON_TYPES_HH
+#define WASTESIM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace wastesim
+{
+
+/** Simulated time in core clock cycles (2 GHz in the paper). */
+using Tick = std::uint64_t;
+
+/** Byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** Identifier of a tile (0..15 on the 4x4 mesh). */
+using NodeId = std::uint32_t;
+
+/** Identifier of a core (1:1 with tiles in this study). */
+using CoreId = std::uint32_t;
+
+/** Identifier of a software-visible data region (DeNovo regions). */
+using RegionId = std::uint32_t;
+
+/** Unique identifier of a profiled word instance. */
+using InstId = std::uint64_t;
+
+/** Sentinel for "no instance attached". */
+constexpr InstId invalidInst = std::numeric_limits<InstId>::max();
+
+/** Sentinel for "no node / no owner". */
+constexpr NodeId invalidNode = std::numeric_limits<NodeId>::max();
+
+/** Sentinel for "no region". */
+constexpr RegionId invalidRegion = std::numeric_limits<RegionId>::max();
+
+/** Bytes per word. All coherence and profiling is word-granular. */
+constexpr unsigned bytesPerWord = 4;
+
+/** Bytes per cache line. */
+constexpr unsigned bytesPerLine = 64;
+
+/** Words per cache line. */
+constexpr unsigned wordsPerLine = bytesPerLine / bytesPerWord;
+
+/** Words carried by one 16-byte data flit. */
+constexpr unsigned wordsPerFlit = 4;
+
+/** Maximum data flits per packet (64 bytes of payload). */
+constexpr unsigned maxDataFlits = 4;
+
+/** Maximum data words per packet. */
+constexpr unsigned maxWordsPerMsg = maxDataFlits * wordsPerFlit;
+
+/** Number of tiles / cores / L2 slices. */
+constexpr unsigned numTiles = 16;
+
+/** Mesh dimensions. */
+constexpr unsigned meshDim = 4;
+
+/** Number of memory controllers (corner tiles). */
+constexpr unsigned numMemCtrls = 4;
+
+/** Tiles hosting memory controllers: the four mesh corners. */
+constexpr NodeId memCtrlTiles[numMemCtrls] = { 0, 3, 12, 15 };
+
+/** Return the byte address of the line containing @p a. */
+constexpr Addr
+lineAddr(Addr a)
+{
+    return a & ~static_cast<Addr>(bytesPerLine - 1);
+}
+
+/** Return the byte address of the word containing @p a. */
+constexpr Addr
+wordAddr(Addr a)
+{
+    return a & ~static_cast<Addr>(bytesPerWord - 1);
+}
+
+/** Return the index of the word containing @p a within its line. */
+constexpr unsigned
+wordIndex(Addr a)
+{
+    return static_cast<unsigned>((a % bytesPerLine) / bytesPerWord);
+}
+
+/** Return the global word number of @p a (address / 4). */
+constexpr Addr
+wordNumber(Addr a)
+{
+    return a / bytesPerWord;
+}
+
+/** True iff @p a is line aligned. */
+constexpr bool
+isLineAligned(Addr a)
+{
+    return (a % bytesPerLine) == 0;
+}
+
+/**
+ * L2 slice interleave granularity in lines.  256 bytes: coarse enough
+ * that a Flex communication region spanning a few adjacent lines
+ * usually has a single home slice (so one request/response packet can
+ * cover it), fine enough to spread load across slices.
+ */
+constexpr unsigned sliceInterleaveLines = 4;
+
+/**
+ * Home L2 slice of a line: 256-byte-granular interleave across the
+ * 16 slices.
+ */
+constexpr NodeId
+homeSlice(Addr line_addr)
+{
+    return static_cast<NodeId>(
+        (line_addr / bytesPerLine / sliceInterleaveLines) % numTiles);
+}
+
+/**
+ * Memory channel of a line: line-address interleave across the four
+ * corner memory controllers.
+ */
+constexpr unsigned
+memChannel(Addr line_addr)
+{
+    return static_cast<unsigned>((line_addr / bytesPerLine) % numMemCtrls);
+}
+
+/** Tile that hosts the memory controller for @p channel. */
+constexpr NodeId
+memCtrlTile(unsigned channel)
+{
+    return memCtrlTiles[channel % numMemCtrls];
+}
+
+} // namespace wastesim
+
+#endif // WASTESIM_COMMON_TYPES_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * WordMask: a 16-bit bit vector selecting words within a cache line.
+ *
+ * DeNovo decouples coherence granularity (words) from transfer
+ * granularity (lines); nearly every message in the simulator carries a
+ * mask of which words it refers to.  MESI also uses masks for per-word
+ * dirty tracking so that writeback traffic can be profiled as
+ * Used-vs-Waste (Fig. 5.1d).
+ */
+
+#ifndef WASTESIM_COMMON_WORD_MASK_HH
+#define WASTESIM_COMMON_WORD_MASK_HH
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace wastesim
+{
+
+/** Bit vector over the 16 words of a cache line. */
+class WordMask
+{
+  public:
+    constexpr WordMask() : bits_(0) {}
+    constexpr explicit WordMask(std::uint16_t raw) : bits_(raw) {}
+
+    /** Mask with every word of the line selected. */
+    static constexpr WordMask
+    full()
+    {
+        return WordMask(0xffff);
+    }
+
+    /** Mask with no word selected. */
+    static constexpr WordMask
+    none()
+    {
+        return WordMask(0);
+    }
+
+    /** Mask with only word @p idx selected. */
+    static constexpr WordMask
+    single(unsigned idx)
+    {
+        return WordMask(static_cast<std::uint16_t>(1u << idx));
+    }
+
+    /** Mask selecting words [first, first+count). */
+    static constexpr WordMask
+    range(unsigned first, unsigned count)
+    {
+        std::uint32_t m = ((count >= 16) ? 0xffffu : ((1u << count) - 1u));
+        return WordMask(static_cast<std::uint16_t>((m << first) & 0xffffu));
+    }
+
+    constexpr bool test(unsigned idx) const { return (bits_ >> idx) & 1u; }
+    constexpr void set(unsigned idx) { bits_ |= (1u << idx); }
+    constexpr void clear(unsigned idx)
+    {
+        bits_ &= static_cast<std::uint16_t>(~(1u << idx));
+    }
+
+    constexpr bool empty() const { return bits_ == 0; }
+    constexpr bool isFull() const { return bits_ == 0xffff; }
+    constexpr unsigned count() const { return std::popcount(bits_); }
+    constexpr std::uint16_t raw() const { return bits_; }
+
+    constexpr WordMask
+    operator|(WordMask o) const
+    {
+        return WordMask(static_cast<std::uint16_t>(bits_ | o.bits_));
+    }
+
+    constexpr WordMask
+    operator&(WordMask o) const
+    {
+        return WordMask(static_cast<std::uint16_t>(bits_ & o.bits_));
+    }
+
+    /** Words in this mask that are not in @p o. */
+    constexpr WordMask
+    operator-(WordMask o) const
+    {
+        return WordMask(static_cast<std::uint16_t>(bits_ & ~o.bits_));
+    }
+
+    constexpr WordMask &
+    operator|=(WordMask o)
+    {
+        bits_ |= o.bits_;
+        return *this;
+    }
+
+    constexpr WordMask &
+    operator&=(WordMask o)
+    {
+        bits_ &= o.bits_;
+        return *this;
+    }
+
+    constexpr WordMask &
+    operator-=(WordMask o)
+    {
+        bits_ &= static_cast<std::uint16_t>(~o.bits_);
+        return *this;
+    }
+
+    constexpr bool operator==(const WordMask &) const = default;
+
+    /** "0101..." debug rendering, word 0 first. */
+    std::string
+    toString() const
+    {
+        std::string s;
+        for (unsigned i = 0; i < wordsPerLine; ++i)
+            s.push_back(test(i) ? '1' : '0');
+        return s;
+    }
+
+  private:
+    std::uint16_t bits_;
+};
+
+} // namespace wastesim
+
+#endif // WASTESIM_COMMON_WORD_MASK_HH

@@ -1,0 +1,22 @@
+#include "core/barrier.hh"
+
+#include "common/log.hh"
+
+namespace wastesim
+{
+
+void
+Barrier::arrive(CoreId c, std::function<void()> released)
+{
+    (void)c;
+    waiters_.push_back(std::move(released));
+    panic_if(waiters_.size() > parties_, "barrier over-subscribed");
+    if (waiters_.size() == parties_) {
+        auto ws = std::move(waiters_);
+        waiters_.clear();
+        for (auto &w : ws)
+            w();
+    }
+}
+
+} // namespace wastesim

@@ -1,0 +1,113 @@
+#include "dram/dram_channel.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace wastesim
+{
+
+DramChannel::DramChannel(EventQueue &eq, DramMap map)
+    : eq_(eq), map_(map), banks_(map.timing.totalBanks())
+{
+}
+
+void
+DramChannel::enqueue(DramRequest req)
+{
+    if (req.isWrite)
+        ++writes_;
+    else
+        ++reads_;
+    queue_.push_back(std::move(req));
+    trySchedule();
+}
+
+void
+DramChannel::trySchedule()
+{
+    while (!queue_.empty()) {
+        const Tick now = eq_.now();
+
+        // First-ready: oldest request hitting an open row on a ready
+        // bank.  Fallback: oldest request whose bank is ready.
+        auto ready = [&](const DramRequest &r) {
+            return banks_[map_.bankOf(r.line)].readyAt <= now;
+        };
+        auto row_hit = [&](const DramRequest &r) {
+            const Bank &b = banks_[map_.bankOf(r.line)];
+            return b.rowOpen && b.openRow == map_.rowOf(r.line);
+        };
+
+        auto it = std::find_if(queue_.begin(), queue_.end(),
+                               [&](const DramRequest &r) {
+                                   return ready(r) && row_hit(r);
+                               });
+        if (it == queue_.end())
+            it = std::find_if(queue_.begin(), queue_.end(), ready);
+
+        if (it == queue_.end()) {
+            // No targeted bank is ready: wake when the earliest bank
+            // that actually has work frees up.
+            if (!wakeupPending_) {
+                Tick earliest = ~Tick(0);
+                for (const auto &r : queue_) {
+                    earliest = std::min(
+                        earliest, banks_[map_.bankOf(r.line)].readyAt);
+                }
+                panic_if(earliest <= now, "bank ready but not found");
+                wakeupPending_ = true;
+                eq_.scheduleAt(earliest, [this] {
+                    wakeupPending_ = false;
+                    trySchedule();
+                });
+            }
+            return;
+        }
+
+        DramRequest req = std::move(*it);
+        queue_.erase(it);
+        issue(req);
+    }
+}
+
+void
+DramChannel::issue(const DramRequest &req)
+{
+    const Tick now = eq_.now();
+    Bank &bank = banks_[map_.bankOf(req.line)];
+    const Addr row = map_.rowOf(req.line);
+    const DramTiming &t = map_.timing;
+
+    Tick lat;
+    if (bank.rowOpen && bank.openRow == row) {
+        lat = t.rowHitLatency();
+        ++rowHits_;
+    } else if (!bank.rowOpen) {
+        lat = t.rowMissLatency();
+        ++rowMisses_;
+    } else {
+        lat = t.rowConflictLatency();
+        ++rowConflicts_;
+    }
+
+    // Open-page policy: leave the row open.
+    bank.rowOpen = true;
+    bank.openRow = row;
+
+    // The burst occupies the shared data bus; back-to-back accesses
+    // serialize on it.  With the partial-read extension, short
+    // transfers occupy the bus proportionally less.
+    const Tick burst = t.burstFor(req.words);
+    const Tick data_start =
+        std::max(now + lat - t.tBurst, busReadyAt_);
+    const Tick done = data_start + burst;
+    busReadyAt_ = done;
+    bank.readyAt = done;
+
+    if (req.onDone) {
+        eq_.scheduleAt(done, [cb = req.onDone, done] { cb(done); });
+    }
+}
+
+} // namespace wastesim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * One DRAM channel: FR-FCFS scheduling over 2 ranks x 8 banks with an
+ * open-page policy.
+ *
+ * The scheduler prefers (F)irst-(R)eady requests — those hitting an
+ * open row on a free bank — and falls back to the oldest request on a
+ * free bank; the shared data bus serializes bursts.
+ */
+
+#ifndef WASTESIM_DRAM_DRAM_CHANNEL_HH
+#define WASTESIM_DRAM_DRAM_CHANNEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/dram_timing.hh"
+#include "sim/event_queue.hh"
+
+namespace wastesim
+{
+
+/** A single line-granularity DRAM access. */
+struct DramRequest
+{
+    Addr line = 0;
+    bool isWrite = false;
+    /** Words actually transferred (partial-read extension); a full
+     *  line unless the timing model enables partialReads. */
+    unsigned words = wordsPerLine;
+    std::function<void(Tick done)> onDone; //!< may be empty for writes
+};
+
+/** Event-driven FR-FCFS DRAM channel model. */
+class DramChannel
+{
+  public:
+    DramChannel(EventQueue &eq, DramMap map);
+
+    /** Enqueue an access; onDone fires at completion time. */
+    void enqueue(DramRequest req);
+
+    /** Statistics. */
+    std::uint64_t reads() const { return reads_; }
+    std::uint64_t writes() const { return writes_; }
+    std::uint64_t rowHits() const { return rowHits_; }
+    std::uint64_t rowMisses() const { return rowMisses_; }
+    std::uint64_t rowConflicts() const { return rowConflicts_; }
+
+    /** Pending queue depth (testing hook). */
+    std::size_t queued() const { return queue_.size(); }
+
+    const DramMap &map() const { return map_; }
+
+  private:
+    struct Bank
+    {
+        bool rowOpen = false;
+        Addr openRow = 0;
+        Tick readyAt = 0;
+    };
+
+    /** Try to issue the best request; reschedule if none ready. */
+    void trySchedule();
+
+    /** Issue @p req on its bank starting no earlier than now. */
+    void issue(const DramRequest &req);
+
+    EventQueue &eq_;
+    DramMap map_;
+    std::vector<Bank> banks_;
+    std::deque<DramRequest> queue_;
+    Tick busReadyAt_ = 0;
+    bool wakeupPending_ = false;
+
+    std::uint64_t reads_ = 0, writes_ = 0;
+    std::uint64_t rowHits_ = 0, rowMisses_ = 0, rowConflicts_ = 0;
+};
+
+} // namespace wastesim
+
+#endif // WASTESIM_DRAM_DRAM_CHANNEL_HH

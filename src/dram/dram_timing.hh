@@ -1,0 +1,116 @@
+/**
+ * @file
+ * DDR3-1066 timing parameters and the physical address mapping used by
+ * the memory controllers (Table 4.1: one single-channel DIMM per
+ * corner tile, 2 ranks x 8 banks, open-page policy).
+ *
+ * Latencies are expressed in 2 GHz core cycles.  With tCK = 1.875 ns
+ * (DDR3-1066), tRCD = tRP = CL = 7 DRAM cycles ~ 13.1 ns ~ 26 core
+ * cycles, and an 8-beat burst of a 64-byte line takes ~15 core cycles
+ * on the 8-byte-wide bus.
+ */
+
+#ifndef WASTESIM_DRAM_DRAM_TIMING_HH
+#define WASTESIM_DRAM_DRAM_TIMING_HH
+
+#include <algorithm>
+
+#include "common/types.hh"
+
+namespace wastesim
+{
+
+/** Timing and geometry of one DRAM channel. */
+struct DramTiming
+{
+    unsigned numRanks = 2;
+    unsigned numBanksPerRank = 8;
+
+    /** Cache lines per DRAM row, per channel (8 KB row / 64 B,
+     *  seen through the 4-channel interleave). */
+    unsigned linesPerRow = 32;
+
+    Tick tCas = 26;     //!< CL: column access on an open row
+    Tick tRcd = 26;     //!< ACT -> column command
+    Tick tRp = 26;      //!< precharge
+    Tick tBurst = 15;   //!< 64-byte burst on the data bus
+
+    /**
+     * Extension (Section 5.3 / Yoon et al. [31], "The Dynamic
+     * Granularity Memory System"): when true, reads fetch only the
+     * requested words — the MC's L2-Flex filtering produces no Excess
+     * waste and short requests occupy the bus proportionally less
+     * (minimum one quarter burst, a 16-byte sub-access).
+     */
+    bool partialReads = false;
+
+    /** Bus occupancy of a read returning @p words words. */
+    Tick
+    burstFor(unsigned words) const
+    {
+        if (!partialReads || words >= wordsPerLine)
+            return tBurst;
+        const unsigned quarters =
+            (words + wordsPerFlit - 1) / wordsPerFlit;
+        return std::max<Tick>(tBurst * quarters / 4, tBurst / 4);
+    }
+
+    /** Row hit: CAS + burst. */
+    Tick rowHitLatency() const { return tCas + tBurst; }
+
+    /** Row closed: ACT + CAS + burst. */
+    Tick rowMissLatency() const { return tRcd + tCas + tBurst; }
+
+    /** Row conflict: PRE + ACT + CAS + burst. */
+    Tick rowConflictLatency() const { return tRp + tRcd + tCas + tBurst; }
+
+    unsigned totalBanks() const { return numRanks * numBanksPerRank; }
+};
+
+/**
+ * Address mapping within one channel.  Lines are interleaved across
+ * channels first; within a channel, consecutive channel-local lines
+ * fill a row, rows stripe across banks (row-interleaved banking).
+ */
+struct DramMap
+{
+    DramTiming timing;
+
+    /** Channel-local line number of @p line_addr. */
+    Addr
+    localLine(Addr line_addr) const
+    {
+        return (line_addr / bytesPerLine) / numMemCtrls;
+    }
+
+    /** Bank index (rank * 8 + bank) of a line within its channel. */
+    unsigned
+    bankOf(Addr line_addr) const
+    {
+        return static_cast<unsigned>(
+            (localLine(line_addr) / timing.linesPerRow) %
+            timing.totalBanks());
+    }
+
+    /** Row id of a line within its bank. */
+    Addr
+    rowOf(Addr line_addr) const
+    {
+        return (localLine(line_addr) / timing.linesPerRow) /
+               timing.totalBanks();
+    }
+
+    /** True if two lines live in the same row of the same bank of the
+     *  same channel — the L2 Flex prefetch constraint (Section 3.1). */
+    bool
+    sameRow(Addr line_a, Addr line_b) const
+    {
+        return memChannel(line_a) == memChannel(line_b) &&
+               bankOf(line_a) == bankOf(line_b) &&
+               rowOf(line_a) == rowOf(line_b);
+    }
+};
+
+} // namespace wastesim
+
+#endif // WASTESIM_DRAM_DRAM_TIMING_HH

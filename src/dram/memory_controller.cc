@@ -1,0 +1,157 @@
+#include "dram/memory_controller.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace wastesim
+{
+
+MemoryController::MemoryController(unsigned channel, EventQueue &eq,
+                                   Network &net, DramChannel &dram,
+                                   MemProfiler &prof,
+                                   PresenceFn present_in_l2)
+    : channel_(channel), eq_(eq), net_(net), dram_(dram), prof_(prof),
+      presentInL2_(std::move(present_in_l2))
+{
+}
+
+void
+MemoryController::handle(Message msg)
+{
+    switch (msg.kind) {
+      case MsgKind::MemRead:
+        handleRead(std::move(msg));
+        break;
+      case MsgKind::MemWrite:
+        handleWrite(msg);
+        break;
+      default:
+        panic("MC received unexpected message %s", msgKindName(msg.kind));
+    }
+}
+
+void
+MemoryController::handleRead(Message msg)
+{
+    const Tick arrive = eq_.now();
+
+    // L2 Flex same-row constraint: secondary lines must share the DRAM
+    // row of the critical (primary) line; others are dropped because
+    // row activation is too expensive for a prefetch (Section 3.1).
+    if (msg.aux & McFlag::flex) {
+        const Addr primary = msg.line;
+        auto &cs = msg.chunks;
+        const std::size_t before = cs.size();
+        cs.erase(std::remove_if(cs.begin(), cs.end(),
+                                [&](const LineChunk &c) {
+                                    return c.line != primary &&
+                                           !dram_.map().sameRow(primary,
+                                                                c.line);
+                                }),
+                 cs.end());
+        droppedChunks_ += before - cs.size();
+    }
+
+    panic_if(msg.chunks.empty(), "MemRead with no chunks");
+
+    // One line-granularity DRAM access per chunk; respond when the
+    // last one completes.
+    auto remaining = std::make_shared<unsigned>(
+        static_cast<unsigned>(msg.chunks.size()));
+    auto latest = std::make_shared<Tick>(0);
+    auto req = std::make_shared<Message>(std::move(msg));
+
+    const bool partial = dram_.map().timing.partialReads;
+    for (const auto &c : req->chunks) {
+        panic_if(memChannel(c.line) != channel_,
+                 "line routed to wrong memory channel");
+        // With the partial-read extension (Yoon et al. [31]) a Flex
+        // request fetches only the wanted words from the array.
+        const unsigned words =
+            partial && (req->aux & McFlag::flex) ? c.want.count()
+                                                 : wordsPerLine;
+        dram_.enqueue(DramRequest{
+            c.line, false, words,
+            [this, remaining, latest, req, arrive](Tick done) {
+                *latest = std::max(*latest, done);
+                if (--*remaining == 0)
+                    finishRead(*req, arrive, *latest);
+            }});
+    }
+}
+
+void
+MemoryController::finishRead(const Message &req, Tick arrive,
+                             Tick mem_done)
+{
+    const bool flex = req.aux & McFlag::flex;
+    const bool bypass = req.aux & McFlag::bypassL2;
+    const bool to_l1 = (req.aux & McFlag::toL1) || bypass;
+
+    std::vector<LineChunk> out;
+    for (const auto &c : req.chunks) {
+        // chunk.want  = words wanted
+        // chunk.dirty = words dirty on-chip; never return from memory
+        const WordMask send = c.want - c.dirty;
+        if (flex && !dram_.map().timing.partialReads) {
+            // The full line was read from DRAM; words outside the
+            // communication region are dropped here: Excess waste.
+            // With partial reads those words are never fetched.
+            const unsigned dropped = wordsPerLine - c.want.count();
+            prof_.excess(dropped);
+            excessWords_ += dropped;
+        }
+        if (send.empty())
+            continue;
+        LineChunk oc(c.line, send);
+        for (unsigned w = 0; w < wordsPerLine; ++w) {
+            if (!send.test(w))
+                continue;
+            const Addr word_num = wordNumber(c.line) + w;
+            oc.memRef[w] = prof_.create(word_num, presentInL2_(c.line, w));
+            ++wordsSent_;
+        }
+        out.push_back(std::move(oc));
+    }
+
+    auto respond = [&](Endpoint dst) {
+        Message resp;
+        resp.kind = MsgKind::MemData;
+        resp.src = mcEp(channel_);
+        resp.dst = dst;
+        resp.line = req.line;
+        resp.mask = req.mask;
+        resp.chunks = out;
+        resp.requester = req.requester;
+        resp.cls = req.cls;
+        resp.ctl = CtlType::RespCtl;
+        resp.flag = bypass;
+        resp.aux = req.aux;
+        resp.txnId = req.txnId;
+        resp.tMcArrive = arrive;
+        resp.tMemDone = mem_done;
+        net_.send(std::move(resp));
+    };
+
+    if (!bypass)
+        respond(l2Ep(homeSlice(req.line)));
+    if (to_l1)
+        respond(l1Ep(req.requester));
+}
+
+void
+MemoryController::handleWrite(const Message &msg)
+{
+    const bool partial = dram_.map().timing.partialReads;
+    for (const auto &c : msg.chunks) {
+        panic_if(memChannel(c.line) != channel_,
+                 "write routed to wrong memory channel");
+        wordsWritten_ += c.mask.count();
+        dram_.enqueue(DramRequest{
+            c.line, true,
+            partial ? c.mask.count() : wordsPerLine, nullptr});
+    }
+}
+
+} // namespace wastesim

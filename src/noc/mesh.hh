@@ -1,0 +1,68 @@
+/**
+ * @file
+ * 4x4 mesh topology geometry: coordinates, XY routing and hop counts.
+ *
+ * The traffic metric of the paper is flit-hops; a "hop" here is one
+ * link traversal.  Every message traverses at least the ejection link
+ * of its destination tile, so a message from a tile to itself costs
+ * one hop.
+ */
+
+#ifndef WASTESIM_NOC_MESH_HH
+#define WASTESIM_NOC_MESH_HH
+
+#include <cstdlib>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace wastesim
+{
+
+/** Geometry helper for the numTiles-node mesh. */
+class Mesh
+{
+  public:
+    /** X coordinate of tile @p n. */
+    static constexpr unsigned xOf(NodeId n) { return n % meshDim; }
+
+    /** Y coordinate of tile @p n. */
+    static constexpr unsigned yOf(NodeId n) { return n / meshDim; }
+
+    /** Tile at (x, y). */
+    static constexpr NodeId
+    tileAt(unsigned x, unsigned y)
+    {
+        return y * meshDim + x;
+    }
+
+    /** Manhattan distance between two tiles. */
+    static constexpr unsigned
+    manhattan(NodeId a, NodeId b)
+    {
+        int dx = static_cast<int>(xOf(a)) - static_cast<int>(xOf(b));
+        int dy = static_cast<int>(yOf(a)) - static_cast<int>(yOf(b));
+        return static_cast<unsigned>((dx < 0 ? -dx : dx) +
+                                     (dy < 0 ? -dy : dy));
+    }
+
+    /**
+     * Link traversals for a message from @p a to @p b, including the
+     * final ejection link.
+     */
+    static constexpr unsigned
+    hops(NodeId a, NodeId b)
+    {
+        return manhattan(a, b) + 1;
+    }
+
+    /**
+     * Enumerate the tiles visited by XY (dimension-order) routing from
+     * @p a to @p b, inclusive of both endpoints.
+     */
+    static std::vector<NodeId> xyRoute(NodeId a, NodeId b);
+};
+
+} // namespace wastesim
+
+#endif // WASTESIM_NOC_MESH_HH

@@ -1,0 +1,92 @@
+#include "noc/network.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/log.hh"
+
+namespace wastesim
+{
+
+std::uint64_t
+Network::maxLinkFlits() const
+{
+    return *std::max_element(linkFlits_.begin(), linkFlits_.end());
+}
+
+std::uint64_t
+Network::totalLinkFlits() const
+{
+    return std::accumulate(linkFlits_.begin(), linkFlits_.end(),
+                           std::uint64_t{0});
+}
+
+void
+Network::send(Message msg)
+{
+    msg.hops = Mesh::hops(msg.src.tile(), msg.dst.tile());
+    msg.sentAt = eq_.now();
+    ++msgsSent_;
+
+    const unsigned words = msg.words();
+    const unsigned data_flits = msg.dataFlits();
+    const unsigned total_flits = 1 + data_flits;
+
+    traffic_.addRaw(static_cast<double>(total_flits) * msg.hops);
+
+    // Control flit.
+    traffic_.control(msg.cls, msg.ctl, 1.0, msg.hops);
+
+    // Unfilled fraction of the last data flit is charged to the
+    // control portion (Section 5.2).
+    if (data_flits > 0) {
+        const double unfilled =
+            data_flits - words / static_cast<double>(wordsPerFlit);
+        if (unfilled > 0)
+            traffic_.control(msg.cls, msg.ctl, unfilled, msg.hops);
+    }
+
+    // Raw (non-cache-word) payloads are pure control-side traffic.
+    if (msg.rawWords > 0) {
+        traffic_.control(msg.cls, msg.ctl,
+                         msg.rawWords /
+                             static_cast<double>(wordsPerFlit),
+                         msg.hops);
+    }
+
+    // Writeback payloads resolve Used/Waste by dirty bits right now.
+    if (!msg.chunks.empty() && msg.cls == TrafficClass::Writeback) {
+        unsigned dirty = 0, clean = 0;
+        for (const auto &c : msg.chunks) {
+            dirty += (c.mask & c.dirty).count();
+            clean += (c.mask - c.dirty).count();
+        }
+        const bool to_mem = msg.dst.kind == Endpoint::Kind::MC;
+        traffic_.wbData(to_mem, dirty, clean, msg.hops);
+    }
+
+    // Per-link utilization along the XY route (+ the ejection link).
+    {
+        const auto route = Mesh::xyRoute(msg.src.tile(),
+                                         msg.dst.tile());
+        for (std::size_t i = 1; i < route.size(); ++i)
+            linkFlits_[route[i - 1] * numTiles + route[i]] +=
+                total_flits;
+        linkFlits_[route.back() * numTiles + route.back()] +=
+            total_flits;
+    }
+
+    MessageHandler *h = handlers_[msg.dst.flatId()];
+    panic_if(!h, "no handler attached for endpoint flatId %u",
+             msg.dst.flatId());
+
+    // Head flit arrives after the link latency of each hop; the tail
+    // follows one cycle per additional flit (wormhole serialization).
+    const Tick delay =
+        linkLatency_ * msg.hops + (total_flits - 1);
+    eq_.schedule(delay, [h, m = std::move(msg)]() mutable {
+        h->handle(std::move(m));
+    });
+}
+
+} // namespace wastesim

@@ -1,0 +1,22 @@
+#include "profile/energy.hh"
+
+#include "system/system.hh"
+
+namespace wastesim
+{
+
+EnergyBreakdown
+estimateEnergy(const RunResult &r, const EnergyParams &p)
+{
+    EnergyBreakdown e;
+    e.network = r.traffic.total() * p.pjPerFlitHop;
+    e.l1 = static_cast<double>(r.l1Accesses) * p.pjPerL1Access +
+           r.l1Waste.total() * p.pjPerWordFill;
+    e.l2 = static_cast<double>(r.l2Accesses) * p.pjPerL2Access +
+           r.l2Waste.total() * p.pjPerWordFill;
+    e.dram = static_cast<double>(r.dramReads + r.dramWrites) *
+             p.pjPerDramAccess;
+    return e;
+}
+
+} // namespace wastesim

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * First-order dynamic-energy estimator (extension).
+ *
+ * The paper motivates traffic elimination with the energy cost of
+ * data movement (Keckler et al. [16], Kogge et al. [19]: moving a bit
+ * from DRAM costs as much as a fused multiply-add; even on-chip
+ * movement is expensive) but reports traffic, not energy.  This
+ * module converts a RunResult into a rough energy breakdown using
+ * per-event constants in the spirit of those technology reports, so
+ * the protocol comparison can be read in nanojoules as well as
+ * flit-hops.  The constants are deliberately configurable — they are
+ * ballpark 2008-2011 projections, not a signoff power model.
+ */
+
+#ifndef WASTESIM_PROFILE_ENERGY_HH
+#define WASTESIM_PROFILE_ENERGY_HH
+
+#include <string>
+
+namespace wastesim
+{
+
+struct RunResult;
+
+/** Per-event dynamic energy constants (picojoules). */
+struct EnergyParams
+{
+    /** One 16-byte flit traversing one link (~0.1 pJ/bit). */
+    double pjPerFlitHop = 13.0;
+
+    /** One L1 access (32 KB SRAM read/write). */
+    double pjPerL1Access = 10.0;
+
+    /** One L2 slice access (256 KB SRAM). */
+    double pjPerL2Access = 50.0;
+
+    /** One word installed into a cache (array write). */
+    double pjPerWordFill = 1.0;
+
+    /** One DRAM line access (~20 pJ/bit x 512 bits). */
+    double pjPerDramAccess = 10000.0;
+};
+
+/** Estimated dynamic energy, by component (picojoules). */
+struct EnergyBreakdown
+{
+    double network = 0;
+    double l1 = 0;
+    double l2 = 0;
+    double dram = 0;
+
+    double total() const { return network + l1 + l2 + dram; }
+};
+
+/** Estimate the dynamic energy of one run. */
+EnergyBreakdown estimateEnergy(const RunResult &r,
+                               const EnergyParams &p = EnergyParams{});
+
+} // namespace wastesim
+
+#endif // WASTESIM_PROFILE_ENERGY_HH

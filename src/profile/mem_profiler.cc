@@ -1,0 +1,93 @@
+#include "profile/mem_profiler.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace wastesim
+{
+
+InstId
+MemProfiler::create(Addr word_num, bool present_in_l2)
+{
+    InstId id = recs_.size();
+    recs_.push_back(Rec{WasteCat::Unclassified, 0, word_num});
+    if (present_in_l2) {
+        // Fig. 4.3: memory sends (A, I) while A is present in the L2.
+        recs_[id].cat = WasteCat::Fetch;
+    }
+    byAddr_[word_num].push_back(id);
+    return id;
+}
+
+void
+MemProfiler::addRef(InstId id)
+{
+    if (id == invalidInst)
+        return;
+    ++recs_[id].refs;
+}
+
+void
+MemProfiler::dropRef(InstId id, bool invalidated)
+{
+    if (id == invalidInst)
+        return;
+    Rec &r = recs_[id];
+    panic_if(r.refs == 0, "dropRef on instance with zero refs");
+    if (--r.refs == 0) {
+        classify(id, invalidated ? WasteCat::Invalidate : WasteCat::Evict);
+        auto it = byAddr_.find(r.wordNum);
+        if (it != byAddr_.end()) {
+            auto &v = it->second;
+            v.erase(std::remove(v.begin(), v.end(), id), v.end());
+            if (v.empty())
+                byAddr_.erase(it);
+        }
+    }
+}
+
+void
+MemProfiler::used(InstId id)
+{
+    if (id == invalidInst)
+        return;
+    classify(id, WasteCat::Used);
+}
+
+void
+MemProfiler::storeAddr(Addr word_num)
+{
+    auto it = byAddr_.find(word_num);
+    if (it == byAddr_.end())
+        return;
+    for (InstId id : it->second)
+        classify(id, WasteCat::Write);
+}
+
+WasteCounts
+MemProfiler::finalize()
+{
+    panic_if(finalized_, "MemProfiler finalized twice");
+    finalized_ = true;
+    for (auto &r : recs_)
+        if (r.cat == WasteCat::Unclassified)
+            r.cat = WasteCat::Unevicted;
+    return counts();
+}
+
+WasteCounts
+MemProfiler::counts() const
+{
+    WasteCounts c;
+    for (std::size_t i = epochStart_; i < recs_.size(); ++i) {
+        const Rec &r = recs_[i];
+        WasteCat cat = r.cat == WasteCat::Unclassified
+            ? WasteCat::Unevicted : r.cat;
+        c[cat] += 1.0;
+    }
+    c[WasteCat::Excess] += excess_ - excessAtEpoch_;
+    return c;
+}
+
+} // namespace wastesim

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Memory-level waste profiler implementing the FSM of Fig. 4.3.
+ *
+ * Every word the memory controller sends on-chip is paired with a
+ * unique identifier; the pair (address, identifier) is profiled
+ * separately from other instances of the same address.  The profiler
+ * reference-counts on-chip copies of each instance (DeNovo's
+ * non-inclusive L2 means several copies of one fetch can coexist):
+ *
+ *  - sent while the address is already present in the home L2 -> Fetch
+ *  - any core loads a copy                                    -> Used
+ *  - any L1 issues a write to the address                     -> Write
+ *    (all on-chip instances of the address)
+ *  - last copy evicted                                        -> Evict
+ *  - last copy invalidated                                    -> Invalidate
+ *  - copies still on-chip at the end of the run               -> Unevicted
+ *  - read from DRAM but filtered at the MC (L2 Flex)          -> Excess
+ */
+
+#ifndef WASTESIM_PROFILE_MEM_PROFILER_HH
+#define WASTESIM_PROFILE_MEM_PROFILER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "profile/waste.hh"
+
+namespace wastesim
+{
+
+/** Chip-global memory fetch-waste profiler (one per simulation). */
+class MemProfiler
+{
+  public:
+    /**
+     * The MC sends a freshly fetched word on-chip.
+     *
+     * @param word_num       global word number
+     * @param present_in_l2  was the address already present in the
+     *                       home L2 slice when memory sent it?
+     * @return new instance id (reference count starts at zero; call
+     *         addRef() for each cache copy installed)
+     */
+    InstId create(Addr word_num, bool present_in_l2);
+
+    /** A cache installed a copy of instance @p id. */
+    void addRef(InstId id);
+
+    /**
+     * A cache copy of instance @p id died.
+     *
+     * @param invalidated true if the copy died to an invalidation,
+     *                    false for an eviction/replacement
+     */
+    void dropRef(InstId id, bool invalidated);
+
+    /** A core read a copy of instance @p id. */
+    void used(InstId id);
+
+    /**
+     * An L1 issued a write to @p word_num: all open instances of the
+     * address become Write waste.
+     */
+    void storeAddr(Addr word_num);
+
+    /** @p nwords were read from DRAM and dropped at the MC. */
+    void excess(unsigned nwords) { excess_ += nwords; }
+
+    /** Begin the measurement window (warm-up excluded). */
+    void
+    markEpoch()
+    {
+        epochStart_ = recs_.size();
+        excessAtEpoch_ = excess_;
+    }
+
+    /** Close the run; returns word counts by category (incl. Excess). */
+    WasteCounts finalize();
+
+    /** Counts so far, without finalizing. */
+    WasteCounts counts() const;
+
+    /** Number of instances created (words sent on-chip). */
+    std::size_t numInstances() const { return recs_.size(); }
+
+    /** On-chip copies of instance @p id (testing hook). */
+    unsigned refs(InstId id) const { return recs_[id].refs; }
+
+  private:
+    struct Rec
+    {
+        WasteCat cat = WasteCat::Unclassified;
+        unsigned refs = 0;
+        Addr wordNum = 0;
+    };
+
+    void
+    classify(InstId id, WasteCat cat)
+    {
+        if (recs_[id].cat == WasteCat::Unclassified)
+            recs_[id].cat = cat;
+    }
+
+    std::vector<Rec> recs_;
+    std::size_t epochStart_ = 0;
+    /** word number -> instance ids with live on-chip copies. */
+    std::unordered_map<Addr, std::vector<InstId>> byAddr_;
+    double excess_ = 0;
+    double excessAtEpoch_ = 0;
+    bool finalized_ = false;
+};
+
+} // namespace wastesim
+
+#endif // WASTESIM_PROFILE_MEM_PROFILER_HH

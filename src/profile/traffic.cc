@@ -1,0 +1,66 @@
+#include "profile/traffic.hh"
+
+#include "common/log.hh"
+
+namespace wastesim
+{
+
+void
+TrafficRecorder::control(TrafficClass cls, CtlType t, double flits,
+                         unsigned hops)
+{
+    const double fh = flits * hops;
+    switch (t) {
+      case CtlType::ReqCtl:
+        if (cls == TrafficClass::Load)
+            stats_.ldReqCtl += fh;
+        else
+            stats_.stReqCtl += fh;
+        break;
+      case CtlType::RespCtl:
+        if (cls == TrafficClass::Load)
+            stats_.ldRespCtl += fh;
+        else
+            stats_.stRespCtl += fh;
+        break;
+      case CtlType::WbControl:
+        stats_.wbControl += fh;
+        break;
+      case CtlType::OhUnblock:
+        stats_.ohUnblock += fh;
+        break;
+      case CtlType::OhWbCtl:
+        stats_.ohWbCtl += fh;
+        break;
+      case CtlType::OhInv:
+        stats_.ohInv += fh;
+        break;
+      case CtlType::OhAck:
+        stats_.ohAck += fh;
+        break;
+      case CtlType::OhNack:
+        stats_.ohNack += fh;
+        break;
+      case CtlType::OhBloom:
+        stats_.ohBloom += fh;
+        break;
+      default:
+        panic("unknown control type");
+    }
+}
+
+void
+TrafficRecorder::wbData(bool to_mem, unsigned dirty_words,
+                        unsigned clean_words, unsigned hops)
+{
+    const double per_word = hops / static_cast<double>(wordsPerFlit);
+    if (to_mem) {
+        stats_.wbMemUsed += dirty_words * per_word;
+        stats_.wbMemWaste += clean_words * per_word;
+    } else {
+        stats_.wbL2Used += dirty_words * per_word;
+        stats_.wbL2Waste += clean_words * per_word;
+    }
+}
+
+} // namespace wastesim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Flit-hop traffic recorder.
+ *
+ * Control flits and writeback data flits are attributed at send time
+ * (the Used/Waste split for writeback data is determined by per-word
+ * dirty bits, Fig. 5.1d).  Load/store response data is banked against
+ * the receiving cache's WordProfiler instance and resolved at
+ * finalize() time, after the waste FSMs have classified each word.
+ */
+
+#ifndef WASTESIM_PROFILE_TRAFFIC_HH
+#define WASTESIM_PROFILE_TRAFFIC_HH
+
+#include "common/types.hh"
+#include "profile/waste.hh"
+
+namespace wastesim
+{
+
+/** Accumulates flit-hop buckets for one simulation run. */
+class TrafficRecorder
+{
+  public:
+    /** Record @p flits control flit-hops of type @p t. */
+    void control(TrafficClass cls, CtlType t, double flits, unsigned hops);
+
+    /**
+     * Record writeback payload words: @p dirty_words are Used, @p
+     * clean_words are Waste; @p to_mem selects the L2 vs. memory
+     * destination buckets.
+     */
+    void wbData(bool to_mem, unsigned dirty_words, unsigned clean_words,
+                unsigned hops);
+
+    /** Raw conservation total: every flit-hop, attributed or pending. */
+    double rawFlitHops() const { return raw_; }
+
+    /** Add to the raw total (network-side, includes pending data). */
+    void addRaw(double fh) { raw_ += fh; }
+
+    /** Begin the measurement window: zero all buckets. */
+    void
+    markEpoch()
+    {
+        stats_ = TrafficStats{};
+        raw_ = 0;
+    }
+
+    TrafficStats &stats() { return stats_; }
+    const TrafficStats &stats() const { return stats_; }
+
+  private:
+    TrafficStats stats_;
+    double raw_ = 0;
+};
+
+} // namespace wastesim
+
+#endif // WASTESIM_PROFILE_TRAFFIC_HH

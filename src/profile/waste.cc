@@ -1,0 +1,104 @@
+#include "profile/waste.hh"
+
+namespace wastesim
+{
+
+const char *
+wasteCatName(WasteCat c)
+{
+    switch (c) {
+      case WasteCat::Unclassified: return "Unclassified";
+      case WasteCat::Used: return "Used";
+      case WasteCat::Write: return "Write";
+      case WasteCat::Fetch: return "Fetch";
+      case WasteCat::Invalidate: return "Invalidate";
+      case WasteCat::Evict: return "Evict";
+      case WasteCat::Unevicted: return "Unevicted";
+      case WasteCat::Excess: return "Excess";
+      default: return "?";
+    }
+}
+
+const char *
+trafficClassName(TrafficClass c)
+{
+    switch (c) {
+      case TrafficClass::Load: return "LD";
+      case TrafficClass::Store: return "ST";
+      case TrafficClass::Writeback: return "WB";
+      case TrafficClass::Overhead: return "Overhead";
+      default: return "?";
+    }
+}
+
+const char *
+ctlTypeName(CtlType t)
+{
+    switch (t) {
+      case CtlType::ReqCtl: return "ReqCtl";
+      case CtlType::RespCtl: return "RespCtl";
+      case CtlType::WbControl: return "WbControl";
+      case CtlType::OhUnblock: return "Unblock";
+      case CtlType::OhWbCtl: return "WbCtl";
+      case CtlType::OhInv: return "Inv";
+      case CtlType::OhAck: return "Ack";
+      case CtlType::OhNack: return "Nack";
+      case CtlType::OhBloom: return "Bloom";
+      default: return "?";
+    }
+}
+
+TrafficStats &
+TrafficStats::operator+=(const TrafficStats &o)
+{
+    ldReqCtl += o.ldReqCtl;
+    ldRespCtl += o.ldRespCtl;
+    ldRespL1Used += o.ldRespL1Used;
+    ldRespL1Waste += o.ldRespL1Waste;
+    ldRespL2Used += o.ldRespL2Used;
+    ldRespL2Waste += o.ldRespL2Waste;
+    stReqCtl += o.stReqCtl;
+    stRespCtl += o.stRespCtl;
+    stRespL1Used += o.stRespL1Used;
+    stRespL1Waste += o.stRespL1Waste;
+    stRespL2Used += o.stRespL2Used;
+    stRespL2Waste += o.stRespL2Waste;
+    wbControl += o.wbControl;
+    wbL2Used += o.wbL2Used;
+    wbL2Waste += o.wbL2Waste;
+    wbMemUsed += o.wbMemUsed;
+    wbMemWaste += o.wbMemWaste;
+    ohUnblock += o.ohUnblock;
+    ohWbCtl += o.ohWbCtl;
+    ohInv += o.ohInv;
+    ohAck += o.ohAck;
+    ohNack += o.ohNack;
+    ohBloom += o.ohBloom;
+    return *this;
+}
+
+double
+WasteCounts::total() const
+{
+    double t = 0;
+    for (double v : byCat)
+        t += v;
+    // Unclassified should be empty after finalize; count it anyway.
+    return t;
+}
+
+double
+WasteCounts::waste() const
+{
+    return total() - (*this)[WasteCat::Used];
+}
+
+WasteCounts &
+WasteCounts::operator+=(const WasteCounts &o)
+{
+    for (unsigned i = 0; i < numWasteCats; ++i)
+        byCat[i] += o.byCat[i];
+    return *this;
+}
+
+} // namespace wastesim

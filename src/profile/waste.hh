@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Waste-characterization vocabulary from Section 4.1 of the paper:
+ * every word moved through the memory hierarchy is ultimately
+ * classified as Used, Write, Fetch, Invalidate, Evict or Unevicted
+ * (plus Excess at the memory level for words dropped at the memory
+ * controller by L2 Flex filtering), and every network flit-hop is
+ * attributed to a load / store / writeback / overhead category.
+ */
+
+#ifndef WASTESIM_PROFILE_WASTE_HH
+#define WASTESIM_PROFILE_WASTE_HH
+
+#include <array>
+#include <string>
+
+namespace wastesim
+{
+
+/** Terminal classification of a fetched word instance (Section 4.1). */
+enum class WasteCat : unsigned char
+{
+    Unclassified,   //!< Still live; becomes Unevicted at end of run.
+    Used,           //!< Read by the program / returned in an L2 response.
+    Write,          //!< Overwritten before being used.
+    Fetch,          //!< Arrived while already present in the cache.
+    Invalidate,     //!< Invalidated by the protocol before use.
+    Evict,          //!< Evicted before use.
+    Unevicted,      //!< Still resident, unclassified, at end of run.
+    Excess,         //!< Read from DRAM, dropped at the MC (L2 Flex).
+    NumCats
+};
+
+constexpr unsigned numWasteCats =
+    static_cast<unsigned>(WasteCat::NumCats);
+
+/** Printable name of a waste category. */
+const char *wasteCatName(WasteCat c);
+
+/** Major traffic class of a message (Fig. 5.1a stacking). */
+enum class TrafficClass : unsigned char
+{
+    Load,
+    Store,
+    Writeback,
+    Overhead
+};
+
+/** Printable name of a traffic class. */
+const char *trafficClassName(TrafficClass c);
+
+/** Where a data payload lands. */
+enum class DataDest : unsigned char
+{
+    ToL1,
+    ToL2,
+    ToMem
+};
+
+/**
+ * Control-flit subtypes, used both for figure 5.1b/c/d breakdowns and
+ * for the Section 5.2.4 overhead composition.
+ */
+enum class CtlType : unsigned char
+{
+    ReqCtl,         //!< Request message header (loads/stores).
+    RespCtl,        //!< Response message header + unfilled data-flit
+                    //!< fractions (loads/stores).
+    WbControl,      //!< Writeback request/response headers.
+    OhUnblock,      //!< MESI directory unblock messages.
+    OhWbCtl,        //!< Clean-writeback notices, WB acks.
+    OhInv,          //!< Invalidation messages.
+    OhAck,          //!< Invalidation acknowledgments.
+    OhNack,         //!< NACKs (blocking directory; DeNovo retries).
+    OhBloom,        //!< Bloom-filter copy requests/responses.
+    NumTypes
+};
+
+constexpr unsigned numCtlTypes = static_cast<unsigned>(CtlType::NumTypes);
+
+/** Printable name of a control type. */
+const char *ctlTypeName(CtlType t);
+
+/** True if @p t belongs to the Overhead traffic class. */
+constexpr bool
+isOverheadCtl(CtlType t)
+{
+    switch (t) {
+      case CtlType::OhUnblock:
+      case CtlType::OhWbCtl:
+      case CtlType::OhInv:
+      case CtlType::OhAck:
+      case CtlType::OhNack:
+      case CtlType::OhBloom:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/**
+ * Flit-hop accounting buckets matching the stacked bars of
+ * Figs. 5.1a-5.1d.
+ */
+struct TrafficStats
+{
+    // Load traffic (Fig. 5.1b).
+    double ldReqCtl = 0, ldRespCtl = 0;
+    double ldRespL1Used = 0, ldRespL1Waste = 0;
+    double ldRespL2Used = 0, ldRespL2Waste = 0;
+
+    // Store traffic (Fig. 5.1c).
+    double stReqCtl = 0, stRespCtl = 0;
+    double stRespL1Used = 0, stRespL1Waste = 0;
+    double stRespL2Used = 0, stRespL2Waste = 0;
+
+    // Writeback traffic (Fig. 5.1d).
+    double wbControl = 0;
+    double wbL2Used = 0, wbL2Waste = 0;
+    double wbMemUsed = 0, wbMemWaste = 0;
+
+    // Overhead traffic (Section 5.2.4 composition).
+    double ohUnblock = 0, ohWbCtl = 0, ohInv = 0, ohAck = 0,
+           ohNack = 0, ohBloom = 0;
+
+    double
+    load() const
+    {
+        return ldReqCtl + ldRespCtl + ldRespL1Used + ldRespL1Waste +
+               ldRespL2Used + ldRespL2Waste;
+    }
+
+    double
+    store() const
+    {
+        return stReqCtl + stRespCtl + stRespL1Used + stRespL1Waste +
+               stRespL2Used + stRespL2Waste;
+    }
+
+    double
+    writeback() const
+    {
+        return wbControl + wbL2Used + wbL2Waste + wbMemUsed + wbMemWaste;
+    }
+
+    double
+    overhead() const
+    {
+        return ohUnblock + ohWbCtl + ohInv + ohAck + ohNack + ohBloom;
+    }
+
+    double
+    total() const
+    {
+        return load() + store() + writeback() + overhead();
+    }
+
+    /** Flit-hops whose words were profiled as waste (data only). */
+    double
+    wasteData() const
+    {
+        return ldRespL1Waste + ldRespL2Waste + stRespL1Waste +
+               stRespL2Waste + wbL2Waste + wbMemWaste;
+    }
+
+    TrafficStats &operator+=(const TrafficStats &o);
+};
+
+/** Per-category word counts for the Fig. 5.3 fetch-waste graphs. */
+struct WasteCounts
+{
+    std::array<double, numWasteCats> byCat{};
+
+    double &operator[](WasteCat c) { return byCat[static_cast<unsigned>(c)]; }
+    double
+    operator[](WasteCat c) const
+    {
+        return byCat[static_cast<unsigned>(c)];
+    }
+
+    /** Total words fetched (all categories). */
+    double total() const;
+
+    /** Total non-Used words. */
+    double waste() const;
+
+    WasteCounts &operator+=(const WasteCounts &o);
+};
+
+} // namespace wastesim
+
+#endif // WASTESIM_PROFILE_WASTE_HH

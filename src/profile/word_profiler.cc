@@ -1,0 +1,168 @@
+#include "profile/word_profiler.hh"
+
+#include "common/log.hh"
+
+namespace wastesim
+{
+
+InstId
+WordProfiler::arrive(Addr word_num, TrafficClass cls)
+{
+    InstId id = recs_.size();
+    recs_.push_back(Rec{WasteCat::Unclassified, cls, 0});
+
+    auto it = present_.find(word_num);
+    if (it != present_.end()) {
+        // Word already present: the arriving copy is Fetch waste
+        // (Fig. 4.1/4.2, "word present in cache? yes -> Fetch").
+        recs_[id].cat = WasteCat::Fetch;
+        return id;
+    }
+    present_.emplace(word_num, id);
+    return id;
+}
+
+void
+WordProfiler::arriveUntracked(Addr word_num)
+{
+    present_.emplace(word_num, invalidInst);
+}
+
+void
+WordProfiler::load(Addr word_num)
+{
+    auto it = present_.find(word_num);
+    panic_if(it == present_.end(),
+             "L1 load hit on word %llu the profiler believes absent",
+             static_cast<unsigned long long>(word_num));
+    classify(it->second, WasteCat::Used);
+}
+
+void
+WordProfiler::store(Addr word_num)
+{
+    auto it = present_.find(word_num);
+    if (it == present_.end()) {
+        // Write-validate allocation: present from now on, untracked.
+        present_.emplace(word_num, invalidInst);
+        return;
+    }
+    classify(it->second, WasteCat::Write);
+}
+
+InstId
+WordProfiler::arriveReplace(Addr word_num, TrafficClass cls)
+{
+    auto it = present_.find(word_num);
+    if (it != present_.end()) {
+        classify(it->second, WasteCat::Write);
+        present_.erase(it);
+    }
+    return arrive(word_num, cls);
+}
+
+void
+WordProfiler::writeKill(Addr word_num)
+{
+    auto it = present_.find(word_num);
+    if (it == present_.end())
+        return;
+    classify(it->second, WasteCat::Write);
+    present_.erase(it);
+}
+
+void
+WordProfiler::respUsed(Addr word_num)
+{
+    auto it = present_.find(word_num);
+    if (it != present_.end())
+        classify(it->second, WasteCat::Used);
+}
+
+void
+WordProfiler::overwrite(Addr word_num)
+{
+    auto it = present_.find(word_num);
+    if (it == present_.end()) {
+        present_.emplace(word_num, invalidInst);
+        return;
+    }
+    classify(it->second, WasteCat::Write);
+}
+
+void
+WordProfiler::evict(Addr word_num)
+{
+    auto it = present_.find(word_num);
+    if (it == present_.end())
+        return;
+    classify(it->second, WasteCat::Evict);
+    present_.erase(it);
+}
+
+void
+WordProfiler::invalidate(Addr word_num)
+{
+    auto it = present_.find(word_num);
+    if (it == present_.end())
+        return;
+    classify(it->second,
+             level_ == Level::L1 ? WasteCat::Invalidate : WasteCat::Evict);
+    present_.erase(it);
+}
+
+bool
+WordProfiler::present(Addr word_num) const
+{
+    return present_.find(word_num) != present_.end();
+}
+
+void
+WordProfiler::addTraffic(InstId id, double flit_hops)
+{
+    panic_if(id == invalidInst || id >= recs_.size(),
+             "traffic banked against invalid instance");
+    recs_[id].flitHops += flit_hops;
+}
+
+WasteCounts
+WordProfiler::finalize(TrafficStats &traffic)
+{
+    panic_if(finalized_, "WordProfiler finalized twice");
+    finalized_ = true;
+
+    for (auto &r : recs_)
+        if (r.cat == WasteCat::Unclassified)
+            r.cat = WasteCat::Unevicted;
+
+    const bool to_l1 = level_ == Level::L1;
+    for (std::size_t i = epochStart_; i < recs_.size(); ++i) {
+        const Rec &r = recs_[i];
+        if (r.flitHops == 0)
+            continue;
+        const bool used = r.cat == WasteCat::Used;
+        if (r.cls == TrafficClass::Load) {
+            double &bucket = to_l1
+                ? (used ? traffic.ldRespL1Used : traffic.ldRespL1Waste)
+                : (used ? traffic.ldRespL2Used : traffic.ldRespL2Waste);
+            bucket += r.flitHops;
+        } else {
+            double &bucket = to_l1
+                ? (used ? traffic.stRespL1Used : traffic.stRespL1Waste)
+                : (used ? traffic.stRespL2Used : traffic.stRespL2Waste);
+            bucket += r.flitHops;
+        }
+    }
+    return counts();
+}
+
+WasteCounts
+WordProfiler::counts() const
+{
+    WasteCounts c;
+    for (std::size_t i = epochStart_; i < recs_.size(); ++i)
+        c[recs_[i].cat] += 1.0;
+    return c;
+}
+
+} // namespace wastesim

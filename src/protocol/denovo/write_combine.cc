@@ -1,0 +1,99 @@
+#include "protocol/denovo/write_combine.hh"
+
+#include "common/log.hh"
+
+namespace wastesim
+{
+
+WriteCombineTable::WriteCombineTable(EventQueue &eq, unsigned entries,
+                                     Tick timeout, FlushFn flush)
+    : eq_(eq), capacity_(entries), timeout_(timeout),
+      flush_(std::move(flush))
+{
+    panic_if(capacity_ == 0, "write-combine table needs capacity");
+}
+
+void
+WriteCombineTable::write(Addr line_addr, unsigned widx)
+{
+    auto it = index_.find(line_addr);
+    if (it != index_.end()) {
+        it->second->words.set(widx);
+        if (it->second->words.isFull()) {
+            ++flushFullLine;
+            flushLine(line_addr);
+        }
+        return;
+    }
+
+    if (entries_.size() >= capacity_) {
+        // Capacity force-flush of the oldest entry (the paper's radix
+        // discussion: permutation writes touch more lines than the
+        // table holds, splitting registrations).
+        ++flushCapacity;
+        flushLine(entries_.front().line);
+    }
+
+    Entry e;
+    e.line = line_addr;
+    e.words = WordMask::single(widx);
+    e.generation = nextGen_++;
+    entries_.push_back(e);
+    index_[line_addr] = std::prev(entries_.end());
+
+    // Arm the timeout for this entry.
+    const std::uint64_t gen = e.generation;
+    eq_.schedule(timeout_, [this, line_addr, gen] {
+        auto it2 = index_.find(line_addr);
+        if (it2 != index_.end() && it2->second->generation == gen) {
+            ++flushTimeout;
+            flushLine(line_addr);
+        }
+    });
+
+    if (entries_.back().words.isFull()) {
+        ++flushFullLine;
+        flushLine(line_addr);
+    }
+}
+
+WordMask
+WriteCombineTable::pendingFor(Addr line_addr) const
+{
+    auto it = index_.find(line_addr);
+    return it == index_.end() ? WordMask::none() : it->second->words;
+}
+
+WordMask
+WriteCombineTable::takeLine(Addr line_addr)
+{
+    auto it = index_.find(line_addr);
+    if (it == index_.end())
+        return WordMask::none();
+    WordMask words = it->second->words;
+    entries_.erase(it->second);
+    index_.erase(it);
+    return words;
+}
+
+void
+WriteCombineTable::flushLine(Addr line_addr)
+{
+    auto it = index_.find(line_addr);
+    panic_if(it == index_.end(), "flushing absent WC entry");
+    const WordMask words = it->second->words;
+    entries_.erase(it->second);
+    index_.erase(it);
+    flush_(line_addr, words);
+}
+
+void
+WriteCombineTable::flushAll()
+{
+    while (!entries_.empty()) {
+        ++flushRelease;
+        flushLine(entries_.front().line);
+    }
+}
+
+} // namespace wastesim

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * DeNovo write-combining table (Section 4.2): a 32-entry structure
+ * batching pending registration requests per cache line.  An entry
+ * flushes (issuing one registration message) when:
+ *
+ *  - the entire cache line has been written,
+ *  - the 10,000-cycle timeout expires,
+ *  - a release/barrier is reached, or
+ *  - the line is evicted from the L1.
+ *
+ * A full table force-flushes its oldest entry to admit the new write.
+ */
+
+#ifndef WASTESIM_PROTOCOL_DENOVO_WRITE_COMBINE_HH
+#define WASTESIM_PROTOCOL_DENOVO_WRITE_COMBINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "common/word_mask.hh"
+#include "sim/event_queue.hh"
+
+namespace wastesim
+{
+
+/** Per-core registration write-combining buffer. */
+class WriteCombineTable
+{
+  public:
+    /** Flush callback: issue a registration for (line, words). */
+    using FlushFn = std::function<void(Addr line, WordMask words)>;
+
+    WriteCombineTable(EventQueue &eq, unsigned entries, Tick timeout,
+                      FlushFn flush);
+
+    /** Record a write to word @p widx of @p line_addr. */
+    void write(Addr line_addr, unsigned widx);
+
+    /** Pending (unflushed) words for a line. */
+    WordMask pendingFor(Addr line_addr) const;
+
+    /**
+     * Remove a line's entry without flushing (the caller is sending a
+     * combined writeback+register message instead).  Returns the
+     * pending words.
+     */
+    WordMask takeLine(Addr line_addr);
+
+    /** Release/barrier: flush every entry. */
+    void flushAll();
+
+    /** Number of live entries. */
+    std::size_t size() const { return entries_.size(); }
+
+    // Flush-cause statistics (ablation bench).
+    std::uint64_t flushFullLine = 0;
+    std::uint64_t flushTimeout = 0;
+    std::uint64_t flushRelease = 0;
+    std::uint64_t flushCapacity = 0;
+
+  private:
+    struct Entry
+    {
+        Addr line;
+        WordMask words;
+        std::uint64_t generation;
+    };
+
+    /** Flush (and remove) the entry for @p line_addr. */
+    void flushLine(Addr line_addr);
+
+    EventQueue &eq_;
+    unsigned capacity_;
+    Tick timeout_;
+    FlushFn flush_;
+    std::uint64_t nextGen_ = 0;
+
+    /** FIFO order for capacity eviction. */
+    std::list<Entry> entries_;
+    std::unordered_map<Addr, std::list<Entry>::iterator> index_;
+};
+
+} // namespace wastesim
+
+#endif // WASTESIM_PROTOCOL_DENOVO_WRITE_COMBINE_HH

@@ -1,0 +1,44 @@
+#include "protocol/message.hh"
+
+namespace wastesim
+{
+
+const char *
+msgKindName(MsgKind k)
+{
+    switch (k) {
+      case MsgKind::GetS: return "GetS";
+      case MsgKind::GetX: return "GetX";
+      case MsgKind::Upgrade: return "Upgrade";
+      case MsgKind::FwdGetS: return "FwdGetS";
+      case MsgKind::FwdGetX: return "FwdGetX";
+      case MsgKind::Inv: return "Inv";
+      case MsgKind::InvAck: return "InvAck";
+      case MsgKind::Data: return "Data";
+      case MsgKind::DataExcl: return "DataExcl";
+      case MsgKind::UpgradeAck: return "UpgradeAck";
+      case MsgKind::Unblock: return "Unblock";
+      case MsgKind::UnblockData: return "UnblockData";
+      case MsgKind::Nack: return "Nack";
+      case MsgKind::PutS: return "PutS";
+      case MsgKind::PutX: return "PutX";
+      case MsgKind::WbAck: return "WbAck";
+      case MsgKind::MemRead: return "MemRead";
+      case MsgKind::MemWrite: return "MemWrite";
+      case MsgKind::MemData: return "MemData";
+      case MsgKind::DnLoadReq: return "DnLoadReq";
+      case MsgKind::DnFwdLoadReq: return "DnFwdLoadReq";
+      case MsgKind::DnLoadResp: return "DnLoadResp";
+      case MsgKind::DnReg: return "DnReg";
+      case MsgKind::DnRegAck: return "DnRegAck";
+      case MsgKind::DnRegInv: return "DnRegInv";
+      case MsgKind::DnWb: return "DnWb";
+      case MsgKind::DnWbAck: return "DnWbAck";
+      case MsgKind::DnRecall: return "DnRecall";
+      case MsgKind::BloomCopyReq: return "BloomCopyReq";
+      case MsgKind::BloomCopyResp: return "BloomCopyResp";
+      default: return "?";
+    }
+}
+
+} // namespace wastesim

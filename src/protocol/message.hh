@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Protocol messages exchanged between L1 caches, L2 slices and memory
+ * controllers, plus the endpoint naming scheme the network uses to
+ * route them.
+ *
+ * A message is one network packet: one control flit plus up to four
+ * 16-byte data flits (at most 64 bytes of payload, per Section 4.2).
+ * Payload words are carried in per-line chunks so that DeNovo Flex
+ * responses can mix words from different cache lines in one packet.
+ */
+
+#ifndef WASTESIM_PROTOCOL_MESSAGE_HH
+#define WASTESIM_PROTOCOL_MESSAGE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "common/word_mask.hh"
+#include "profile/waste.hh"
+
+namespace wastesim
+{
+
+/** Network-addressable component. */
+struct Endpoint
+{
+    enum class Kind : unsigned char { L1, L2, MC };
+
+    Kind kind = Kind::L1;
+    unsigned idx = 0;
+
+    /** Tile this endpoint lives on. */
+    NodeId
+    tile() const
+    {
+        switch (kind) {
+          case Kind::L1:
+          case Kind::L2:
+            return idx;
+          case Kind::MC:
+            return memCtrlTile(idx);
+        }
+        return 0;
+    }
+
+    /** Dense id for handler registration. */
+    unsigned
+    flatId() const
+    {
+        switch (kind) {
+          case Kind::L1: return idx;
+          case Kind::L2: return numTiles + idx;
+          case Kind::MC: return 2 * numTiles + idx;
+        }
+        return 0;
+    }
+
+    static constexpr unsigned numFlatIds = 2 * numTiles + numMemCtrls;
+
+    bool operator==(const Endpoint &) const = default;
+};
+
+inline Endpoint
+l1Ep(unsigned i)
+{
+    return Endpoint{Endpoint::Kind::L1, i};
+}
+
+inline Endpoint
+l2Ep(unsigned i)
+{
+    return Endpoint{Endpoint::Kind::L2, i};
+}
+
+inline Endpoint
+mcEp(unsigned i)
+{
+    return Endpoint{Endpoint::Kind::MC, i};
+}
+
+/** All message kinds across both protocol families. */
+enum class MsgKind : unsigned char
+{
+    // --- MESI ---
+    GetS,           //!< L1 -> dir: read request.
+    GetX,           //!< L1 -> dir: write request.
+    Upgrade,        //!< L1 -> dir: S -> M permission request.
+    FwdGetS,        //!< dir -> owner L1: forward read.
+    FwdGetX,        //!< dir -> owner L1: forward write.
+    Inv,            //!< dir -> sharer L1: invalidate.
+    InvAck,         //!< sharer L1 -> requester: invalidation ack.
+    Data,           //!< data response (L2->L1, L1->L1, L1->L2).
+    DataExcl,       //!< data response granting E state.
+    UpgradeAck,     //!< dir -> L1: upgrade granted (carries inv count).
+    Unblock,        //!< L1 -> dir: transition finished.
+    UnblockData,    //!< L1 -> dir: unblock carrying data (MMemL1).
+    Nack,           //!< dir -> L1: busy, retry.
+    PutS,           //!< L1 -> dir: clean eviction notice.
+    PutX,           //!< L1 -> dir: dirty writeback.
+    WbAck,          //!< dir -> L1: writeback accepted.
+
+    // --- memory (both families) ---
+    MemRead,        //!< L2 (or L1 bypass) -> MC: line read request.
+    MemWrite,       //!< L2 -> MC: writeback to DRAM.
+    MemData,        //!< MC -> L1/L2: fetched data.
+
+    // --- DeNovo ---
+    DnLoadReq,      //!< L1 -> L2: word-masked read request.
+    DnFwdLoadReq,   //!< L2 -> registrant L1: forward read for words.
+    DnLoadResp,     //!< L2/L1 -> L1: word-masked data response.
+    DnReg,          //!< L1 -> L2: registration (ownership) request.
+    DnRegAck,       //!< L2 -> L1: registration complete.
+    DnRegInv,       //!< L2 -> old registrant L1: your copy is stale.
+    DnWb,           //!< L1 -> L2: dirty-words writeback (+reg mask).
+    DnWbAck,        //!< L2 -> L1: writeback accepted.
+    DnRecall,       //!< L2 -> registrant L1: flush words (L2 evict).
+    BloomCopyReq,   //!< L1 -> L2: request a Bloom filter image.
+    BloomCopyResp,  //!< L2 -> L1: 64-byte Bloom filter image.
+
+    NumKinds
+};
+
+/** Printable name of a message kind. */
+const char *msgKindName(MsgKind k);
+
+/** Payload fragment: words of one cache line. */
+struct LineChunk
+{
+    Addr line = 0;                      //!< line byte address
+    WordMask mask;                      //!< words carried (payload)
+    WordMask dirty;                     //!< of those, words that are dirty
+    /** Request-side word selection (wanted words / dirty-on-chip
+     *  filter); carried in the control flit, never payload. */
+    WordMask want;
+    /** Memory-profiler instance carried per word (propagates with
+     *  copies so the Fig. 4.3 refcounting can follow them). */
+    std::array<InstId, wordsPerLine> memRef;
+
+    LineChunk() { memRef.fill(invalidInst); }
+
+    explicit LineChunk(Addr l, WordMask m = WordMask::none())
+        : line(l), mask(m)
+    {
+        memRef.fill(invalidInst);
+    }
+};
+
+/** One network packet. */
+struct Message
+{
+    MsgKind kind = MsgKind::GetS;
+    Endpoint src, dst;
+    Addr line = 0;              //!< primary line address
+    WordMask mask;              //!< request / ack word mask
+    std::vector<LineChunk> chunks;  //!< data payload (empty = control)
+
+    CoreId requester = 0;       //!< original requester (for forwards)
+    TrafficClass cls = TrafficClass::Overhead;
+    CtlType ctl = CtlType::OhNack;
+    /** Opaque payload blob (Bloom filter images). */
+    std::vector<std::uint64_t> blob;
+    bool flag = false;          //!< protocol-specific (e.g. bypass)
+    unsigned aux = 0;           //!< protocol-specific small payload
+    std::uint64_t txnId = 0;    //!< transaction id for matching
+
+    /** Non-cache-word payload (e.g. a Bloom filter image), in words.
+     *  Charged entirely to the control bucket of @ref ctl. */
+    unsigned rawWords = 0;
+
+    unsigned hops = 0;          //!< filled in by the network
+    Tick sentAt = 0;            //!< filled in by the network
+
+    // Memory-latency attribution (Fig. 5.2 ToMC / Mem / FromMC).
+    Tick tMcArrive = 0;         //!< request arrival at the MC
+    Tick tMemDone = 0;          //!< DRAM completion at the MC
+
+    /** Total payload words across chunks plus raw payload. */
+    unsigned
+    words() const
+    {
+        unsigned n = rawWords;
+        for (const auto &c : chunks)
+            n += c.mask.count();
+        return n;
+    }
+
+    /** Data flits needed for the payload. */
+    unsigned
+    dataFlits() const
+    {
+        return (words() + wordsPerFlit - 1) / wordsPerFlit;
+    }
+
+    /** Total flits: one control flit plus data flits. */
+    unsigned totalFlits() const { return 1 + dataFlits(); }
+};
+
+/** Anything that can receive messages from the network. */
+class MessageHandler
+{
+  public:
+    virtual ~MessageHandler() = default;
+
+    /** Deliver @p msg; called by the network at arrival time. */
+    virtual void handle(Message msg) = 0;
+};
+
+} // namespace wastesim
+
+#endif // WASTESIM_PROTOCOL_MESSAGE_HH

@@ -1,0 +1,8 @@
+#include "protocol/protocol.hh"
+
+// The L1Cache interface is header-only; this translation unit anchors
+// the vtable.
+
+namespace wastesim
+{
+} // namespace wastesim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The CPU-side interface both protocol families' L1 controllers
+ * implement, plus the completion-timing record used for the Fig. 5.2
+ * execution-time breakdown.
+ */
+
+#ifndef WASTESIM_PROTOCOL_PROTOCOL_HH
+#define WASTESIM_PROTOCOL_PROTOCOL_HH
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+#include "protocol/message.hh"
+
+namespace wastesim
+{
+
+/** How a request was served, for stall attribution. */
+struct MemTiming
+{
+    bool immediate = false;   //!< L1 hit
+    bool usedMemory = false;  //!< a DRAM access was on the path
+    Tick issued = 0;          //!< request issue time
+    Tick tMcArrive = 0;       //!< arrival at the memory controller
+    Tick tMemDone = 0;        //!< DRAM completion
+    Tick tEnd = 0;            //!< completion at the core
+};
+
+/** The L1 cache interface cores drive. */
+class L1Cache : public MessageHandler
+{
+  public:
+    using LoadCallback = std::function<void(const MemTiming &)>;
+    using PlainCallback = std::function<void()>;
+
+    /**
+     * Issue a load of the word at @p a.  The callback fires
+     * immediately (with timing.immediate set) on an L1 hit, otherwise
+     * at fill time.
+     */
+    virtual void load(Addr a, LoadCallback done) = 0;
+
+    /**
+     * Issue a store to the word at @p a.  @p accepted fires as soon
+     * as the store has entered the (non-blocking) write machinery —
+     * immediately unless the 32-entry structure is full.
+     */
+    virtual void store(Addr a, PlainCallback accepted) = 0;
+
+    /**
+     * Drain all pending write/registration state (release semantics
+     * ahead of a barrier); @p done fires when globally visible.
+     */
+    virtual void drainWrites(PlainCallback done) = 0;
+
+    /**
+     * The barrier this core participates in has released: perform
+     * protocol-specific phase actions (DeNovo self-invalidation of
+     * @p inv_regions, Bloom-shadow clear).
+     */
+    virtual void barrierRelease(const std::vector<RegionId> &inv_regions)
+        = 0;
+};
+
+} // namespace wastesim
+
+#endif // WASTESIM_PROTOCOL_PROTOCOL_HH

@@ -1,0 +1,53 @@
+#include "sim/event_queue.hh"
+
+#include "common/log.hh"
+
+namespace wastesim
+{
+
+void
+EventQueue::scheduleAt(Tick when, Callback cb)
+{
+    panic_if(when < now_, "scheduling event in the past (%llu < %llu)",
+             static_cast<unsigned long long>(when),
+             static_cast<unsigned long long>(now_));
+    queue_.push(Entry{when, nextSeq_++, std::move(cb)});
+}
+
+bool
+EventQueue::step()
+{
+    if (queue_.empty())
+        return false;
+    // priority_queue::top returns const&; move out via const_cast as the
+    // entry is popped immediately after.
+    Entry e = std::move(const_cast<Entry &>(queue_.top()));
+    queue_.pop();
+    now_ = e.when;
+    e.cb();
+    return true;
+}
+
+bool
+EventQueue::run(Tick limit)
+{
+    while (!queue_.empty()) {
+        if (queue_.top().when > limit) {
+            now_ = limit;
+            return false;
+        }
+        step();
+    }
+    return true;
+}
+
+void
+EventQueue::reset()
+{
+    now_ = 0;
+    nextSeq_ = 0;
+    while (!queue_.empty())
+        queue_.pop();
+}
+
+} // namespace wastesim

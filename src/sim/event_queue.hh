@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Discrete-event simulation engine.
+ *
+ * A single global-order priority queue of (tick, sequence) events.
+ * Events scheduled for the same tick execute in scheduling order,
+ * which keeps protocol handlers deterministic.
+ */
+
+#ifndef WASTESIM_SIM_EVENT_QUEUE_HH
+#define WASTESIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace wastesim
+{
+
+/** The event-driven simulation kernel. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    void
+    schedule(Tick delay, Callback cb)
+    {
+        scheduleAt(now_ + delay, std::move(cb));
+    }
+
+    /** Schedule @p cb at absolute tick @p when (must be >= now). */
+    void scheduleAt(Tick when, Callback cb);
+
+    /** Number of pending events. */
+    std::size_t pending() const { return queue_.size(); }
+
+    /**
+     * Run events until the queue drains or @p limit ticks have been
+     * simulated.
+     *
+     * @return true if the queue drained, false if the limit was hit.
+     */
+    bool run(Tick limit = ~Tick(0));
+
+    /** Execute at most one event. @return false if queue empty. */
+    bool step();
+
+    /** Drop all pending events and reset time to zero. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+} // namespace wastesim
+
+#endif // WASTESIM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,106 @@
+#include "system/config.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace wastesim
+{
+
+const ProtocolName allProtocols[numProtocols] = {
+    ProtocolName::MESI,       ProtocolName::MMemL1,
+    ProtocolName::DeNovo,     ProtocolName::DFlexL1,
+    ProtocolName::DValidateL2, ProtocolName::DMemL1,
+    ProtocolName::DFlexL2,    ProtocolName::DBypL2,
+    ProtocolName::DBypFull,
+};
+
+const char *
+protocolName(ProtocolName p)
+{
+    switch (p) {
+      case ProtocolName::MESI: return "MESI";
+      case ProtocolName::MMemL1: return "MMemL1";
+      case ProtocolName::DeNovo: return "DeNovo";
+      case ProtocolName::DFlexL1: return "DFlexL1";
+      case ProtocolName::DValidateL2: return "DValidateL2";
+      case ProtocolName::DMemL1: return "DMemL1";
+      case ProtocolName::DFlexL2: return "DFlexL2";
+      case ProtocolName::DBypL2: return "DBypL2";
+      case ProtocolName::DBypFull: return "DBypFull";
+      default: return "?";
+    }
+}
+
+ProtocolConfig
+ProtocolConfig::make(ProtocolName p)
+{
+    ProtocolConfig c;
+    switch (p) {
+      case ProtocolName::MESI:
+        c.family = Family::Mesi;
+        break;
+      case ProtocolName::MMemL1:
+        c.family = Family::Mesi;
+        c.memToL1 = true;
+        break;
+      case ProtocolName::DeNovo:
+        c.family = Family::DeNovo;
+        break;
+      case ProtocolName::DFlexL1:
+        c.family = Family::DeNovo;
+        c.flexL1 = true;
+        break;
+      case ProtocolName::DValidateL2:
+        c.family = Family::DeNovo;
+        c.l2WriteValidate = true;
+        c.l2DirtyWbOnly = true;
+        break;
+      case ProtocolName::DMemL1:
+        c = make(ProtocolName::DValidateL2);
+        c.memToL1 = true;
+        break;
+      case ProtocolName::DFlexL2:
+        c = make(ProtocolName::DMemL1);
+        c.flexL1 = true;
+        c.flexL2 = true;
+        break;
+      case ProtocolName::DBypL2:
+        c = make(ProtocolName::DFlexL2);
+        c.respBypass = true;
+        break;
+      case ProtocolName::DBypFull:
+        c = make(ProtocolName::DBypL2);
+        c.reqBypass = true;
+        break;
+      default:
+        panic("unknown protocol");
+    }
+    return c;
+}
+
+std::string
+SimParams::describe() const
+{
+    std::ostringstream os;
+    os << "Core: 2 GHz, in-order, 1-cycle non-memory ops\n"
+       << "L1D (private): " << l1Sets * l1Ways * bytesPerLine / 1024
+       << " KB, " << l1Ways << "-way, " << bytesPerLine
+       << " B lines\n"
+       << "L2 (shared): " << l2Sets * l2Ways * bytesPerLine / 1024
+       << " KB slices ("
+       << numTiles * l2Sets * l2Ways * bytesPerLine / (1024 * 1024)
+       << " MB total), " << l2Ways << "-way, " << bytesPerLine
+       << " B lines\n"
+       << "Network: 4x4 mesh, 16 B links, " << linkLatency
+       << "-cycle link latency\n"
+       << "Memory controllers: " << numMemCtrls
+       << " (corner tiles), FR-FCFS, open page\n"
+       << "DRAM: DDR3-1066, " << dram.numBanksPerRank << " banks, "
+       << dram.numRanks << " ranks\n"
+       << "Write buffer / combining entries per core: "
+       << writeBufferEntries << "\n";
+    return os.str();
+}
+
+} // namespace wastesim

@@ -1,0 +1,287 @@
+#include "system/report.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+#include "common/stats.hh"
+
+namespace wastesim
+{
+
+namespace
+{
+
+/** Index of a protocol in the sweep, or -1. */
+int
+protoIndex(const Sweep &s, const std::string &name)
+{
+    for (std::size_t i = 0; i < s.protoNames.size(); ++i)
+        if (s.protoNames[i] == name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+double
+safeDiv(double a, double b)
+{
+    return b == 0 ? 0.0 : a / b;
+}
+
+/** Geometric structure shared by the per-benchmark stacked tables. */
+template <typename RowFn>
+std::string
+renderStacked(const Sweep &s, const std::vector<std::string> &cats,
+              const char *title, RowFn &&row_fn)
+{
+    std::string out;
+    out += title;
+    out += "\n";
+    for (std::size_t b = 0; b < s.benchNames.size(); ++b) {
+        TextTable t;
+        std::vector<std::string> hdr{s.benchNames[b]};
+        hdr.insert(hdr.end(), cats.begin(), cats.end());
+        hdr.push_back("Total");
+        t.header(hdr);
+        for (std::size_t p = 0; p < s.protoNames.size(); ++p) {
+            std::vector<double> vals =
+                row_fn(s.results[b][p], s.results[b][0]);
+            std::vector<std::string> row{s.protoNames[p]};
+            double total = 0;
+            for (double v : vals) {
+                row.push_back(pct(v));
+                total += v;
+            }
+            row.push_back(pct(total));
+            t.row(std::move(row));
+        }
+        out += t.render();
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+renderFig51a(const Sweep &s)
+{
+    return renderStacked(
+        s, {"LD", "ST", "WB", "Overhead"},
+        "Figure 5.1a: overall network traffic (flit-hops, "
+        "normalized to MESI)",
+        [](const RunResult &r, const RunResult &base) {
+            const double n = base.traffic.total();
+            return std::vector<double>{
+                safeDiv(r.traffic.load(), n),
+                safeDiv(r.traffic.store(), n),
+                safeDiv(r.traffic.writeback(), n),
+                safeDiv(r.traffic.overhead(), n)};
+        });
+}
+
+std::string
+renderFig51b(const Sweep &s)
+{
+    return renderStacked(
+        s,
+        {"ReqCtl", "RespCtl", "RespL1Used", "RespL1Waste", "RespL2Used",
+         "RespL2Waste"},
+        "Figure 5.1b: LD network traffic breakdown (normalized to "
+        "MESI LD traffic)",
+        [](const RunResult &r, const RunResult &base) {
+            const double n = base.traffic.load();
+            const TrafficStats &t = r.traffic;
+            return std::vector<double>{
+                safeDiv(t.ldReqCtl, n),      safeDiv(t.ldRespCtl, n),
+                safeDiv(t.ldRespL1Used, n),  safeDiv(t.ldRespL1Waste, n),
+                safeDiv(t.ldRespL2Used, n),  safeDiv(t.ldRespL2Waste, n)};
+        });
+}
+
+std::string
+renderFig51c(const Sweep &s)
+{
+    return renderStacked(
+        s,
+        {"ReqCtl", "RespCtl", "RespL1Used", "RespL1Waste", "RespL2Used",
+         "RespL2Waste"},
+        "Figure 5.1c: ST network traffic breakdown (normalized to "
+        "MESI ST traffic)",
+        [](const RunResult &r, const RunResult &base) {
+            const double n = base.traffic.store();
+            const TrafficStats &t = r.traffic;
+            return std::vector<double>{
+                safeDiv(t.stReqCtl, n),      safeDiv(t.stRespCtl, n),
+                safeDiv(t.stRespL1Used, n),  safeDiv(t.stRespL1Waste, n),
+                safeDiv(t.stRespL2Used, n),  safeDiv(t.stRespL2Waste, n)};
+        });
+}
+
+std::string
+renderFig51d(const Sweep &s)
+{
+    return renderStacked(
+        s, {"Control", "L2 Used", "L2 Waste", "Mem Used", "Mem Waste"},
+        "Figure 5.1d: WB network traffic breakdown (normalized to "
+        "MESI WB traffic)",
+        [](const RunResult &r, const RunResult &base) {
+            const double n = base.traffic.writeback();
+            const TrafficStats &t = r.traffic;
+            return std::vector<double>{
+                safeDiv(t.wbControl, n), safeDiv(t.wbL2Used, n),
+                safeDiv(t.wbL2Waste, n), safeDiv(t.wbMemUsed, n),
+                safeDiv(t.wbMemWaste, n)};
+        });
+}
+
+std::string
+renderFig52(const Sweep &s)
+{
+    return renderStacked(
+        s, {"Compute", "On-chip Hit", "ToMC", "Mem", "FromMC", "Sync"},
+        "Figure 5.2: execution time breakdown (normalized to MESI)",
+        [](const RunResult &r, const RunResult &base) {
+            const double n = base.time.total();
+            const TimeBreakdown &t = r.time;
+            return std::vector<double>{
+                safeDiv(t.busy, n),  safeDiv(t.onChip, n),
+                safeDiv(t.toMc, n),  safeDiv(t.mem, n),
+                safeDiv(t.fromMc, n), safeDiv(t.sync, n)};
+        });
+}
+
+std::string
+renderFig53(const Sweep &s, WasteLevel level)
+{
+    const char *title =
+        level == WasteLevel::L1
+            ? "Figure 5.3a: L1 fetch waste (words, normalized to MESI)"
+        : level == WasteLevel::L2
+            ? "Figure 5.3b: L2 fetch waste (words, normalized to MESI)"
+            : "Figure 5.3c: memory fetch waste (words, normalized to "
+              "MESI)";
+
+    std::vector<std::string> cats{"Used", "Fetch", "Write", "Invalidate",
+                                  "Evict", "Unevicted"};
+    if (level == WasteLevel::Memory)
+        cats.push_back("Excess");
+
+    return renderStacked(
+        s, cats, title,
+        [level](const RunResult &r, const RunResult &base) {
+            auto pick = [level](const RunResult &x) -> const WasteCounts & {
+                switch (level) {
+                  case WasteLevel::L1: return x.l1Waste;
+                  case WasteLevel::L2: return x.l2Waste;
+                  default: return x.memWaste;
+                }
+            };
+            const WasteCounts &w = pick(r);
+            // Normalize to the MESI total excluding Excess (MESI has
+            // none), matching the figure's 100% baseline.
+            const double n = pick(base).total();
+            std::vector<double> vals{
+                safeDiv(w[WasteCat::Used], n),
+                safeDiv(w[WasteCat::Fetch], n),
+                safeDiv(w[WasteCat::Write], n),
+                safeDiv(w[WasteCat::Invalidate], n),
+                safeDiv(w[WasteCat::Evict], n),
+                safeDiv(w[WasteCat::Unevicted], n)};
+            if (level == WasteLevel::Memory)
+                vals.push_back(safeDiv(w[WasteCat::Excess], n));
+            return vals;
+        });
+}
+
+std::string
+renderOverheadComposition(const Sweep &s)
+{
+    std::string out =
+        "Section 5.2.4: overhead traffic composition\n";
+    TextTable t;
+    t.header({"Benchmark", "Protocol", "Oh/Total", "Unblock", "WbCtl",
+              "Inv", "Ack", "Nack", "Bloom"});
+    for (std::size_t b = 0; b < s.benchNames.size(); ++b) {
+        for (std::size_t p = 0; p < s.protoNames.size(); ++p) {
+            const TrafficStats &tr = s.results[b][p].traffic;
+            const double oh = tr.overhead();
+            if (oh == 0) {
+                t.row({s.benchNames[b], s.protoNames[p],
+                       pct(safeDiv(oh, tr.total())), "-", "-", "-", "-",
+                       "-", "-"});
+                continue;
+            }
+            t.row({s.benchNames[b], s.protoNames[p],
+                   pct(safeDiv(oh, tr.total())),
+                   pct(safeDiv(tr.ohUnblock, oh)),
+                   pct(safeDiv(tr.ohWbCtl, oh)),
+                   pct(safeDiv(tr.ohInv, oh)),
+                   pct(safeDiv(tr.ohAck, oh)),
+                   pct(safeDiv(tr.ohNack, oh)),
+                   pct(safeDiv(tr.ohBloom, oh))});
+        }
+    }
+    out += t.render();
+    return out;
+}
+
+std::string
+renderHeadline(const Sweep &s)
+{
+    const int mesi = protoIndex(s, "MESI");
+    const int mmem = protoIndex(s, "MMemL1");
+    const int dflex1 = protoIndex(s, "DFlexL1");
+    const int dbyp = protoIndex(s, "DBypFull");
+    if (mesi < 0 || dbyp < 0)
+        return "headline: sweep lacks MESI/DBypFull\n";
+
+    auto avg_reduction = [&](int from, int to,
+                             auto &&metric) -> double {
+        std::vector<double> reds;
+        for (const auto &row : s.results) {
+            const double a = metric(row[from]);
+            const double b = metric(row[to]);
+            if (a > 0)
+                reds.push_back(1.0 - b / a);
+        }
+        return mean(reds);
+    };
+
+    auto traffic = [](const RunResult &r) { return r.traffic.total(); };
+    auto etime = [](const RunResult &r) { return r.time.total(); };
+
+    std::string out = "Headline comparisons (paper values in "
+                      "brackets):\n";
+    TextTable t;
+    t.header({"Metric", "Measured", "Paper"});
+    t.row({"DBypFull traffic vs MESI",
+           pct(avg_reduction(mesi, dbyp, traffic)), "39.5%"});
+    if (mmem >= 0)
+        t.row({"DBypFull traffic vs MMemL1",
+               pct(avg_reduction(mmem, dbyp, traffic)), "35.2%"});
+    if (dflex1 >= 0)
+        t.row({"DBypFull traffic vs DFlexL1",
+               pct(avg_reduction(dflex1, dbyp, traffic)), "18.9%"});
+    t.row({"DBypFull exec time vs MESI",
+           pct(avg_reduction(mesi, dbyp, etime)), "10.5%"});
+    if (mmem >= 0)
+        t.row({"MMemL1 traffic vs MESI",
+               pct(avg_reduction(mesi, mmem, traffic)), "6.2%"});
+
+    // MESI overhead fraction and DBypFull residual waste fraction.
+    {
+        std::vector<double> ohs, wastes;
+        for (const auto &row : s.results) {
+            const TrafficStats &m = row[mesi].traffic;
+            ohs.push_back(safeDiv(m.overhead(), m.total()));
+            const TrafficStats &d = row[dbyp].traffic;
+            wastes.push_back(safeDiv(d.wasteData(), d.total()));
+        }
+        t.row({"MESI overhead fraction", pct(mean(ohs)), "13.6%"});
+        t.row({"DBypFull waste fraction", pct(mean(wastes)), "8.8%"});
+    }
+    out += t.render();
+    return out;
+}
+
+} // namespace wastesim

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Report generators: render each of the paper's figures/tables as a
+ * text table from sweep results.  All bars are normalized to MESI
+ * (the first protocol of a sweep), exactly as in Figures 5.1-5.3.
+ */
+
+#ifndef WASTESIM_SYSTEM_REPORT_HH
+#define WASTESIM_SYSTEM_REPORT_HH
+
+#include <string>
+
+#include "system/runner.hh"
+
+namespace wastesim
+{
+
+/** Fig. 5.1a: overall network traffic (LD/ST/WB/Overhead). */
+std::string renderFig51a(const Sweep &s);
+
+/** Fig. 5.1b: load traffic breakdown. */
+std::string renderFig51b(const Sweep &s);
+
+/** Fig. 5.1c: store traffic breakdown. */
+std::string renderFig51c(const Sweep &s);
+
+/** Fig. 5.1d: writeback traffic breakdown. */
+std::string renderFig51d(const Sweep &s);
+
+/** Fig. 5.2: execution time breakdown. */
+std::string renderFig52(const Sweep &s);
+
+/** Figs. 5.3a/b/c: fetch-waste breakdown at a hierarchy level. */
+enum class WasteLevel { L1, L2, Memory };
+std::string renderFig53(const Sweep &s, WasteLevel level);
+
+/** Section 5.2.4: overhead traffic composition for MESI protocols. */
+std::string renderOverheadComposition(const Sweep &s);
+
+/**
+ * Headline averages (abstract / Section 5.1): traffic and execution
+ * time reductions of DBypFull vs. MESI / MMemL1 / DFlexL1, residual
+ * waste fraction, etc.  Requires a sweep containing those protocols.
+ */
+std::string renderHeadline(const Sweep &s);
+
+} // namespace wastesim
+
+#endif // WASTESIM_SYSTEM_REPORT_HH

@@ -1,0 +1,193 @@
+#include "system/runner.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace wastesim
+{
+
+namespace
+{
+
+constexpr const char *cacheMagic = "wastesim-sweep-v2";
+
+void
+writeResult(std::ostream &os, const RunResult &r)
+{
+    os << r.protocol << ' ' << r.benchmark << '\n';
+    const TrafficStats &t = r.traffic;
+    os << t.ldReqCtl << ' ' << t.ldRespCtl << ' ' << t.ldRespL1Used
+       << ' ' << t.ldRespL1Waste << ' ' << t.ldRespL2Used << ' '
+       << t.ldRespL2Waste << ' ' << t.stReqCtl << ' ' << t.stRespCtl
+       << ' ' << t.stRespL1Used << ' ' << t.stRespL1Waste << ' '
+       << t.stRespL2Used << ' ' << t.stRespL2Waste << ' '
+       << t.wbControl << ' ' << t.wbL2Used << ' ' << t.wbL2Waste
+       << ' ' << t.wbMemUsed << ' ' << t.wbMemWaste << ' '
+       << t.ohUnblock << ' ' << t.ohWbCtl << ' ' << t.ohInv << ' '
+       << t.ohAck << ' ' << t.ohNack << ' ' << t.ohBloom << '\n';
+    for (const WasteCounts *w : {&r.l1Waste, &r.l2Waste, &r.memWaste}) {
+        for (double v : w->byCat)
+            os << v << ' ';
+        os << '\n';
+    }
+    const TimeBreakdown &b = r.time;
+    os << b.busy << ' ' << b.onChip << ' ' << b.toMc << ' ' << b.mem
+       << ' ' << b.fromMc << ' ' << b.sync << '\n';
+    os << r.cycles << ' ' << r.rawFlitHops << ' ' << r.messages << ' '
+       << r.l1Accesses << ' ' << r.l2Accesses << ' ' << r.dramReads
+       << ' ' << r.dramWrites << ' ' << r.dramRowHits << ' '
+       << r.nacks << ' ' << r.recalls << ' ' << r.bypassDirect << ' '
+       << r.selfInvalidations << ' ' << r.wordsFromMemory << ' '
+       << r.maxLinkFlits << '\n';
+}
+
+bool
+readResult(std::istream &is, RunResult &r)
+{
+    if (!(is >> r.protocol >> r.benchmark))
+        return false;
+    TrafficStats &t = r.traffic;
+    is >> t.ldReqCtl >> t.ldRespCtl >> t.ldRespL1Used >>
+        t.ldRespL1Waste >> t.ldRespL2Used >> t.ldRespL2Waste >>
+        t.stReqCtl >> t.stRespCtl >> t.stRespL1Used >>
+        t.stRespL1Waste >> t.stRespL2Used >> t.stRespL2Waste >>
+        t.wbControl >> t.wbL2Used >> t.wbL2Waste >> t.wbMemUsed >>
+        t.wbMemWaste >> t.ohUnblock >> t.ohWbCtl >> t.ohInv >>
+        t.ohAck >> t.ohNack >> t.ohBloom;
+    for (WasteCounts *w : {&r.l1Waste, &r.l2Waste, &r.memWaste})
+        for (double &v : w->byCat)
+            is >> v;
+    TimeBreakdown &b = r.time;
+    is >> b.busy >> b.onChip >> b.toMc >> b.mem >> b.fromMc >> b.sync;
+    is >> r.cycles >> r.rawFlitHops >> r.messages >> r.l1Accesses >>
+        r.l2Accesses >> r.dramReads >> r.dramWrites >>
+        r.dramRowHits >> r.nacks >> r.recalls >> r.bypassDirect >>
+        r.selfInvalidations >> r.wordsFromMemory >> r.maxLinkFlits;
+    return static_cast<bool>(is);
+}
+
+} // namespace
+
+RunResult
+runOne(ProtocolName protocol, const Workload &wl, SimParams params)
+{
+    System sys(protocol, wl, params);
+    return sys.run();
+}
+
+RunResult
+runOne(ProtocolName protocol, BenchmarkName bench, unsigned scale,
+       SimParams params)
+{
+    auto wl = makeBenchmark(bench, scale);
+    return runOne(protocol, *wl, params);
+}
+
+Sweep
+runSweep(const std::vector<BenchmarkName> &benches,
+         const std::vector<ProtocolName> &protocols, unsigned scale,
+         SimParams params)
+{
+    Sweep sweep;
+    for (ProtocolName p : protocols)
+        sweep.protoNames.emplace_back(protocolName(p));
+    for (BenchmarkName b : benches) {
+        auto wl = makeBenchmark(b, scale);
+        sweep.benchNames.push_back(wl->name());
+        std::vector<RunResult> row;
+        for (ProtocolName p : protocols) {
+            inform("running %s on %s", protocolName(p),
+                   wl->name().c_str());
+            row.push_back(runOne(p, *wl, params));
+        }
+        sweep.results.push_back(std::move(row));
+    }
+    return sweep;
+}
+
+Sweep
+runFullSweep(unsigned scale, SimParams params)
+{
+    std::vector<BenchmarkName> benches(allBenchmarks,
+                                       allBenchmarks + numBenchmarks);
+    std::vector<ProtocolName> protocols(allProtocols,
+                                        allProtocols + numProtocols);
+    return runSweep(benches, protocols, scale, params);
+}
+
+bool
+saveSweep(const Sweep &s, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    os << cacheMagic << '\n';
+    os << s.benchNames.size() << ' ' << s.protoNames.size() << '\n';
+    os.precision(17);
+    for (const auto &b : s.benchNames)
+        os << b << '\n';
+    for (const auto &p : s.protoNames)
+        os << p << '\n';
+    for (const auto &row : s.results)
+        for (const auto &r : row)
+            writeResult(os, r);
+    return static_cast<bool>(os);
+}
+
+bool
+loadSweep(Sweep &s, const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        return false;
+    std::string magic;
+    std::getline(is, magic);
+    if (magic != cacheMagic)
+        return false;
+    std::size_t nb = 0, np = 0;
+    is >> nb >> np;
+    is.ignore();
+    s = Sweep{};
+    for (std::size_t i = 0; i < nb; ++i) {
+        std::string line;
+        std::getline(is, line);
+        s.benchNames.push_back(line);
+    }
+    for (std::size_t i = 0; i < np; ++i) {
+        std::string line;
+        std::getline(is, line);
+        s.protoNames.push_back(line);
+    }
+    s.results.assign(nb, std::vector<RunResult>(np));
+    for (std::size_t b = 0; b < nb; ++b)
+        for (std::size_t p = 0; p < np; ++p)
+            if (!readResult(is, s.results[b][p]))
+                return false;
+    return true;
+}
+
+Sweep
+cachedFullSweep(unsigned scale, SimParams params)
+{
+    std::string path = "wastesim_sweep.cache";
+    if (const char *env = std::getenv("WASTESIM_CACHE"))
+        path = env;
+    const bool no_cache = std::getenv("WASTESIM_NO_CACHE") != nullptr;
+
+    Sweep s;
+    if (!no_cache && loadSweep(s, path) &&
+        s.benchNames.size() == numBenchmarks &&
+        s.protoNames.size() == numProtocols) {
+        return s;
+    }
+
+    s = runFullSweep(scale, params);
+    if (!no_cache && !saveSweep(s, path))
+        warn("could not write sweep cache to %s", path.c_str());
+    return s;
+}
+
+} // namespace wastesim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Sweep driver: runs protocol x benchmark grids and collects results
+ * in figure order for the report generators.
+ */
+
+#ifndef WASTESIM_SYSTEM_RUNNER_HH
+#define WASTESIM_SYSTEM_RUNNER_HH
+
+#include <vector>
+
+#include "system/config.hh"
+#include "system/system.hh"
+#include "workload/workload.hh"
+
+namespace wastesim
+{
+
+/** Results of a full sweep: results[benchmark][protocol]. */
+struct Sweep
+{
+    std::vector<std::string> benchNames;
+    std::vector<std::string> protoNames;
+    std::vector<std::vector<RunResult>> results;
+};
+
+/** Run one protocol on one benchmark. */
+RunResult runOne(ProtocolName protocol, BenchmarkName bench,
+                 unsigned scale = 1, SimParams params = SimParams{});
+
+/** Run one protocol on an already-built workload. */
+RunResult runOne(ProtocolName protocol, const Workload &wl,
+                 SimParams params = SimParams{});
+
+/**
+ * Run the full paper grid: all nine protocols over the given
+ * benchmarks (defaults to all six).
+ */
+Sweep runSweep(const std::vector<BenchmarkName> &benches,
+               const std::vector<ProtocolName> &protocols,
+               unsigned scale = 1, SimParams params = SimParams{});
+
+/** All six benchmarks, all nine protocols. */
+Sweep runFullSweep(unsigned scale = 1, SimParams params = SimParams{});
+
+/** Serialize a sweep (text format) for the bench result cache. */
+bool saveSweep(const Sweep &s, const std::string &path);
+
+/** Load a sweep saved by saveSweep(). */
+bool loadSweep(Sweep &s, const std::string &path);
+
+/**
+ * The full sweep, cached on disk: the first figure bench of a session
+ * pays for the 54 simulations, subsequent ones re-render instantly.
+ * Cache path from $WASTESIM_CACHE (default "wastesim_sweep.cache");
+ * set $WASTESIM_NO_CACHE to force re-simulation.
+ */
+Sweep cachedFullSweep(unsigned scale = 1,
+                      SimParams params = SimParams::scaled());
+
+} // namespace wastesim
+
+#endif // WASTESIM_SYSTEM_RUNNER_HH

@@ -1,0 +1,264 @@
+#include "system/system.hh"
+
+#include "common/log.hh"
+
+namespace wastesim
+{
+
+System::System(ProtocolName protocol, const Workload &workload,
+               SimParams params)
+    : protocolName_(protocol), cfg_(ProtocolConfig::make(protocol)),
+      params_(params), workload_(workload), barrier_(numTiles)
+{
+    net_ = std::make_unique<Network>(eq_, traffic_, params_.linkLatency);
+
+    l1Profs_.reserve(numTiles);
+    l2Profs_.reserve(numTiles);
+    for (unsigned i = 0; i < numTiles; ++i) {
+        l1Profs_.emplace_back(WordProfiler::Level::L1);
+        l2Profs_.emplace_back(WordProfiler::Level::L2);
+    }
+
+    // Protocol controllers.
+    l1Ifaces_.resize(numTiles, nullptr);
+    if (cfg_.isMesi()) {
+        for (unsigned i = 0; i < numTiles; ++i) {
+            mesiDirs_.push_back(std::make_unique<MesiDir>(
+                i, cfg_, params_, eq_, *net_, l2Profs_[i], memProf_));
+            net_->attach(l2Ep(i), mesiDirs_.back().get());
+        }
+        for (unsigned i = 0; i < numTiles; ++i) {
+            mesiL1s_.push_back(std::make_unique<MesiL1>(
+                i, cfg_, params_, eq_, *net_, l1Profs_[i], memProf_));
+            net_->attach(l1Ep(i), mesiL1s_.back().get());
+            l1Ifaces_[i] = mesiL1s_.back().get();
+        }
+    } else {
+        for (unsigned i = 0; i < numTiles; ++i) {
+            dnL2s_.push_back(std::make_unique<DenovoL2>(
+                i, cfg_, params_, eq_, *net_, l2Profs_[i], memProf_));
+            net_->attach(l2Ep(i), dnL2s_.back().get());
+        }
+        for (unsigned i = 0; i < numTiles; ++i) {
+            dnL1s_.push_back(std::make_unique<DenovoL1>(
+                i, cfg_, params_, eq_, *net_, l1Profs_[i], memProf_,
+                workload_.regions()));
+            net_->attach(l1Ep(i), dnL1s_.back().get());
+            l1Ifaces_[i] = dnL1s_.back().get();
+        }
+    }
+
+    // Memory system.
+    auto present = [this](Addr line, unsigned w) {
+        const NodeId s = homeSlice(line);
+        if (cfg_.isMesi())
+            return mesiDirs_[s]->wordPresent(line, w);
+        return dnL2s_[s]->wordPresent(line, w);
+    };
+    for (unsigned c = 0; c < numMemCtrls; ++c) {
+        DramMap map;
+        map.timing = params_.dram;
+        drams_.push_back(std::make_unique<DramChannel>(eq_, map));
+        mcs_.push_back(std::make_unique<MemoryController>(
+            c, eq_, *net_, *drams_.back(), memProf_, present));
+        net_->attach(mcEp(c), mcs_.back().get());
+    }
+
+    // Cores.
+    for (CoreId c = 0; c < numTiles; ++c) {
+        Core::Hooks hooks;
+        hooks.onEpoch = [this] { onEpoch(); };
+        hooks.onDone = [this](CoreId) {
+            ++coresDone_;
+            lastDone_ = eq_.now();
+        };
+        hooks.barrierInfo = [this](unsigned idx) -> const BarrierInfo & {
+            return workload_.barriers().at(idx);
+        };
+        cores_.push_back(std::make_unique<Core>(
+            c, eq_, *l1Ifaces_[c], barrier_, workload_.traces()[c],
+            std::move(hooks)));
+    }
+}
+
+System::~System()
+{
+    // The debug hook captures `this`.
+    debugLineDump = nullptr;
+}
+
+bool
+System::coresDone() const
+{
+    return coresDone_ == numTiles;
+}
+
+void
+System::onEpoch()
+{
+    if (epochMarked_)
+        return;
+    epochMarked_ = true;
+    epochStart_ = eq_.now();
+
+    traffic_.markEpoch();
+    memProf_.markEpoch();
+    for (auto &p : l1Profs_)
+        p.markEpoch();
+    for (auto &p : l2Profs_)
+        p.markEpoch();
+    for (auto &c : cores_)
+        c->resetTime();
+
+    dramReadsAtEpoch_ = 0;
+    dramWritesAtEpoch_ = 0;
+    for (const auto &d : drams_) {
+        dramReadsAtEpoch_ += d->reads();
+        dramWritesAtEpoch_ += d->writes();
+    }
+    msgsAtEpoch_ = net_->messagesSent();
+}
+
+RunResult
+System::run(Tick max_ticks)
+{
+    // Install the stuck-line debug dump (see common/log.hh).
+    debugLineDump = [this](std::uint64_t line) {
+        std::fprintf(stderr, "state of line %llx (home slice %u):\n",
+                     static_cast<unsigned long long>(line),
+                     homeSlice(line));
+        if (cfg_.isDeNovo()) {
+            dnL2s_[homeSlice(line)]->dumpLine(line);
+            for (const auto &l1 : dnL1s_)
+                l1->dumpLine(line);
+        }
+    };
+
+    for (auto &c : cores_)
+        c->start();
+
+    const bool drained = eq_.run(max_ticks);
+    fatal_if(!drained, "simulation exceeded %llu ticks",
+             static_cast<unsigned long long>(max_ticks));
+
+    if (!coresDone()) {
+        for (CoreId c = 0; c < numTiles; ++c) {
+            if (!cores_[c]->done()) {
+                warn("core %u stuck at op %zu of %zu", c,
+                     cores_[c]->opsExecuted(),
+                     workload_.traces()[c].size());
+            }
+        }
+        panic("event queue drained with cores unfinished (deadlock)");
+    }
+
+    RunResult r;
+    r.protocol = protocolName(protocolName_);
+    r.benchmark = workload_.name();
+
+    for (auto &p : l1Profs_)
+        r.l1Waste += p.finalize(traffic_.stats());
+    for (auto &p : l2Profs_)
+        r.l2Waste += p.finalize(traffic_.stats());
+    r.memWaste = memProf_.finalize();
+    r.traffic = traffic_.stats();
+    r.rawFlitHops = traffic_.rawFlitHops();
+
+    for (const auto &c : cores_)
+        r.time += c->time();
+    r.cycles = lastDone_ - epochStart_;
+
+    r.messages = net_->messagesSent() - msgsAtEpoch_;
+    for (const auto &d : drams_) {
+        r.dramReads += d->reads();
+        r.dramWrites += d->writes();
+        r.dramRowHits += d->rowHits();
+    }
+    r.dramReads -= dramReadsAtEpoch_;
+    r.dramWrites -= dramWritesAtEpoch_;
+
+    if (cfg_.isMesi()) {
+        for (const auto &d : mesiDirs_) {
+            r.nacks += d->nacks();
+            r.recalls += d->recalls();
+            r.l2Accesses += d->hits() + d->misses();
+        }
+        for (const auto &l1 : mesiL1s_) {
+            r.l1Accesses += l1->loadHits() + l1->loadMisses() +
+                            l1->storeHits() + l1->storeMisses();
+        }
+    } else {
+        for (const auto &l2 : dnL2s_) {
+            r.nacks += l2->nacks();
+            r.recalls += l2->recallsIssued();
+            r.l2Accesses += l2->wordHits() + l2->memFetches() +
+                            l2->registrations();
+        }
+        for (const auto &l1 : dnL1s_) {
+            r.bypassDirect += l1->bypassDirect();
+            r.selfInvalidations += l1->selfInvalidated();
+            r.l1Accesses += l1->loadHits() + l1->loadMisses();
+        }
+    }
+    r.wordsFromMemory = memProf_.numInstances();
+    r.maxLinkFlits = net_->maxLinkFlits();
+    return r;
+}
+
+void
+System::checkInvariants() const
+{
+    if (cfg_.isMesi()) {
+        // At most one exclusive owner per line; an owner implies no
+        // sharers recorded alongside stale exclusivity.
+        for (const auto &dir : mesiDirs_) {
+            const_cast<CacheArray &>(dir->array())
+                .forEachValid([](CacheLine &cl) {
+                    if (cl.owner != invalidNode) {
+                        panic_if(cl.owner >= numTiles,
+                                 "bogus owner id");
+                    }
+                });
+        }
+        // No two L1s hold the same line in M.
+        for (unsigned i = 0; i < numTiles; ++i) {
+            const_cast<CacheArray &>(mesiL1s_[i]->array())
+                .forEachValid([&](CacheLine &a) {
+                    if (a.mesi != MesiState::M)
+                        return;
+                    for (unsigned j = i + 1; j < numTiles; ++j) {
+                        const CacheLine *b =
+                            mesiL1s_[j]->array().find(a.line);
+                        panic_if(b && b->valid &&
+                                     b->mesi == MesiState::M,
+                                 "two M owners for line %llx",
+                                 static_cast<unsigned long long>(
+                                     a.line));
+                    }
+                });
+        }
+    } else {
+        // A word is registered to at most one L1 (the L2 regOwner is
+        // the single source of truth; check L1 regWords agree).
+        for (unsigned i = 0; i < numTiles; ++i) {
+            const_cast<CacheArray &>(dnL1s_[i]->array())
+                .forEachValid([&](CacheLine &a) {
+                    for (unsigned j = i + 1; j < numTiles; ++j) {
+                        const CacheLine *b =
+                            dnL1s_[j]->array().find(a.line);
+                        if (!b || !b->valid)
+                            continue;
+                        const WordMask both = a.regWords & b->regWords;
+                        panic_if(!both.empty(),
+                                 "word registered to two L1s: line "
+                                 "%llx mask %s",
+                                 static_cast<unsigned long long>(
+                                     a.line),
+                                 both.toString().c_str());
+                    }
+                });
+        }
+    }
+}
+
+} // namespace wastesim

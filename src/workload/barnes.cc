@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Barnes-Hut N-body force computation (SPLASH-2 barnes, Table 4.2:
+ * 16 K bodies; scaled down).
+ *
+ * Paper-relevant properties reproduced:
+ *  - AoS body/oct-node structures with many fields used only during
+ *    tree construction, compiler padding, and a stride that is not a
+ *    multiple of the cache line size (28 words = 112 B), so useful
+ *    words straddle a varying number of lines — the Flex showcase;
+ *  - a sequentialized tree-build phase (the DeNovo port lacks
+ *    mutexes, Section 4.3);
+ *  - small L2 working set (no bypass opportunity);
+ *  - irregular tree traversal (Fetch/Evict waste that Flex cannot
+ *    remove without hurting performance, Section 5.3).
+ */
+
+#include "common/rng.hh"
+#include "workload/workload.hh"
+
+namespace wastesim
+{
+
+namespace
+{
+
+class BarnesWorkload : public Workload
+{
+  public:
+    explicit BarnesWorkload(unsigned scale)
+    {
+        nBodies_ = 1024 * scale;
+        nNodes_ = nBodies_ / 2;
+
+        bodyBase_ = alloc(static_cast<Addr>(nBodies_) * strideWords *
+                          bytesPerWord);
+        nodeBase_ = alloc(static_cast<Addr>(nNodes_) * strideWords *
+                          bytesPerWord);
+
+        // Bodies: mass@0(2) pos@2(6) vel@8(6) acc@14(6) phi@20(2)
+        // tree-only@22(6).  The force phase uses mass+pos+acc.
+        Region bodies;
+        bodies.name = "barnes.bodies";
+        bodies.base = bodyBase_;
+        bodies.size = static_cast<Addr>(nBodies_) * strideWords *
+                      bytesPerWord;
+        bodies.flex = true;
+        bodies.strideWords = strideWords;
+        bodies.usedFields = {0, 1, 2, 3, 4, 5, 6, 7,
+                             14, 15, 16, 17, 18, 19};
+        bodyId_ = regions_.add(bodies);
+
+        // Oct-nodes: center@0(6) mass@6(2) children/tree-only@8(20).
+        // The force phase uses center+mass only.
+        Region nodes;
+        nodes.name = "barnes.nodes";
+        nodes.base = nodeBase_;
+        nodes.size = static_cast<Addr>(nNodes_) * strideWords *
+                     bytesPerWord;
+        nodes.flex = true;
+        nodes.strideWords = strideWords;
+        nodes.usedFields = {0, 1, 2, 3, 4, 5, 6, 7};
+        nodeId_ = regions_.add(nodes);
+
+        build();
+    }
+
+    std::string name() const override { return "barnes"; }
+
+    std::string
+    inputDesc() const override
+    {
+        return std::to_string(nBodies_) + " bodies, " +
+               std::to_string(nNodes_) + " oct-nodes";
+    }
+
+  private:
+    /** 28 words = 112 bytes: deliberately not line-aligned. */
+    static constexpr unsigned strideWords = 28;
+
+    Addr
+    bodyField(unsigned b, unsigned field) const
+    {
+        return bodyBase_ +
+               (static_cast<Addr>(b) * strideWords + field) *
+                   bytesPerWord;
+    }
+
+    Addr
+    nodeField(unsigned n, unsigned field) const
+    {
+        return nodeBase_ +
+               (static_cast<Addr>(n) * strideWords + field) *
+                   bytesPerWord;
+    }
+
+    /** Sequentialized tree build: core 0 writes tree-only fields. */
+    void
+    treeBuild()
+    {
+        for (unsigned n = 0; n < nNodes_; ++n) {
+            for (unsigned f = 8; f < 14; ++f)
+                store(0, nodeField(n, f));
+            store(0, nodeField(n, 6));
+            store(0, nodeField(n, 7));
+            work(0, 2);
+        }
+        for (unsigned b = 0; b < nBodies_; ++b) {
+            for (unsigned f = 22; f < 26; ++f)
+                store(0, bodyField(b, f));
+        }
+    }
+
+    /** Force phase: irregular traversal per body. */
+    void
+    forces(std::uint64_t seed)
+    {
+        const unsigned per_core = nBodies_ / numTiles;
+        for (CoreId c = 0; c < numTiles; ++c) {
+            Rng rng(seed ^ (0x9e3779b9ULL * (c + 1)));
+            for (unsigned i = 0; i < per_core; ++i) {
+                const unsigned b = c * per_core + i;
+                // Walk ~12 tree nodes (zipf-ish: low-index nodes, the
+                // top of the tree, are visited most).
+                for (unsigned v = 0; v < 12; ++v) {
+                    const unsigned span = 1u + static_cast<unsigned>(
+                        rng.below(1u << (1 + v % 9)));
+                    const unsigned n =
+                        static_cast<unsigned>(rng.below(span) %
+                                              nNodes_);
+                    for (unsigned f = 0; f < 8; ++f)
+                        load(c, nodeField(n, f));
+                    work(c, 4);
+                }
+                // A few nearby bodies interact directly.
+                for (unsigned v = 0; v < 4; ++v) {
+                    const unsigned o = static_cast<unsigned>(
+                        rng.below(nBodies_));
+                    for (unsigned f = 0; f < 8; ++f)
+                        load(c, bodyField(o, f));
+                    work(c, 4);
+                }
+                // Accumulate into our own acceleration.
+                for (unsigned f = 14; f < 20; ++f)
+                    store(c, bodyField(b, f));
+                work(c, 8);
+            }
+        }
+    }
+
+    /** Update phase: integrate positions/velocities. */
+    void
+    update()
+    {
+        const unsigned per_core = nBodies_ / numTiles;
+        for (CoreId c = 0; c < numTiles; ++c) {
+            for (unsigned i = 0; i < per_core; ++i) {
+                const unsigned b = c * per_core + i;
+                for (unsigned f = 14; f < 20; ++f)
+                    load(c, bodyField(b, f));
+                for (unsigned f = 8; f < 14; ++f) {
+                    load(c, bodyField(b, f));
+                    store(c, bodyField(b, f));
+                }
+                for (unsigned f = 2; f < 8; ++f)
+                    store(c, bodyField(b, f));
+                work(c, 6);
+            }
+        }
+    }
+
+    void
+    iteration(std::uint64_t seed)
+    {
+        treeBuild();
+        barrierAll({nodeId_, bodyId_});
+        forces(seed);
+        barrierAll({bodyId_});
+        update();
+        barrierAll({bodyId_});
+    }
+
+    void
+    build()
+    {
+        // Iterative: one warm-up iteration, one measured (Table 4.2).
+        iteration(0x5eedULL);
+        epochAll();
+        iteration(0xf00dULL);
+    }
+
+    unsigned nBodies_, nNodes_;
+    Addr bodyBase_, nodeBase_;
+    RegionId bodyId_, nodeId_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBarnes(unsigned scale)
+{
+    return std::make_unique<BarnesWorkload>(scale);
+}
+
+} // namespace wastesim

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Fluidanimate-style SPH stencil (PARSEC fluidanimate, simmedium;
+ * scaled down), modified to use the ghost-cell pattern for sharing
+ * (Section 4.3: the DeNovo port has no mutexes).
+ *
+ * Paper-relevant properties reproduced:
+ *  - cells preallocate space for 16 particles but hold fewer, so the
+ *    unused tail of each field array becomes Evict waste that no
+ *    optimization in the study can remove (Section 5.3);
+ *  - accumulators are zeroed and arrays copied without being read
+ *    (Write waste; bypass type 1);
+ *  - the grid exceeds the L2 and the X-Y-Z traversal is unblocked,
+ *    giving wildly varying L2 reuse distances (Section 5.3);
+ *  - ghost-cell exchange at iteration boundaries.
+ */
+
+#include "common/rng.hh"
+#include "workload/workload.hh"
+
+namespace wastesim
+{
+
+namespace
+{
+
+class FluidWorkload : public Workload
+{
+  public:
+    explicit FluidWorkload(unsigned scale)
+    {
+        gx_ = 16;
+        gy_ = 16;
+        gz_ = 8 * scale;
+        nCells_ = gx_ * gy_ * gz_;
+
+        cellBase_ = alloc(static_cast<Addr>(nCells_) * cellWords *
+                          bytesPerWord);
+        ghostBase_ = alloc(static_cast<Addr>(numTiles) * ghostCells *
+                           cellWords * bytesPerWord);
+
+        Region cells;
+        cells.name = "fluid.cells";
+        cells.base = cellBase_;
+        cells.size = static_cast<Addr>(nCells_) * cellWords *
+                     bytesPerWord;
+        cells.bypass = true; // read-then-overwritten every iteration
+        cellsId_ = regions_.add(cells);
+
+        Region ghosts;
+        ghosts.name = "fluid.ghosts";
+        ghosts.base = ghostBase_;
+        ghosts.size = static_cast<Addr>(numTiles) * ghostCells *
+                      cellWords * bytesPerWord;
+        ghostId_ = regions_.add(ghosts);
+
+        build();
+    }
+
+    std::string name() const override { return "fluidanimate"; }
+
+    std::string
+    inputDesc() const override
+    {
+        return std::to_string(gx_) + "x" + std::to_string(gy_) + "x" +
+               std::to_string(gz_) +
+               " grid, 16-particle cells (scaled simmedium)";
+    }
+
+  private:
+    // Cell layout: p@0[16] v@16[16] a@32[16] dens@48[16].
+    static constexpr unsigned cellWords = 64;
+    static constexpr unsigned ghostCells = 48;
+
+    Addr
+    cellField(unsigned cell, unsigned field, unsigned slot) const
+    {
+        return cellBase_ +
+               (static_cast<Addr>(cell) * cellWords + field * 16 +
+                slot) *
+                   bytesPerWord;
+    }
+
+    Addr
+    ghostField(CoreId c, unsigned g, unsigned field,
+               unsigned slot) const
+    {
+        return ghostBase_ +
+               ((static_cast<Addr>(c) * ghostCells + g) * cellWords +
+                field * 16 + slot) *
+                   bytesPerWord;
+    }
+
+    /** 4x4 X-Y tile of columns per core. */
+    CoreId
+    ownerOf(unsigned x, unsigned y) const
+    {
+        return (y / (gy_ / meshDim)) * meshDim + (x / (gx_ / meshDim));
+    }
+
+    unsigned
+    cellIndex(unsigned x, unsigned y, unsigned z) const
+    {
+        return (z * gy_ + y) * gx_ + x;
+    }
+
+    unsigned
+    occupancy(unsigned cell) const
+    {
+        return 4 + (cell * 2654435761u >> 24) % 9; // 4..12, fixed
+    }
+
+    template <typename Fn>
+    void
+    forOwnCells(CoreId c, Fn &&fn)
+    {
+        for (unsigned z = 0; z < gz_; ++z)
+            for (unsigned y = 0; y < gy_; ++y)
+                for (unsigned x = 0; x < gx_; ++x)
+                    if (ownerOf(x, y) == c)
+                        fn(x, y, z);
+    }
+
+    void
+    iteration()
+    {
+        // 1. Clear accumulators: written without being read.
+        for (CoreId c = 0; c < numTiles; ++c) {
+            forOwnCells(c, [&](unsigned x, unsigned y, unsigned z) {
+                const unsigned cell = cellIndex(x, y, z);
+                const unsigned occ = occupancy(cell);
+                for (unsigned s = 0; s < occ; ++s)
+                    store(c, cellField(cell, 3, s)); // dens
+            });
+        }
+        barrierAll({cellsId_});
+
+        // 2. Ghost exchange: read neighbor-tile border cells, write
+        //    private ghost copies.
+        for (CoreId c = 0; c < numTiles; ++c) {
+            unsigned g = 0;
+            forOwnCells(c, [&](unsigned x, unsigned y, unsigned z) {
+                const bool border =
+                    (x % (gx_ / meshDim) == 0 && x > 0) ||
+                    (y % (gy_ / meshDim) == 0 && y > 0);
+                if (!border || g >= ghostCells || z % 4 != 0)
+                    return;
+                const unsigned nx = x > 0 ? x - 1 : x;
+                const unsigned ny = y > 0 ? y - 1 : y;
+                const unsigned ncell = cellIndex(nx, ny, z);
+                const unsigned occ = occupancy(ncell);
+                for (unsigned s = 0; s < occ; ++s) {
+                    load(c, cellField(ncell, 0, s));
+                    store(c, ghostField(c, g, 0, s));
+                }
+                ++g;
+            });
+        }
+        barrierAll({ghostId_});
+
+        // 3. Density: stencil over own + neighbor cells' positions.
+        for (CoreId c = 0; c < numTiles; ++c) {
+            forOwnCells(c, [&](unsigned x, unsigned y, unsigned z) {
+                const unsigned cell = cellIndex(x, y, z);
+                const unsigned occ = occupancy(cell);
+                for (unsigned s = 0; s < occ; ++s)
+                    load(c, cellField(cell, 0, s));
+                // Three neighbors in the unblocked X-Y-Z traversal.
+                const unsigned nbs[3][3] = {
+                    {x > 0 ? x - 1 : x, y, z},
+                    {x, y > 0 ? y - 1 : y, z},
+                    {x, y, z > 0 ? z - 1 : z}};
+                for (const auto &nb : nbs) {
+                    const unsigned ncell =
+                        cellIndex(nb[0], nb[1], nb[2]);
+                    const unsigned nocc = occupancy(ncell);
+                    for (unsigned s = 0; s < nocc; ++s)
+                        load(c, cellField(ncell, 0, s));
+                }
+                for (unsigned s = 0; s < occ; ++s) {
+                    load(c, cellField(cell, 3, s));
+                    store(c, cellField(cell, 3, s));
+                }
+                work(c, 8);
+            });
+        }
+        barrierAll({cellsId_});
+
+        // 4. Force: read p/v and densities, accumulate accelerations.
+        for (CoreId c = 0; c < numTiles; ++c) {
+            forOwnCells(c, [&](unsigned x, unsigned y, unsigned z) {
+                const unsigned cell = cellIndex(x, y, z);
+                const unsigned occ = occupancy(cell);
+                for (unsigned s = 0; s < occ; ++s) {
+                    load(c, cellField(cell, 0, s));
+                    load(c, cellField(cell, 1, s));
+                    load(c, cellField(cell, 3, s));
+                }
+                const unsigned ncell =
+                    cellIndex(x > 0 ? x - 1 : x, y, z);
+                const unsigned nocc = occupancy(ncell);
+                for (unsigned s = 0; s < nocc; ++s)
+                    load(c, cellField(ncell, 0, s));
+                for (unsigned s = 0; s < occ; ++s)
+                    store(c, cellField(cell, 2, s)); // a
+                work(c, 8);
+            });
+        }
+        barrierAll({cellsId_});
+
+        // 5. Advance: read accelerations, overwrite p and v (the
+        //    read-then-overwrite pattern bypass targets).
+        for (CoreId c = 0; c < numTiles; ++c) {
+            forOwnCells(c, [&](unsigned x, unsigned y, unsigned z) {
+                const unsigned cell = cellIndex(x, y, z);
+                const unsigned occ = occupancy(cell);
+                for (unsigned s = 0; s < occ; ++s) {
+                    load(c, cellField(cell, 2, s));
+                    store(c, cellField(cell, 0, s));
+                    store(c, cellField(cell, 1, s));
+                }
+                work(c, 4);
+            });
+        }
+        barrierAll({cellsId_});
+    }
+
+    void
+    build()
+    {
+        iteration(); // warm-up
+        epochAll();
+        iteration(); // measured
+    }
+
+    unsigned gx_, gy_, gz_, nCells_;
+    Addr cellBase_, ghostBase_;
+    RegionId cellsId_, ghostId_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeFluidanimate(unsigned scale)
+{
+    return std::make_unique<FluidWorkload>(scale);
+}
+
+} // namespace wastesim

@@ -1,0 +1,93 @@
+#include "workload/region_table.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace wastesim
+{
+
+RegionId
+RegionTable::add(Region r)
+{
+    panic_if(r.size == 0, "empty region '%s'", r.name.c_str());
+    panic_if(r.base % bytesPerWord != 0, "region base not word aligned");
+    if (r.flex) {
+        panic_if(r.strideWords == 0, "flex region without a stride");
+        panic_if(r.usedFields.empty(), "flex region without used fields");
+        for (unsigned f : r.usedFields)
+            panic_if(f >= r.strideWords, "used field beyond stride");
+    }
+    r.id = static_cast<RegionId>(regions_.size());
+    regions_.push_back(std::move(r));
+    return regions_.back().id;
+}
+
+const Region *
+RegionTable::regionOf(Addr a) const
+{
+    for (const auto &r : regions_)
+        if (r.contains(a))
+            return &r;
+    return nullptr;
+}
+
+std::vector<FlexWord>
+RegionTable::flexWords(Addr a, unsigned max_words) const
+{
+    const Region *r = regionOf(a);
+    if (!r || !r->flex)
+        return {};
+
+    const Addr offset_words = (a - r->base) / bytesPerWord;
+    const Addr struct_idx = offset_words / r->strideWords;
+
+    // Loads are labeled with their region: Flex applies only when the
+    // accessed word is one of the communication region's declared
+    // fields.  Accesses to other fields (a different phase's working
+    // set) fall back to normal line-granularity fetches.
+    const unsigned field =
+        static_cast<unsigned>(offset_words % r->strideWords);
+    bool in_region = false;
+    for (unsigned f : r->usedFields)
+        in_region |= f == field;
+    if (!in_region)
+        return {};
+
+    const Addr critical_line = lineAddr(a);
+
+    std::vector<FlexWord> out;
+    auto emit_struct = [&](Addr sidx) {
+        const Addr struct_base_word =
+            r->base / bytesPerWord + sidx * r->strideWords;
+        for (unsigned f : r->usedFields) {
+            const Addr word_addr =
+                (struct_base_word + f) * bytesPerWord;
+            if (word_addr >= r->base + r->size)
+                return;
+            out.push_back(FlexWord{lineAddr(word_addr),
+                                   wordIndex(word_addr)});
+        }
+    };
+
+    emit_struct(struct_idx);
+    if (r->stream)
+        emit_struct(struct_idx + 1);
+
+    // Critical line first, then by line address; cap at max_words.
+    std::stable_sort(out.begin(), out.end(),
+                     [&](const FlexWord &x, const FlexWord &y) {
+                         const bool xc = x.line == critical_line;
+                         const bool yc = y.line == critical_line;
+                         if (xc != yc)
+                             return xc;
+                         if (x.line != y.line)
+                             return x.line < y.line;
+                         return x.widx < y.widx;
+                     });
+    if (out.size() > max_words)
+        out.resize(max_words);
+    return out;
+}
+
+} // namespace wastesim

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Software-supplied region information (DeNovo's hardware-software
+ * interface, Chapter 2):
+ *
+ *  - plain regions label data for precise self-invalidation;
+ *  - communication regions (Flex) describe struct layouts — stride and
+ *    the word offsets of the fields a phase actually uses — so the
+ *    hardware can respond with exactly those words;
+ *  - bypass regions mark data the L2 should not cache ("L2 Response
+ *    Bypass"), optionally with a streaming hint that lets Flex
+ *    prefetch the next struct.
+ */
+
+#ifndef WASTESIM_WORKLOAD_REGION_TABLE_HH
+#define WASTESIM_WORKLOAD_REGION_TABLE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "common/word_mask.hh"
+
+namespace wastesim
+{
+
+/** One region of program data. */
+struct Region
+{
+    RegionId id = invalidRegion;
+    std::string name;
+    Addr base = 0;          //!< first byte
+    Addr size = 0;          //!< bytes
+
+    // --- Flex communication region ---
+    bool flex = false;
+    unsigned strideWords = 0;            //!< struct stride in words
+    std::vector<unsigned> usedFields;    //!< word offsets used
+
+    // --- L2 bypass ---
+    bool bypass = false;
+    bool stream = false;    //!< sequential access; prefetch next struct
+
+    bool
+    contains(Addr a) const
+    {
+        return a >= base && a < base + size;
+    }
+};
+
+/** A word of a communication region, in absolute terms. */
+struct FlexWord
+{
+    Addr line;
+    unsigned widx;
+};
+
+/** The per-application region registry shared by all controllers. */
+class RegionTable
+{
+  public:
+    /** Register a region; returns its id. */
+    RegionId add(Region r);
+
+    /** Region containing byte address @p a, or nullptr. */
+    const Region *regionOf(Addr a) const;
+
+    /** Region by id. */
+    const Region &region(RegionId id) const { return regions_[id]; }
+
+    std::size_t numRegions() const { return regions_.size(); }
+
+    /**
+     * Expand the communication region around @p a: the used fields of
+     * the struct containing @p a, plus (for streaming regions) the
+     * next struct's fields, capped at @p max_words with the critical
+     * word's line first.  Returns an empty vector for non-flex
+     * addresses.
+     */
+    std::vector<FlexWord> flexWords(Addr a,
+                                    unsigned max_words = maxWordsPerMsg)
+        const;
+
+    /** True if @p a lies in a bypass region. */
+    bool
+    isBypass(Addr a) const
+    {
+        const Region *r = regionOf(a);
+        return r && r->bypass;
+    }
+
+  private:
+    std::vector<Region> regions_;
+};
+
+} // namespace wastesim
+
+#endif // WASTESIM_WORKLOAD_REGION_TABLE_HH

@@ -1,0 +1,79 @@
+#include "workload/workload.hh"
+
+#include "common/log.hh"
+
+namespace wastesim
+{
+
+const BenchmarkName allBenchmarks[numBenchmarks] = {
+    BenchmarkName::Fluidanimate, BenchmarkName::LU,
+    BenchmarkName::FFT,          BenchmarkName::Radix,
+    BenchmarkName::Barnes,       BenchmarkName::KdTree,
+};
+
+const char *
+benchmarkName(BenchmarkName b)
+{
+    switch (b) {
+      case BenchmarkName::Fluidanimate: return "fluidanimate";
+      case BenchmarkName::LU: return "LU";
+      case BenchmarkName::FFT: return "FFT";
+      case BenchmarkName::Radix: return "radix";
+      case BenchmarkName::Barnes: return "barnes";
+      case BenchmarkName::KdTree: return "kD-tree";
+      default: return "?";
+    }
+}
+
+std::size_t
+Workload::totalOps() const
+{
+    std::size_t n = 0;
+    for (const auto &t : traces_)
+        n += t.size();
+    return n;
+}
+
+void
+Workload::barrierAll(std::vector<RegionId> self_invalidate)
+{
+    const auto idx = static_cast<std::uint32_t>(barriers_.size());
+    barriers_.push_back(BarrierInfo{std::move(self_invalidate)});
+    for (CoreId c = 0; c < numTiles; ++c)
+        traces_[c].push_back(Op{Op::Type::Barrier, 0, idx});
+}
+
+void
+Workload::epochAll()
+{
+    for (CoreId c = 0; c < numTiles; ++c)
+        traces_[c].push_back(Op{Op::Type::Epoch, 0, 0});
+}
+
+// makeBenchmark() is defined in workload/factory-style fashion at the
+// bottom of each benchmark's translation unit; the dispatcher lives in
+// fft.cc's sibling, see makeBenchmark in benchmarks.cc-style below.
+
+std::unique_ptr<Workload> makeFluidanimate(unsigned scale);
+std::unique_ptr<Workload> makeLu(unsigned scale);
+std::unique_ptr<Workload> makeFft(unsigned scale);
+std::unique_ptr<Workload> makeRadix(unsigned scale);
+std::unique_ptr<Workload> makeBarnes(unsigned scale);
+std::unique_ptr<Workload> makeKdTree(unsigned scale);
+
+std::unique_ptr<Workload>
+makeBenchmark(BenchmarkName b, unsigned scale)
+{
+    fatal_if(scale == 0, "benchmark scale must be >= 1");
+    switch (b) {
+      case BenchmarkName::Fluidanimate: return makeFluidanimate(scale);
+      case BenchmarkName::LU: return makeLu(scale);
+      case BenchmarkName::FFT: return makeFft(scale);
+      case BenchmarkName::Radix: return makeRadix(scale);
+      case BenchmarkName::Barnes: return makeBarnes(scale);
+      case BenchmarkName::KdTree: return makeKdTree(scale);
+      default: panic("unknown benchmark");
+    }
+}
+
+} // namespace wastesim

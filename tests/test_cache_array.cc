@@ -1,0 +1,158 @@
+/** Unit tests: set-associative array, LRU, busy-line handling. */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_array.hh"
+
+namespace wastesim
+{
+
+namespace
+{
+
+Addr
+lineAt(unsigned set, unsigned tag, unsigned sets, unsigned div = 1)
+{
+    return (static_cast<Addr>(tag) * sets + set) * div * bytesPerLine;
+}
+
+} // namespace
+
+TEST(CacheArray, FindAfterFill)
+{
+    CacheArray a(4, 2);
+    const Addr la = lineAt(1, 0, 4);
+    EXPECT_EQ(a.find(la), nullptr);
+    CacheLine *slot = a.victimFor(la);
+    ASSERT_NE(slot, nullptr);
+    slot->resetTo(la);
+    EXPECT_EQ(a.find(la), slot);
+}
+
+TEST(CacheArray, SetIndexing)
+{
+    CacheArray a(8, 2);
+    EXPECT_EQ(a.setIndex(0), 0u);
+    EXPECT_EQ(a.setIndex(64), 1u);
+    EXPECT_EQ(a.setIndex(8 * 64), 0u);
+}
+
+TEST(CacheArray, IndexDivisorSkipsInterleaveBits)
+{
+    // L2 slices see every 16th 256-byte chunk: index must divide.
+    CacheArray a(8, 2, numTiles);
+    EXPECT_EQ(a.setIndex(0), a.setIndex(64));
+    EXPECT_NE(a.setIndex(0), a.setIndex(16ull * 4 * 64));
+}
+
+TEST(CacheArray, LruVictimSelection)
+{
+    CacheArray a(1, 4);
+    std::vector<Addr> lines;
+    for (unsigned t = 0; t < 4; ++t) {
+        const Addr la = lineAt(0, t, 1);
+        lines.push_back(la);
+        CacheLine *s = a.victimFor(la);
+        s->resetTo(la);
+        a.touch(*s);
+    }
+    // Touch line 0 so line 1 becomes LRU.
+    a.touch(*a.find(lines[0]));
+    CacheLine *victim = a.victimFor(lineAt(0, 9, 1));
+    ASSERT_NE(victim, nullptr);
+    EXPECT_EQ(victim->line, lines[1]);
+}
+
+TEST(CacheArray, InvalidSlotPreferred)
+{
+    CacheArray a(1, 4);
+    for (unsigned t = 0; t < 3; ++t) {
+        CacheLine *s = a.victimFor(lineAt(0, t, 1));
+        s->resetTo(lineAt(0, t, 1));
+        a.touch(*s);
+    }
+    CacheLine *victim = a.victimFor(lineAt(0, 9, 1));
+    ASSERT_NE(victim, nullptr);
+    EXPECT_FALSE(victim->valid);
+}
+
+TEST(CacheArray, BusyLinesNotVictimized)
+{
+    CacheArray a(1, 2);
+    CacheLine *s0 = a.victimFor(lineAt(0, 0, 1));
+    s0->resetTo(lineAt(0, 0, 1));
+    s0->busy = true;
+    CacheLine *s1 = a.victimFor(lineAt(0, 1, 1));
+    s1->resetTo(lineAt(0, 1, 1));
+
+    CacheLine *victim = a.victimFor(lineAt(0, 9, 1));
+    ASSERT_NE(victim, nullptr);
+    EXPECT_EQ(victim, s1);
+
+    s1->busy = true;
+    EXPECT_EQ(a.victimFor(lineAt(0, 9, 1)), nullptr);
+}
+
+TEST(CacheArray, InvalidateFreesSlot)
+{
+    CacheArray a(1, 1);
+    CacheLine *s = a.victimFor(lineAt(0, 0, 1));
+    s->resetTo(lineAt(0, 0, 1));
+    a.invalidate(*s);
+    EXPECT_EQ(a.find(lineAt(0, 0, 1)), nullptr);
+    EXPECT_FALSE(s->busy);
+}
+
+TEST(CacheArray, ForEachValidVisitsAll)
+{
+    CacheArray a(4, 2);
+    for (unsigned i = 0; i < 5; ++i) {
+        const Addr la = lineAt(i % 4, i / 4, 4);
+        a.victimFor(la)->resetTo(la);
+    }
+    unsigned n = 0;
+    a.forEachValid([&](CacheLine &) { ++n; });
+    EXPECT_EQ(n, 5u);
+}
+
+TEST(CacheLine, ResetClearsState)
+{
+    CacheLine cl;
+    cl.resetTo(128);
+    cl.validWords.set(3);
+    cl.dirtyWords.set(3);
+    cl.regOwner[5] = 2;
+    cl.memRef[5] = 77;
+    cl.sharers = 0xff;
+    cl.owner = 3;
+    cl.inBloom = true;
+    cl.resetTo(256);
+    EXPECT_EQ(cl.line, 256u);
+    EXPECT_TRUE(cl.valid);
+    EXPECT_TRUE(cl.validWords.empty());
+    EXPECT_TRUE(cl.dirtyWords.empty());
+    EXPECT_EQ(cl.regOwner[5], invalidNode);
+    EXPECT_EQ(cl.memRef[5], invalidInst);
+    EXPECT_EQ(cl.sharers, 0u);
+    EXPECT_EQ(cl.owner, invalidNode);
+    EXPECT_FALSE(cl.inBloom);
+}
+
+TEST(CacheLine, RegisteredMask)
+{
+    CacheLine cl;
+    cl.resetTo(0);
+    cl.regOwner[1] = 4;
+    cl.regOwner[9] = 7;
+    const WordMask m = cl.registeredMask();
+    EXPECT_EQ(m.count(), 2u);
+    EXPECT_TRUE(m.test(1));
+    EXPECT_TRUE(m.test(9));
+}
+
+TEST(CacheArrayDeath, NonPowerOfTwoSetsPanics)
+{
+    EXPECT_DEATH(CacheArray(3, 2), "power of two");
+}
+
+} // namespace wastesim

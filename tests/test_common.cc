@@ -1,0 +1,160 @@
+/** Unit tests: address math, word masks, RNG, text tables. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "common/word_mask.hh"
+
+namespace wastesim
+{
+
+TEST(Types, LineAndWordMath)
+{
+    EXPECT_EQ(lineAddr(0), 0u);
+    EXPECT_EQ(lineAddr(63), 0u);
+    EXPECT_EQ(lineAddr(64), 64u);
+    EXPECT_EQ(lineAddr(130), 128u);
+    EXPECT_EQ(wordIndex(0), 0u);
+    EXPECT_EQ(wordIndex(4), 1u);
+    EXPECT_EQ(wordIndex(63), 15u);
+    EXPECT_EQ(wordIndex(68), 1u);
+    EXPECT_EQ(wordNumber(64), 16u);
+    EXPECT_TRUE(isLineAligned(128));
+    EXPECT_FALSE(isLineAligned(132));
+}
+
+TEST(Types, Geometry)
+{
+    EXPECT_EQ(numTiles, 16u);
+    EXPECT_EQ(wordsPerLine, 16u);
+    EXPECT_EQ(wordsPerFlit, 4u);
+    EXPECT_EQ(maxWordsPerMsg, 16u);
+}
+
+TEST(Types, HomeSliceInterleave)
+{
+    // 256-byte interleave: four consecutive lines share a slice.
+    const Addr base = 1u << 20;
+    const NodeId s = homeSlice(base);
+    EXPECT_EQ(homeSlice(base + 64), s);
+    EXPECT_EQ(homeSlice(base + 128), s);
+    EXPECT_EQ(homeSlice(base + 192), s);
+    EXPECT_NE(homeSlice(base + 256), s);
+    // All 16 slices are covered.
+    bool seen[16] = {};
+    for (Addr a = base; a < base + 16 * 256; a += 256)
+        seen[homeSlice(a)] = true;
+    for (bool b : seen)
+        EXPECT_TRUE(b);
+}
+
+TEST(Types, MemChannelInterleave)
+{
+    const Addr base = 1u << 20;
+    bool seen[4] = {};
+    for (unsigned i = 0; i < 4; ++i)
+        seen[memChannel(base + i * 64)] = true;
+    for (bool b : seen)
+        EXPECT_TRUE(b);
+    // MC tiles are the corners.
+    EXPECT_EQ(memCtrlTile(0), 0u);
+    EXPECT_EQ(memCtrlTile(1), 3u);
+    EXPECT_EQ(memCtrlTile(2), 12u);
+    EXPECT_EQ(memCtrlTile(3), 15u);
+}
+
+TEST(WordMask, Basics)
+{
+    WordMask m;
+    EXPECT_TRUE(m.empty());
+    m.set(3);
+    m.set(15);
+    EXPECT_TRUE(m.test(3));
+    EXPECT_TRUE(m.test(15));
+    EXPECT_FALSE(m.test(0));
+    EXPECT_EQ(m.count(), 2u);
+    m.clear(3);
+    EXPECT_FALSE(m.test(3));
+    EXPECT_EQ(WordMask::full().count(), 16u);
+    EXPECT_TRUE(WordMask::full().isFull());
+}
+
+TEST(WordMask, SetOperations)
+{
+    const WordMask a = WordMask::range(0, 8);
+    const WordMask b = WordMask::range(4, 8);
+    EXPECT_EQ((a | b), WordMask::range(0, 12));
+    EXPECT_EQ((a & b), WordMask::range(4, 4));
+    EXPECT_EQ((a - b), WordMask::range(0, 4));
+    EXPECT_EQ(WordMask::single(5).count(), 1u);
+    EXPECT_TRUE(WordMask::single(5).test(5));
+}
+
+TEST(WordMask, RangeEdgeCases)
+{
+    EXPECT_TRUE(WordMask::range(0, 0).empty());
+    EXPECT_TRUE(WordMask::range(0, 16).isFull());
+    EXPECT_EQ(WordMask::range(15, 1).raw(), 0x8000u);
+    EXPECT_EQ(WordMask::range(12, 16).count(), 4u); // clipped at 16
+}
+
+TEST(WordMask, ToString)
+{
+    WordMask m = WordMask::single(1);
+    EXPECT_EQ(m.toString(), "0100000000000000");
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    bool diff = false;
+    Rng a2(42);
+    for (int i = 0; i < 100; ++i)
+        diff |= a2.next() != c.next();
+    EXPECT_TRUE(diff);
+}
+
+TEST(Rng, BoundsRespected)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(r.below(17), 17u);
+        const double d = r.real();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, ChanceIsRoughlyCalibrated)
+{
+    Rng r(99);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Stats, TextTableAlignsColumns)
+{
+    TextTable t;
+    t.header({"a", "bbbb"});
+    t.row({"ccc", "d"});
+    const std::string s = t.render();
+    EXPECT_NE(s.find("a"), std::string::npos);
+    EXPECT_NE(s.find("ccc"), std::string::npos);
+    EXPECT_NE(s.find("="), std::string::npos);
+}
+
+TEST(Stats, Formatting)
+{
+    EXPECT_EQ(pct(0.395), "39.5%");
+    EXPECT_EQ(fixed(1.5, 1), "1.5");
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+} // namespace wastesim

@@ -1,0 +1,116 @@
+/** Unit tests: protocol feature decoding and parameter presets. */
+
+#include <gtest/gtest.h>
+
+#include "system/config.hh"
+
+namespace wastesim
+{
+
+TEST(ProtocolConfig, FamilySplit)
+{
+    EXPECT_TRUE(ProtocolConfig::make(ProtocolName::MESI).isMesi());
+    EXPECT_TRUE(ProtocolConfig::make(ProtocolName::MMemL1).isMesi());
+    for (ProtocolName p :
+         {ProtocolName::DeNovo, ProtocolName::DFlexL1,
+          ProtocolName::DValidateL2, ProtocolName::DMemL1,
+          ProtocolName::DFlexL2, ProtocolName::DBypL2,
+          ProtocolName::DBypFull}) {
+        EXPECT_TRUE(ProtocolConfig::make(p).isDeNovo())
+            << protocolName(p);
+    }
+}
+
+TEST(ProtocolConfig, FeatureLadderIsCumulative)
+{
+    // Each step of Section 3.2 adds features without removing any.
+    auto featureCount = [](ProtocolName p) {
+        const ProtocolConfig c = ProtocolConfig::make(p);
+        return int(c.memToL1) + int(c.flexL1) + int(c.flexL2) +
+               int(c.l2WriteValidate) + int(c.l2DirtyWbOnly) +
+               int(c.respBypass) + int(c.reqBypass);
+    };
+    EXPECT_EQ(featureCount(ProtocolName::DeNovo), 0);
+    EXPECT_LT(featureCount(ProtocolName::DValidateL2),
+              featureCount(ProtocolName::DMemL1));
+    EXPECT_LT(featureCount(ProtocolName::DMemL1),
+              featureCount(ProtocolName::DFlexL2));
+    EXPECT_LT(featureCount(ProtocolName::DFlexL2),
+              featureCount(ProtocolName::DBypL2));
+    EXPECT_LT(featureCount(ProtocolName::DBypL2),
+              featureCount(ProtocolName::DBypFull));
+}
+
+TEST(ProtocolConfig, PaperDefinitions)
+{
+    const auto dflex1 = ProtocolConfig::make(ProtocolName::DFlexL1);
+    EXPECT_TRUE(dflex1.flexL1);
+    EXPECT_FALSE(dflex1.flexL2);          // on-chip responses only
+    EXPECT_FALSE(dflex1.l2WriteValidate); // still fetch-on-write
+
+    const auto dval = ProtocolConfig::make(ProtocolName::DValidateL2);
+    EXPECT_TRUE(dval.l2WriteValidate);
+    EXPECT_TRUE(dval.l2DirtyWbOnly);
+    EXPECT_FALSE(dval.flexL1);
+
+    const auto dbyp = ProtocolConfig::make(ProtocolName::DBypFull);
+    EXPECT_TRUE(dbyp.respBypass);
+    EXPECT_TRUE(dbyp.reqBypass);
+    EXPECT_TRUE(dbyp.flexL1 && dbyp.flexL2);
+    EXPECT_TRUE(dbyp.memToL1);
+
+    const auto mmem = ProtocolConfig::make(ProtocolName::MMemL1);
+    EXPECT_TRUE(mmem.memToL1);
+    EXPECT_FALSE(mmem.flexL1);
+}
+
+TEST(SimParams, Table41Defaults)
+{
+    SimParams p;
+    // 32 KB 8-way L1, 256 KB 16-way L2 slice, 64 B lines.
+    EXPECT_EQ(p.l1Sets * p.l1Ways * bytesPerLine, 32u * 1024);
+    EXPECT_EQ(p.l2Sets * p.l2Ways * bytesPerLine, 256u * 1024);
+    EXPECT_EQ(p.linkLatency, 3u);
+    EXPECT_EQ(p.writeBufferEntries, 32u);
+    EXPECT_EQ(p.wcTimeout, 10000u);
+    EXPECT_EQ(p.dram.numRanks, 2u);
+    EXPECT_EQ(p.dram.numBanksPerRank, 8u);
+    EXPECT_FALSE(p.dram.partialReads);
+}
+
+TEST(SimParams, ScaledPreservesRatios)
+{
+    SimParams paper;
+    SimParams scaled = SimParams::scaled();
+    const double paper_ratio =
+        double(paper.l2Sets * paper.l2Ways * numTiles) /
+        (paper.l1Sets * paper.l1Ways * numTiles);
+    const double scaled_ratio =
+        double(scaled.l2Sets * scaled.l2Ways * numTiles) /
+        (scaled.l1Sets * scaled.l1Ways * numTiles);
+    EXPECT_DOUBLE_EQ(paper_ratio, scaled_ratio);
+    EXPECT_EQ(paper.l1Ways, scaled.l1Ways);
+    EXPECT_EQ(paper.l2Ways, scaled.l2Ways);
+}
+
+TEST(SimParams, DescribeMentionsKeyNumbers)
+{
+    const std::string d = SimParams{}.describe();
+    EXPECT_NE(d.find("32 KB"), std::string::npos);
+    EXPECT_NE(d.find("4 MB"), std::string::npos);
+    EXPECT_NE(d.find("FR-FCFS"), std::string::npos);
+    EXPECT_NE(d.find("DDR3-1066"), std::string::npos);
+}
+
+TEST(ProtocolNames, FigureOrderAndUniqueness)
+{
+    ASSERT_EQ(numProtocols, 9u);
+    EXPECT_STREQ(protocolName(allProtocols[0]), "MESI");
+    EXPECT_STREQ(protocolName(allProtocols[8]), "DBypFull");
+    for (unsigned i = 0; i < numProtocols; ++i)
+        for (unsigned j = i + 1; j < numProtocols; ++j)
+            EXPECT_STRNE(protocolName(allProtocols[i]),
+                         protocolName(allProtocols[j]));
+}
+
+} // namespace wastesim

@@ -1,0 +1,103 @@
+/** Unit tests: discrete-event kernel ordering and draining. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace wastesim
+{
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] { order.push_back(2); });
+    eq.schedule(5, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(3); });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 20u);
+}
+
+TEST(EventQueue, SameTickFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(7, [&, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NestedScheduling)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        eq.schedule(1, [&] {
+            eq.schedule(1, [&] { ++fired; });
+            ++fired;
+        });
+        ++fired;
+    });
+    eq.run();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(eq.now(), 3u);
+}
+
+TEST(EventQueue, ZeroDelayRunsAtSameTick)
+{
+    EventQueue eq;
+    eq.schedule(5, [&] {
+        eq.schedule(0, [&] { EXPECT_EQ(eq.now(), 5u); });
+    });
+    eq.run();
+}
+
+TEST(EventQueue, RunLimitStops)
+{
+    EventQueue eq;
+    bool late = false;
+    eq.schedule(100, [&] { late = true; });
+    EXPECT_FALSE(eq.run(50));
+    EXPECT_FALSE(late);
+    EXPECT_EQ(eq.now(), 50u);
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_TRUE(eq.run());
+    EXPECT_TRUE(late);
+}
+
+TEST(EventQueue, StepExecutesOne)
+{
+    EventQueue eq;
+    int n = 0;
+    eq.schedule(1, [&] { ++n; });
+    eq.schedule(2, [&] { ++n; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(n, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(n, 2);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ResetClears)
+{
+    EventQueue eq;
+    eq.schedule(1, [] {});
+    eq.reset();
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.now(), 0u);
+}
+
+TEST(EventQueueDeath, PastSchedulingPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.scheduleAt(5, [] {}), "past");
+}
+
+} // namespace wastesim

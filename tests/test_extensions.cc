@@ -1,0 +1,202 @@
+/** Tests for the extension features: partial DRAM reads, the energy
+ *  estimator, link-utilization tracking, and sweep serialization. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "profile/energy.hh"
+#include "script_workload.hh"
+#include "system/report.hh"
+#include "system/runner.hh"
+
+namespace wastesim
+{
+
+namespace
+{
+
+std::unique_ptr<ScriptWorkload>
+flexStream()
+{
+    // A flex region streamed once: every struct has 4 of 16 words
+    // used, so line-granular DRAM produces 12 Excess words per
+    // struct under L2 Flex.
+    auto wl = std::make_unique<ScriptWorkload>();
+    const Addr a = wl->alloc(128 * 1024);
+    Region r;
+    r.name = "structs";
+    r.base = a;
+    r.size = 128 * 1024;
+    r.flex = true;
+    r.strideWords = 16;
+    r.usedFields = {0, 1, 2, 3};
+    wl->regionTable().add(r);
+    for (unsigned s = 0; s < 512; ++s)
+        for (unsigned f = 0; f < 4; ++f)
+            wl->load(s % numTiles, a + (s * 16 + f) * bytesPerWord);
+    wl->finish();
+    return wl;
+}
+
+} // namespace
+
+TEST(PartialDram, EliminatesExcessWaste)
+{
+    auto wl = flexStream();
+
+    SimParams line = SimParams::scaled();
+    const RunResult with_line =
+        runOne(ProtocolName::DFlexL2, *wl, line);
+    EXPECT_GT(with_line.memWaste[WasteCat::Excess], 0.0);
+
+    SimParams partial = SimParams::scaled();
+    partial.dram.partialReads = true;
+    const RunResult with_partial =
+        runOne(ProtocolName::DFlexL2, *wl, partial);
+    EXPECT_DOUBLE_EQ(with_partial.memWaste[WasteCat::Excess], 0.0);
+
+    // Words fetched from memory shrink accordingly.
+    EXPECT_LT(with_partial.memWaste.total(),
+              with_line.memWaste.total());
+}
+
+TEST(PartialDram, ShortBurstsFreeTheBus)
+{
+    DramTiming t;
+    EXPECT_EQ(t.burstFor(16), t.tBurst);
+    EXPECT_EQ(t.burstFor(4), t.tBurst); // disabled by default
+    t.partialReads = true;
+    EXPECT_EQ(t.burstFor(16), t.tBurst);
+    EXPECT_LT(t.burstFor(4), t.tBurst);
+    EXPECT_GE(t.burstFor(1), t.tBurst / 4);
+    EXPECT_LE(t.burstFor(8), t.tBurst / 2);
+}
+
+TEST(PartialDram, NonFlexProtocolsUnaffected)
+{
+    auto wl = makeRandomWorkload(77, 2, 100);
+    SimParams partial = SimParams::scaled();
+    partial.dram.partialReads = true;
+    const RunResult a = runOne(ProtocolName::MESI, *wl,
+                               SimParams::scaled());
+    const RunResult b = runOne(ProtocolName::MESI, *wl, partial);
+    // MESI always moves whole lines: identical traffic.
+    EXPECT_DOUBLE_EQ(a.traffic.total(), b.traffic.total());
+    EXPECT_EQ(a.wordsFromMemory, b.wordsFromMemory);
+}
+
+TEST(Energy, ComponentsTrackCounters)
+{
+    RunResult r;
+    r.traffic.ldReqCtl = 100; // 100 flit-hops
+    r.l1Accesses = 10;
+    r.l2Accesses = 5;
+    r.dramReads = 2;
+    r.dramWrites = 1;
+
+    EnergyParams p;
+    p.pjPerFlitHop = 2.0;
+    p.pjPerL1Access = 3.0;
+    p.pjPerL2Access = 7.0;
+    p.pjPerWordFill = 0.0;
+    p.pjPerDramAccess = 100.0;
+
+    const EnergyBreakdown e = estimateEnergy(r, p);
+    EXPECT_DOUBLE_EQ(e.network, 200.0);
+    EXPECT_DOUBLE_EQ(e.l1, 30.0);
+    EXPECT_DOUBLE_EQ(e.l2, 35.0);
+    EXPECT_DOUBLE_EQ(e.dram, 300.0);
+    EXPECT_DOUBLE_EQ(e.total(), 565.0);
+}
+
+TEST(Energy, LessTrafficMeansLessEnergy)
+{
+    auto wl = makeBenchmark(BenchmarkName::FFT);
+    const RunResult mesi =
+        runOne(ProtocolName::MESI, *wl, SimParams::scaled());
+    const RunResult dn =
+        runOne(ProtocolName::DBypFull, *wl, SimParams::scaled());
+    EXPECT_LT(estimateEnergy(dn).total(),
+              estimateEnergy(mesi).total());
+}
+
+TEST(LinkLoad, TotalsMatchFlitHops)
+{
+    auto wl = makeRandomWorkload(78, 2, 100);
+    System sys(ProtocolName::MESI, *wl, SimParams::scaled());
+    const RunResult r = sys.run();
+    // Every flit-hop crosses exactly one link counter.
+    EXPECT_DOUBLE_EQ(static_cast<double>(
+                         sys.network().totalLinkFlits()),
+                     r.rawFlitHops);
+    EXPECT_GT(r.maxLinkFlits, 0u);
+    EXPECT_LE(r.maxLinkFlits, sys.network().totalLinkFlits());
+}
+
+TEST(LinkLoad, OnlyAdjacentAndEjectionLinksUsed)
+{
+    auto wl = makeRandomWorkload(79, 1, 50);
+    System sys(ProtocolName::DValidateL2, *wl, SimParams::scaled());
+    sys.run();
+    for (NodeId a = 0; a < numTiles; ++a) {
+        for (NodeId b = 0; b < numTiles; ++b) {
+            if (Mesh::manhattan(a, b) > 1) {
+                EXPECT_EQ(sys.network().linkFlits(a, b), 0u)
+                    << a << "->" << b;
+            }
+        }
+    }
+}
+
+TEST(SweepCache, RoundTrips)
+{
+    Sweep s = runSweep({BenchmarkName::Barnes},
+                       {ProtocolName::MESI, ProtocolName::DBypFull},
+                       1, SimParams::scaled());
+    const std::string path = "test_sweep_roundtrip.cache";
+    ASSERT_TRUE(saveSweep(s, path));
+
+    Sweep loaded;
+    ASSERT_TRUE(loadSweep(loaded, path));
+    std::remove(path.c_str());
+
+    ASSERT_EQ(loaded.benchNames, s.benchNames);
+    ASSERT_EQ(loaded.protoNames, s.protoNames);
+    for (std::size_t b = 0; b < s.results.size(); ++b) {
+        for (std::size_t p = 0; p < s.results[b].size(); ++p) {
+            const RunResult &x = s.results[b][p];
+            const RunResult &y = loaded.results[b][p];
+            EXPECT_EQ(x.protocol, y.protocol);
+            EXPECT_EQ(x.benchmark, y.benchmark);
+            EXPECT_DOUBLE_EQ(x.traffic.total(), y.traffic.total());
+            EXPECT_DOUBLE_EQ(x.l1Waste.total(), y.l1Waste.total());
+            EXPECT_DOUBLE_EQ(x.time.total(), y.time.total());
+            EXPECT_EQ(x.cycles, y.cycles);
+            EXPECT_EQ(x.l1Accesses, y.l1Accesses);
+            EXPECT_EQ(x.maxLinkFlits, y.maxLinkFlits);
+        }
+    }
+}
+
+TEST(SweepCache, RejectsWrongMagic)
+{
+    const std::string path = "test_sweep_badmagic.cache";
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::fputs("not-a-sweep\n", f);
+        std::fclose(f);
+    }
+    Sweep s;
+    EXPECT_FALSE(loadSweep(s, path));
+    std::remove(path.c_str());
+}
+
+TEST(SweepCache, MissingFileFails)
+{
+    Sweep s;
+    EXPECT_FALSE(loadSweep(s, "definitely_not_here.cache"));
+}
+
+} // namespace wastesim

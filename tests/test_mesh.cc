@@ -1,0 +1,76 @@
+/** Unit tests: mesh geometry, hop counts, XY routing. */
+
+#include <gtest/gtest.h>
+
+#include "noc/mesh.hh"
+
+namespace wastesim
+{
+
+TEST(Mesh, Coordinates)
+{
+    EXPECT_EQ(Mesh::xOf(0), 0u);
+    EXPECT_EQ(Mesh::yOf(0), 0u);
+    EXPECT_EQ(Mesh::xOf(5), 1u);
+    EXPECT_EQ(Mesh::yOf(5), 1u);
+    EXPECT_EQ(Mesh::xOf(15), 3u);
+    EXPECT_EQ(Mesh::yOf(15), 3u);
+    EXPECT_EQ(Mesh::tileAt(3, 3), 15u);
+}
+
+TEST(Mesh, ManhattanDistance)
+{
+    EXPECT_EQ(Mesh::manhattan(0, 0), 0u);
+    EXPECT_EQ(Mesh::manhattan(0, 15), 6u);
+    EXPECT_EQ(Mesh::manhattan(0, 3), 3u);
+    EXPECT_EQ(Mesh::manhattan(3, 12), 6u);
+    EXPECT_EQ(Mesh::manhattan(5, 6), 1u);
+    // Symmetry.
+    for (NodeId a = 0; a < numTiles; ++a)
+        for (NodeId b = 0; b < numTiles; ++b)
+            EXPECT_EQ(Mesh::manhattan(a, b), Mesh::manhattan(b, a));
+}
+
+TEST(Mesh, HopsIncludeEjection)
+{
+    EXPECT_EQ(Mesh::hops(0, 0), 1u);
+    EXPECT_EQ(Mesh::hops(0, 15), 7u);
+}
+
+TEST(Mesh, XyRouteEndpoints)
+{
+    const auto route = Mesh::xyRoute(0, 15);
+    ASSERT_GE(route.size(), 2u);
+    EXPECT_EQ(route.front(), 0u);
+    EXPECT_EQ(route.back(), 15u);
+    // Route length = manhattan + 1 tiles.
+    EXPECT_EQ(route.size(), Mesh::manhattan(0, 15) + 1);
+}
+
+TEST(Mesh, XyRouteGoesXFirst)
+{
+    const auto route = Mesh::xyRoute(0, 5); // (0,0) -> (1,1)
+    ASSERT_EQ(route.size(), 3u);
+    EXPECT_EQ(route[1], 1u); // x first
+    EXPECT_EQ(route[2], 5u);
+}
+
+TEST(Mesh, XyRouteSelf)
+{
+    const auto route = Mesh::xyRoute(7, 7);
+    ASSERT_EQ(route.size(), 1u);
+    EXPECT_EQ(route[0], 7u);
+}
+
+TEST(Mesh, XyRouteAdjacentTilesOnly)
+{
+    for (NodeId a = 0; a < numTiles; ++a) {
+        for (NodeId b = 0; b < numTiles; ++b) {
+            const auto route = Mesh::xyRoute(a, b);
+            for (std::size_t i = 1; i < route.size(); ++i)
+                EXPECT_EQ(Mesh::manhattan(route[i - 1], route[i]), 1u);
+        }
+    }
+}
+
+} // namespace wastesim

@@ -1,0 +1,258 @@
+/** Regression tests: the paper's qualitative claims, asserted over
+ *  the full 9-protocol x 6-benchmark sweep.
+ *
+ *  These are the "shape" guarantees EXPERIMENTS.md documents: who
+ *  wins, which optimization applies where, and which traffic
+ *  component each one removes.  They pin the reproduction against
+ *  accidental regressions. */
+
+#include <gtest/gtest.h>
+
+#include "system/runner.hh"
+
+namespace wastesim
+{
+
+namespace
+{
+
+/** Run the sweep once for the whole test suite. */
+const Sweep &
+sweep()
+{
+    static const Sweep s = runFullSweep(1, SimParams::scaled());
+    return s;
+}
+
+int
+proto(const char *name)
+{
+    const Sweep &s = sweep();
+    for (std::size_t i = 0; i < s.protoNames.size(); ++i)
+        if (s.protoNames[i] == name)
+            return static_cast<int>(i);
+    ADD_FAILURE() << "no protocol " << name;
+    return 0;
+}
+
+int
+bench(const char *name)
+{
+    const Sweep &s = sweep();
+    for (std::size_t i = 0; i < s.benchNames.size(); ++i)
+        if (s.benchNames[i] == name)
+            return static_cast<int>(i);
+    ADD_FAILURE() << "no benchmark " << name;
+    return 0;
+}
+
+const RunResult &
+result(const char *b, const char *p)
+{
+    return sweep().results[bench(b)][proto(p)];
+}
+
+const char *const bypassable[] = {"fluidanimate", "FFT", "radix",
+                                  "kD-tree"};
+
+} // namespace
+
+TEST(PaperShapes, DBypFullBeatsMesiEverywhere)
+{
+    // Abstract: -39.5% average, every app improves (range starts at
+    // -22.9%).
+    for (const auto &name : sweep().benchNames) {
+        const double mesi =
+            result(name.c_str(), "MESI").traffic.total();
+        const double dn =
+            result(name.c_str(), "DBypFull").traffic.total();
+        EXPECT_LT(dn, mesi) << name;
+    }
+}
+
+TEST(PaperShapes, DenovoEliminatesMesiOverheadMessages)
+{
+    // Section 5.2.4: DeNovo has no unblocks/invalidations/acks.
+    for (const auto &name : sweep().benchNames) {
+        for (const char *p : {"DeNovo", "DValidateL2", "DBypL2"}) {
+            const TrafficStats &t = result(name.c_str(), p).traffic;
+            EXPECT_DOUBLE_EQ(t.ohUnblock, 0.0) << name << " " << p;
+            EXPECT_DOUBLE_EQ(t.ohInv, 0.0) << name << " " << p;
+            EXPECT_DOUBLE_EQ(t.ohAck, 0.0) << name << " " << p;
+        }
+    }
+}
+
+TEST(PaperShapes, MesiOverheadDominatedByUnblocks)
+{
+    // Section 5.2.4: unblock messages are the largest component.
+    double unblock = 0, inv = 0, ack = 0, total = 0;
+    for (const auto &name : sweep().benchNames) {
+        const TrafficStats &t = result(name.c_str(), "MESI").traffic;
+        unblock += t.ohUnblock;
+        inv += t.ohInv;
+        ack += t.ohAck;
+        total += t.overhead();
+    }
+    EXPECT_GT(unblock, inv);
+    EXPECT_GT(unblock, ack);
+    EXPECT_GT(unblock / total, 0.3);
+}
+
+TEST(PaperShapes, WriteValidateRemovesStoreDataResponses)
+{
+    // Section 5.2.2: L1 write-validate kills "Resp L1" store data in
+    // every DeNovo config; L2 write-validate kills "Resp L2" from
+    // DValidateL2 on.
+    for (const auto &name : sweep().benchNames) {
+        const TrafficStats &dn =
+            result(name.c_str(), "DeNovo").traffic;
+        EXPECT_DOUBLE_EQ(dn.stRespL1Used + dn.stRespL1Waste, 0.0)
+            << name;
+        const TrafficStats &dv =
+            result(name.c_str(), "DValidateL2").traffic;
+        EXPECT_DOUBLE_EQ(dv.stRespL2Used + dv.stRespL2Waste, 0.0)
+            << name;
+    }
+}
+
+TEST(PaperShapes, MMemL1RemovesMesiStoreDataToL2)
+{
+    // Section 5.2.2: the MemL1 optimization eliminates the L2-bound
+    // store fill data.
+    for (const auto &name : sweep().benchNames) {
+        const TrafficStats &m =
+            result(name.c_str(), "MMemL1").traffic;
+        EXPECT_DOUBLE_EQ(m.stRespL2Used + m.stRespL2Waste, 0.0)
+            << name;
+        EXPECT_LE(m.store(),
+                  result(name.c_str(), "MESI").traffic.store() + 1e-9)
+            << name;
+    }
+}
+
+TEST(PaperShapes, DirtyWordsOnlyWritebacks)
+{
+    // Section 5.2.3: DeNovo L1->L2 writebacks carry no clean words;
+    // DValidateL2 extends that to memory.
+    for (const auto &name : sweep().benchNames) {
+        EXPECT_DOUBLE_EQ(
+            result(name.c_str(), "DeNovo").traffic.wbL2Waste, 0.0)
+            << name;
+        EXPECT_DOUBLE_EQ(
+            result(name.c_str(), "DValidateL2").traffic.wbMemWaste,
+            0.0)
+            << name;
+    }
+}
+
+TEST(PaperShapes, FlexHelpsExactlyBarnesAndKdTree)
+{
+    // Section 5.2.1: Flex is applicable to barnes and kD-tree only.
+    for (const char *b : {"barnes", "kD-tree"}) {
+        EXPECT_LT(result(b, "DFlexL1").traffic.load(),
+                  result(b, "DeNovo").traffic.load())
+            << b;
+    }
+    for (const char *b : {"fluidanimate", "LU", "FFT", "radix"}) {
+        EXPECT_NEAR(result(b, "DFlexL1").traffic.total(),
+                    result(b, "DeNovo").traffic.total(),
+                    result(b, "DeNovo").traffic.total() * 0.01)
+            << b;
+    }
+}
+
+TEST(PaperShapes, BypassDrainsTheL2OnStreamingApps)
+{
+    // Section 5.2.1: response bypass slashes the words installed in
+    // the L2 for the four bypassable applications.
+    for (const char *b : bypassable) {
+        const double before = result(b, "DFlexL2").l2Waste.total();
+        const double after = result(b, "DBypL2").l2Waste.total();
+        EXPECT_LT(after, before * 0.7) << b;
+    }
+    // ...and does nothing for the others.
+    for (const char *b : {"LU", "barnes"}) {
+        EXPECT_NEAR(result(b, "DBypL2").traffic.total(),
+                    result(b, "DFlexL2").traffic.total(),
+                    result(b, "DFlexL2").traffic.total() * 0.01)
+            << b;
+    }
+}
+
+TEST(PaperShapes, RequestBypassSavesLoadRequestControl)
+{
+    // Section 5.2.1: DBypFull trims request control on bypassable
+    // apps (it only saves control-sized messages).
+    for (const char *b : bypassable) {
+        EXPECT_LE(result(b, "DBypFull").traffic.ldReqCtl,
+                  result(b, "DBypL2").traffic.ldReqCtl)
+            << b;
+        EXPECT_GT(result(b, "DBypFull").bypassDirect, 0u) << b;
+    }
+}
+
+TEST(PaperShapes, ExcessWasteOnlyWithL2Flex)
+{
+    // Section 5.3: Excess appears only once Flex extends to memory,
+    // and blows up the barnes/kD-tree memory word counts.
+    for (const auto &name : sweep().benchNames) {
+        for (const char *p :
+             {"MESI", "MMemL1", "DeNovo", "DFlexL1", "DValidateL2",
+              "DMemL1"}) {
+            EXPECT_DOUBLE_EQ(
+                result(name.c_str(), p).memWaste[WasteCat::Excess],
+                0.0)
+                << name << " " << p;
+        }
+    }
+    for (const char *b : {"barnes", "kD-tree"}) {
+        EXPECT_GT(result(b, "DFlexL2").memWaste[WasteCat::Excess],
+                  0.0)
+            << b;
+        EXPECT_GT(result(b, "DFlexL2").memWaste.total(),
+                  result(b, "DValidateL2").memWaste.total())
+            << b;
+    }
+}
+
+TEST(PaperShapes, RadixStoreControlPathology)
+{
+    // Section 5.2.2: write-combining splits registrations in radix's
+    // permutation, so baseline DeNovo's store *control* traffic is
+    // elevated relative to its other components...
+    const TrafficStats &dn = result("radix", "DeNovo").traffic;
+    EXPECT_GT(dn.stReqCtl + dn.stRespCtl, 0.0);
+    // ...while MESI's store traffic is dominated by fetched data.
+    const TrafficStats &mesi = result("radix", "MESI").traffic;
+    EXPECT_GT(mesi.stRespL1Used + mesi.stRespL1Waste +
+                  mesi.stRespL2Used + mesi.stRespL2Waste,
+              mesi.stReqCtl + mesi.stRespCtl);
+}
+
+TEST(PaperShapes, FalseSharingFreeByConstruction)
+{
+    // Chapter 2: DeNovo has no invalidation messages at all, so
+    // false sharing cannot generate traffic.
+    for (const auto &name : sweep().benchNames) {
+        EXPECT_DOUBLE_EQ(
+            result(name.c_str(), "DBypFull").traffic.ohInv, 0.0)
+            << name;
+    }
+}
+
+TEST(PaperShapes, ResidualWasteIsSingleDigits)
+{
+    // Abstract: 8.8% of DBypFull's remaining traffic is waste.
+    double waste = 0, total = 0;
+    for (const auto &name : sweep().benchNames) {
+        const TrafficStats &t =
+            result(name.c_str(), "DBypFull").traffic;
+        waste += t.wasteData();
+        total += t.total();
+    }
+    EXPECT_LT(waste / total, 0.15);
+    EXPECT_GT(waste / total, 0.02);
+}
+
+} // namespace wastesim

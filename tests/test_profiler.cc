@@ -1,0 +1,204 @@
+/** Unit tests: the L1/L2 word-instance waste FSMs (Figs. 4.1/4.2). */
+
+#include <gtest/gtest.h>
+
+#include "profile/word_profiler.hh"
+
+namespace wastesim
+{
+
+namespace
+{
+
+WasteCounts
+finalizeCounts(WordProfiler &p)
+{
+    TrafficStats t;
+    return p.finalize(t);
+}
+
+} // namespace
+
+TEST(WordProfiler, LoadClassifiesUsed)
+{
+    WordProfiler p(WordProfiler::Level::L1);
+    p.arrive(100, TrafficClass::Load);
+    p.load(100);
+    const auto c = finalizeCounts(p);
+    EXPECT_EQ(c[WasteCat::Used], 1.0);
+    EXPECT_EQ(c.waste(), 0.0);
+}
+
+TEST(WordProfiler, OverwriteBeforeUseIsWriteWaste)
+{
+    WordProfiler p(WordProfiler::Level::L1);
+    p.arrive(100, TrafficClass::Store);
+    p.store(100);
+    const auto c = finalizeCounts(p);
+    EXPECT_EQ(c[WasteCat::Write], 1.0);
+}
+
+TEST(WordProfiler, UsedThenStoreStaysUsed)
+{
+    WordProfiler p(WordProfiler::Level::L1);
+    p.arrive(100, TrafficClass::Load);
+    p.load(100);
+    p.store(100); // first classification wins
+    const auto c = finalizeCounts(p);
+    EXPECT_EQ(c[WasteCat::Used], 1.0);
+    EXPECT_EQ(c[WasteCat::Write], 0.0);
+}
+
+TEST(WordProfiler, ArriveWhilePresentIsFetchWaste)
+{
+    WordProfiler p(WordProfiler::Level::L1);
+    p.arrive(100, TrafficClass::Load);
+    p.arrive(100, TrafficClass::Load); // duplicate arrival
+    p.load(100);
+    const auto c = finalizeCounts(p);
+    EXPECT_EQ(c[WasteCat::Fetch], 1.0);
+    EXPECT_EQ(c[WasteCat::Used], 1.0);
+}
+
+TEST(WordProfiler, EvictBeforeUse)
+{
+    WordProfiler p(WordProfiler::Level::L1);
+    p.arrive(100, TrafficClass::Load);
+    p.evict(100);
+    const auto c = finalizeCounts(p);
+    EXPECT_EQ(c[WasteCat::Evict], 1.0);
+    EXPECT_FALSE(p.present(100));
+}
+
+TEST(WordProfiler, InvalidateBeforeUseL1)
+{
+    WordProfiler p(WordProfiler::Level::L1);
+    p.arrive(100, TrafficClass::Load);
+    p.invalidate(100);
+    const auto c = finalizeCounts(p);
+    EXPECT_EQ(c[WasteCat::Invalidate], 1.0);
+}
+
+TEST(WordProfiler, L2HasNoInvalidateCategory)
+{
+    // Fig. 4.2: the L2 FSM folds invalidation into eviction.
+    WordProfiler p(WordProfiler::Level::L2);
+    p.arrive(100, TrafficClass::Load);
+    p.invalidate(100);
+    const auto c = finalizeCounts(p);
+    EXPECT_EQ(c[WasteCat::Evict], 1.0);
+    EXPECT_EQ(c[WasteCat::Invalidate], 0.0);
+}
+
+TEST(WordProfiler, UnevictedAtEnd)
+{
+    WordProfiler p(WordProfiler::Level::L1);
+    p.arrive(100, TrafficClass::Load);
+    const auto c = finalizeCounts(p);
+    EXPECT_EQ(c[WasteCat::Unevicted], 1.0);
+}
+
+TEST(WordProfiler, StoreAllocatesUntracked)
+{
+    WordProfiler p(WordProfiler::Level::L1);
+    p.store(100); // write-validate allocation, no record
+    EXPECT_TRUE(p.present(100));
+    const auto c = finalizeCounts(p);
+    EXPECT_EQ(c.total(), 0.0);
+}
+
+TEST(WordProfiler, ArriveOnStoreAllocatedIsFetch)
+{
+    WordProfiler p(WordProfiler::Level::L1);
+    p.store(100);
+    p.arrive(100, TrafficClass::Load);
+    const auto c = finalizeCounts(p);
+    EXPECT_EQ(c[WasteCat::Fetch], 1.0);
+}
+
+TEST(WordProfiler, RespUsedMarksL2Reuse)
+{
+    WordProfiler p(WordProfiler::Level::L2);
+    p.arrive(100, TrafficClass::Load);
+    p.respUsed(100);
+    const auto c = finalizeCounts(p);
+    EXPECT_EQ(c[WasteCat::Used], 1.0);
+}
+
+TEST(WordProfiler, OverwriteKeepsPresence)
+{
+    WordProfiler p(WordProfiler::Level::L2);
+    p.arrive(100, TrafficClass::Load);
+    p.overwrite(100); // L1 writeback data lands on it
+    EXPECT_TRUE(p.present(100));
+    const auto c = finalizeCounts(p);
+    EXPECT_EQ(c[WasteCat::Write], 1.0);
+}
+
+TEST(WordProfiler, ArriveReplaceClosesOldOpensNew)
+{
+    WordProfiler p(WordProfiler::Level::L2);
+    p.arrive(100, TrafficClass::Load);
+    const InstId fresh = p.arriveReplace(100, TrafficClass::Load);
+    p.addTraffic(fresh, 1.0);
+    p.respUsed(100);
+    const auto c = finalizeCounts(p);
+    EXPECT_EQ(c[WasteCat::Write], 1.0); // the superseded copy
+    EXPECT_EQ(c[WasteCat::Used], 1.0);  // the fresh copy, reused
+}
+
+TEST(WordProfiler, WriteKillEndsPresence)
+{
+    WordProfiler p(WordProfiler::Level::L2);
+    p.arrive(100, TrafficClass::Load);
+    p.writeKill(100);
+    EXPECT_FALSE(p.present(100));
+    const auto c = finalizeCounts(p);
+    EXPECT_EQ(c[WasteCat::Write], 1.0);
+}
+
+TEST(WordProfiler, TrafficResolvedByClassification)
+{
+    WordProfiler p(WordProfiler::Level::L1);
+    const InstId used = p.arrive(100, TrafficClass::Load);
+    p.addTraffic(used, 2.0);
+    p.load(100);
+    const InstId wasted = p.arrive(200, TrafficClass::Load);
+    p.addTraffic(wasted, 3.0);
+    p.evict(200);
+
+    TrafficStats t;
+    p.finalize(t);
+    EXPECT_DOUBLE_EQ(t.ldRespL1Used, 2.0);
+    EXPECT_DOUBLE_EQ(t.ldRespL1Waste, 3.0);
+}
+
+TEST(WordProfiler, StoreClassTrafficGoesToStoreBuckets)
+{
+    WordProfiler p(WordProfiler::Level::L2);
+    const InstId i = p.arrive(100, TrafficClass::Store);
+    p.addTraffic(i, 4.0);
+    TrafficStats t;
+    p.finalize(t);
+    EXPECT_DOUBLE_EQ(t.stRespL2Waste, 4.0); // Unevicted => waste
+}
+
+TEST(WordProfiler, EpochExcludesWarmup)
+{
+    WordProfiler p(WordProfiler::Level::L1);
+    p.arrive(100, TrafficClass::Load);
+    p.load(100);
+    p.markEpoch();
+    p.arrive(200, TrafficClass::Load);
+    p.load(200);
+    const auto c = finalizeCounts(p);
+    EXPECT_EQ(c.total(), 1.0); // only the post-epoch word
+}
+
+TEST(WordProfilerDeath, LoadOnAbsentWordPanics)
+{
+    WordProfiler p(WordProfiler::Level::L1);
+    EXPECT_DEATH(p.load(100), "absent");
+}
+
+} // namespace wastesim

@@ -1,0 +1,134 @@
+/** Property tests: invariants that must hold for every protocol on
+ *  randomized DRF-style workloads. */
+
+#include <gtest/gtest.h>
+
+#include "script_workload.hh"
+#include "system/system.hh"
+
+namespace wastesim
+{
+
+class EveryProtocol : public ::testing::TestWithParam<ProtocolName>
+{
+};
+
+TEST_P(EveryProtocol, RandomWorkloadRunsClean)
+{
+    for (std::uint64_t seed : {21u, 22u, 23u}) {
+        auto wl = makeRandomWorkload(seed, 3, 200);
+        System sys(GetParam(), *wl, SimParams::scaled());
+        const RunResult r = sys.run();
+
+        // 1. Completion (no deadlock, checked inside run()).
+        EXPECT_TRUE(sys.coresDone());
+
+        // 2. Coherence invariants.
+        sys.checkInvariants();
+
+        // 3. Traffic conservation: attributed == injected.
+        EXPECT_NEAR(r.traffic.total(), r.rawFlitHops,
+                    r.rawFlitHops * 1e-9 + 1e-6);
+
+        // 4. No negative buckets anywhere.
+        EXPECT_GE(r.traffic.load(), 0.0);
+        EXPECT_GE(r.traffic.store(), 0.0);
+        EXPECT_GE(r.traffic.writeback(), 0.0);
+        EXPECT_GE(r.traffic.overhead(), 0.0);
+
+        // 5. Every profiled word is classified (no Unclassified).
+        EXPECT_EQ(r.l1Waste[WasteCat::Unclassified], 0.0);
+        EXPECT_EQ(r.l2Waste[WasteCat::Unclassified], 0.0);
+        EXPECT_EQ(r.memWaste[WasteCat::Unclassified], 0.0);
+
+        // 6. Time breakdown is non-negative and bounded by wallclock.
+        const TimeBreakdown &t = r.time;
+        for (double v : {t.busy, t.onChip, t.toMc, t.mem, t.fromMc,
+                         t.sync})
+            EXPECT_GE(v, 0.0);
+    }
+}
+
+TEST_P(EveryProtocol, SharedDataMigrates)
+{
+    // A producer/consumer chain across all cores completes and moves
+    // data without memory round trips where the protocol allows it.
+    auto wl = std::make_unique<ScriptWorkload>();
+    const Addr a = wl->alloc(4096);
+    Region r;
+    r.name = "token";
+    r.base = a;
+    r.size = 4096;
+    const RegionId rid = wl->regionTable().add(r);
+    for (CoreId c = 0; c < numTiles; ++c) {
+        wl->store(c, a + c * bytesPerWord);
+        wl->barrierAll({rid});
+        wl->load((c + 1) % numTiles, a + c * bytesPerWord);
+        wl->barrierAll({rid});
+    }
+    System sys(GetParam(), *wl, SimParams::scaled());
+    sys.run();
+    sys.checkInvariants();
+}
+
+TEST_P(EveryProtocol, FalseSharingOnlyHurtsMesi)
+{
+    // Two cores ping-pong different words of one line.  DeNovo's
+    // word-granular registration never invalidates the other word.
+    auto wl = std::make_unique<ScriptWorkload>();
+    const Addr a = wl->alloc(4096);
+    Region r;
+    r.name = "line";
+    r.base = a;
+    r.size = 4096;
+    wl->regionTable().add(r);
+    for (unsigned i = 0; i < 16; ++i) {
+        wl->store(0, a);
+        wl->store(1, a + 4);
+        wl->barrierAll({});
+    }
+    System sys(GetParam(), *wl, SimParams::scaled());
+    const RunResult res = sys.run();
+    sys.checkInvariants();
+    if (sys.config().isDeNovo()) {
+        // No invalidation overhead in DeNovo, ever.
+        EXPECT_DOUBLE_EQ(res.traffic.ohInv, 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, EveryProtocol,
+    ::testing::Values(ProtocolName::MESI, ProtocolName::MMemL1,
+                      ProtocolName::DeNovo, ProtocolName::DFlexL1,
+                      ProtocolName::DValidateL2, ProtocolName::DMemL1,
+                      ProtocolName::DFlexL2, ProtocolName::DBypL2,
+                      ProtocolName::DBypFull),
+    [](const auto &info) { return protocolName(info.param); });
+
+/** Cross-protocol sanity on one real benchmark. */
+TEST(CrossProtocol, DenovoNeverUsesMesiOverheadMessages)
+{
+    auto wl = makeRandomWorkload(31, 2, 150);
+    for (ProtocolName p :
+         {ProtocolName::DeNovo, ProtocolName::DBypFull}) {
+        System sys(p, *wl, SimParams::scaled());
+        const RunResult r = sys.run();
+        EXPECT_DOUBLE_EQ(r.traffic.ohUnblock, 0.0) << protocolName(p);
+        EXPECT_DOUBLE_EQ(r.traffic.ohInv, 0.0) << protocolName(p);
+        EXPECT_DOUBLE_EQ(r.traffic.ohAck, 0.0) << protocolName(p);
+    }
+}
+
+TEST(CrossProtocol, LoadsAlwaysComplete)
+{
+    // Op-count bookkeeping: every core executes its whole trace under
+    // every protocol (no lost wakeups).
+    auto wl = makeRandomWorkload(32, 2, 100);
+    for (ProtocolName p : allProtocols) {
+        System sys(p, *wl, SimParams::scaled());
+        sys.run();
+        EXPECT_TRUE(sys.coresDone()) << protocolName(p);
+    }
+}
+
+} // namespace wastesim

@@ -1,0 +1,181 @@
+/** Unit tests: regions, Flex communication regions, bypass flags. */
+
+#include <gtest/gtest.h>
+
+#include "workload/region_table.hh"
+
+namespace wastesim
+{
+
+namespace
+{
+
+RegionTable
+tableWithFlex(bool stream = false)
+{
+    RegionTable rt;
+    Region r;
+    r.name = "structs";
+    r.base = 1 << 20;
+    r.size = 64 * 1024;
+    r.flex = true;
+    r.strideWords = 28;                     // 112 B, not line aligned
+    r.usedFields = {0, 1, 2, 3, 14, 15};    // 6 used words
+    r.stream = stream;
+    rt.add(r);
+    return rt;
+}
+
+} // namespace
+
+TEST(RegionTable, LookupByAddress)
+{
+    RegionTable rt;
+    Region a;
+    a.name = "a";
+    a.base = 0x1000;
+    a.size = 0x1000;
+    const RegionId ida = rt.add(a);
+    Region b;
+    b.name = "b";
+    b.base = 0x2000;
+    b.size = 0x1000;
+    const RegionId idb = rt.add(b);
+
+    EXPECT_EQ(rt.regionOf(0x1000)->id, ida);
+    EXPECT_EQ(rt.regionOf(0x1fff)->id, ida);
+    EXPECT_EQ(rt.regionOf(0x2000)->id, idb);
+    EXPECT_EQ(rt.regionOf(0x3000), nullptr);
+    EXPECT_EQ(rt.regionOf(0xfff), nullptr);
+}
+
+TEST(RegionTable, BypassFlag)
+{
+    RegionTable rt;
+    Region r;
+    r.name = "byp";
+    r.base = 0x1000;
+    r.size = 0x100;
+    r.bypass = true;
+    rt.add(r);
+    EXPECT_TRUE(rt.isBypass(0x1000));
+    EXPECT_FALSE(rt.isBypass(0x2000));
+}
+
+TEST(RegionTable, FlexWordsCoverUsedFields)
+{
+    auto rt = tableWithFlex();
+    // Struct 0 starts at the region base.
+    const auto words = rt.flexWords(1 << 20);
+    ASSERT_EQ(words.size(), 6u);
+    // First words belong to the critical line.
+    EXPECT_EQ(words[0].line, lineAddr(1 << 20));
+}
+
+TEST(RegionTable, FlexWordsNonFlexIsEmpty)
+{
+    RegionTable rt;
+    Region r;
+    r.name = "plain";
+    r.base = 0x1000;
+    r.size = 0x100;
+    rt.add(r);
+    EXPECT_TRUE(rt.flexWords(0x1000).empty());
+    EXPECT_TRUE(rt.flexWords(0x9999).empty());
+}
+
+TEST(RegionTable, FlexStructStraddlesLines)
+{
+    auto rt = tableWithFlex();
+    // Struct 3 starts at word 84 = byte 336: fields 14/15 land on a
+    // different line than fields 0..3.
+    const Addr a = (1 << 20) + 84 * bytesPerWord;
+    const auto words = rt.flexWords(a);
+    ASSERT_EQ(words.size(), 6u);
+    bool multi_line = false;
+    for (const auto &w : words)
+        multi_line |= w.line != words[0].line;
+    EXPECT_TRUE(multi_line);
+}
+
+TEST(RegionTable, FlexCriticalLineFirst)
+{
+    auto rt = tableWithFlex();
+    // Access field 14 of struct 3: its line must sort first.
+    const Addr a = (1 << 20) + (84 + 14) * bytesPerWord;
+    const auto words = rt.flexWords(a);
+    ASSERT_FALSE(words.empty());
+    EXPECT_EQ(words[0].line, lineAddr(a));
+}
+
+TEST(RegionTable, StreamPrefetchesNextStruct)
+{
+    auto rt = tableWithFlex(true);
+    const auto words = rt.flexWords(1 << 20);
+    // 6 fields of struct 0 + 6 of struct 1.
+    EXPECT_EQ(words.size(), 12u);
+}
+
+TEST(RegionTable, FlexCapsAtMaxWords)
+{
+    RegionTable rt;
+    Region r;
+    r.name = "wide";
+    r.base = 1 << 20;
+    r.size = 64 * 1024;
+    r.flex = true;
+    r.strideWords = 64;
+    for (unsigned f = 0; f < 40; ++f)
+        r.usedFields.push_back(f);
+    rt.add(r);
+    const auto words = rt.flexWords(1 << 20);
+    EXPECT_EQ(words.size(), maxWordsPerMsg);
+}
+
+TEST(RegionTable, FlexRespectsRegionEnd)
+{
+    RegionTable rt;
+    Region r;
+    r.name = "tail";
+    r.base = 1 << 20;
+    r.size = 30 * bytesPerWord; // barely more than one struct
+    r.flex = true;
+    r.strideWords = 28;
+    r.usedFields = {0, 27};
+    r.stream = true;
+    rt.add(r);
+    // The streamed next struct runs past the region end: only its
+    // in-range field survives (struct 1 field 0 = word 28 < 30;
+    // field 27 = word 55 is clipped).
+    const auto words = rt.flexWords(1 << 20);
+    EXPECT_EQ(words.size(), 3u);
+}
+
+TEST(RegionTableDeath, BadRegionsRejected)
+{
+    RegionTable rt;
+    Region empty;
+    empty.name = "empty";
+    empty.base = 0x1000;
+    empty.size = 0;
+    EXPECT_DEATH(rt.add(empty), "empty region");
+
+    Region flex_no_stride;
+    flex_no_stride.name = "f";
+    flex_no_stride.base = 0x1000;
+    flex_no_stride.size = 0x100;
+    flex_no_stride.flex = true;
+    flex_no_stride.usedFields = {0};
+    EXPECT_DEATH(rt.add(flex_no_stride), "stride");
+
+    Region field_oob;
+    field_oob.name = "g";
+    field_oob.base = 0x1000;
+    field_oob.size = 0x100;
+    field_oob.flex = true;
+    field_oob.strideWords = 4;
+    field_oob.usedFields = {7};
+    EXPECT_DEATH(rt.add(field_oob), "beyond stride");
+}
+
+} // namespace wastesim

@@ -1,0 +1,129 @@
+/** Unit tests: figure renderers on hand-built sweep data. */
+
+#include <gtest/gtest.h>
+
+#include "system/report.hh"
+
+namespace wastesim
+{
+
+namespace
+{
+
+/** A two-protocol sweep with known numbers. */
+Sweep
+syntheticSweep()
+{
+    Sweep s;
+    s.benchNames = {"toy"};
+    s.protoNames = {"MESI", "DBypFull"};
+
+    RunResult mesi;
+    mesi.protocol = "MESI";
+    mesi.benchmark = "toy";
+    mesi.traffic.ldReqCtl = 10;
+    mesi.traffic.ldRespL1Used = 60;
+    mesi.traffic.ldRespL1Waste = 30; // LD = 100
+    mesi.traffic.stReqCtl = 50;      // ST = 50
+    mesi.traffic.wbControl = 25;     // WB = 25
+    mesi.traffic.ohUnblock = 25;     // OH = 25 -> total 200
+    mesi.l1Waste[WasteCat::Used] = 80;
+    mesi.l1Waste[WasteCat::Evict] = 20;
+    mesi.l2Waste[WasteCat::Used] = 50;
+    mesi.memWaste[WasteCat::Used] = 40;
+    mesi.time.busy = 10;
+    mesi.time.mem = 90;
+
+    RunResult dn = mesi;
+    dn.protocol = "DBypFull";
+    dn.traffic = TrafficStats{};
+    dn.traffic.ldReqCtl = 10;
+    dn.traffic.ldRespL1Used = 60; // LD = 70
+    dn.traffic.stReqCtl = 20;     // ST = 20
+    dn.traffic.wbControl = 10;    // WB = 10 -> total 100
+    dn.time.busy = 10;
+    dn.time.mem = 40;
+
+    s.results = {{mesi, dn}};
+    return s;
+}
+
+} // namespace
+
+TEST(Report, Fig51aNormalizesToMesiTotal)
+{
+    const std::string out = renderFig51a(syntheticSweep());
+    // MESI row: LD 50%, ST 25%, WB 12.5%, OH 12.5%, total 100%.
+    EXPECT_NE(out.find("50.0%"), std::string::npos);
+    EXPECT_NE(out.find("25.0%"), std::string::npos);
+    EXPECT_NE(out.find("12.5%"), std::string::npos);
+    EXPECT_NE(out.find("100.0%"), std::string::npos);
+    // DBypFull total = 100/200 = 50% of MESI.
+    EXPECT_NE(out.find("DBypFull"), std::string::npos);
+}
+
+TEST(Report, Fig51bNormalizesToMesiLoad)
+{
+    const std::string out = renderFig51b(syntheticSweep());
+    // MESI load: req 10%, L1 used 60%, L1 waste 30% of LD=100.
+    EXPECT_NE(out.find("10.0%"), std::string::npos);
+    EXPECT_NE(out.find("60.0%"), std::string::npos);
+    EXPECT_NE(out.find("30.0%"), std::string::npos);
+}
+
+TEST(Report, Fig52ShowsTimeCategories)
+{
+    const std::string out = renderFig52(syntheticSweep());
+    EXPECT_NE(out.find("Compute"), std::string::npos);
+    EXPECT_NE(out.find("Sync"), std::string::npos);
+    // MESI: busy 10%, mem 90%; DBypFull total 50%.
+    EXPECT_NE(out.find("90.0%"), std::string::npos);
+    EXPECT_NE(out.find("50.0%"), std::string::npos);
+}
+
+TEST(Report, Fig53MemoryIncludesExcessColumn)
+{
+    const std::string l1 = renderFig53(syntheticSweep(),
+                                       WasteLevel::L1);
+    const std::string mem = renderFig53(syntheticSweep(),
+                                        WasteLevel::Memory);
+    EXPECT_EQ(l1.find("Excess"), std::string::npos);
+    EXPECT_NE(mem.find("Excess"), std::string::npos);
+}
+
+TEST(Report, OverheadHandlesZeroOverhead)
+{
+    Sweep s = syntheticSweep();
+    s.results[0][1].traffic.ohUnblock = 0;
+    const std::string out = renderOverheadComposition(s);
+    EXPECT_NE(out.find("-"), std::string::npos); // placeholder cells
+}
+
+TEST(Report, HeadlineNeedsKeyProtocols)
+{
+    Sweep s;
+    s.benchNames = {"toy"};
+    s.protoNames = {"OnlyOne"};
+    s.results = {{RunResult{}}};
+    const std::string out = renderHeadline(s);
+    EXPECT_NE(out.find("lacks"), std::string::npos);
+}
+
+TEST(Report, HeadlineComputesReductions)
+{
+    const std::string out = renderHeadline(syntheticSweep());
+    // 100 vs 200 flit-hops: 50% reduction.
+    EXPECT_NE(out.find("50.0%"), std::string::npos);
+    EXPECT_NE(out.find("39.5%"), std::string::npos); // paper column
+}
+
+TEST(Report, EmptyBaselineDoesNotDivideByZero)
+{
+    Sweep s = syntheticSweep();
+    s.results[0][0].traffic = TrafficStats{}; // zero MESI traffic
+    // Must not crash; all entries become 0%.
+    const std::string out = renderFig51a(s);
+    EXPECT_FALSE(out.empty());
+}
+
+} // namespace wastesim

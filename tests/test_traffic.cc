@@ -1,0 +1,97 @@
+/** Unit tests: flit-hop bucket accounting. */
+
+#include <gtest/gtest.h>
+
+#include "profile/traffic.hh"
+
+namespace wastesim
+{
+
+TEST(Traffic, ControlBuckets)
+{
+    TrafficRecorder r;
+    r.control(TrafficClass::Load, CtlType::ReqCtl, 1.0, 4);
+    r.control(TrafficClass::Load, CtlType::RespCtl, 1.0, 2);
+    r.control(TrafficClass::Store, CtlType::ReqCtl, 1.0, 3);
+    r.control(TrafficClass::Writeback, CtlType::WbControl, 1.0, 5);
+    const auto &s = r.stats();
+    EXPECT_DOUBLE_EQ(s.ldReqCtl, 4.0);
+    EXPECT_DOUBLE_EQ(s.ldRespCtl, 2.0);
+    EXPECT_DOUBLE_EQ(s.stReqCtl, 3.0);
+    EXPECT_DOUBLE_EQ(s.wbControl, 5.0);
+}
+
+TEST(Traffic, OverheadSubtypes)
+{
+    TrafficRecorder r;
+    r.control(TrafficClass::Overhead, CtlType::OhUnblock, 1.0, 1);
+    r.control(TrafficClass::Overhead, CtlType::OhWbCtl, 1.0, 2);
+    r.control(TrafficClass::Overhead, CtlType::OhInv, 1.0, 3);
+    r.control(TrafficClass::Overhead, CtlType::OhAck, 1.0, 4);
+    r.control(TrafficClass::Overhead, CtlType::OhNack, 1.0, 5);
+    r.control(TrafficClass::Overhead, CtlType::OhBloom, 1.0, 6);
+    const auto &s = r.stats();
+    EXPECT_DOUBLE_EQ(s.overhead(), 21.0);
+    EXPECT_DOUBLE_EQ(s.ohUnblock, 1.0);
+    EXPECT_DOUBLE_EQ(s.ohBloom, 6.0);
+}
+
+TEST(Traffic, WritebackDataSplit)
+{
+    TrafficRecorder r;
+    // 8 dirty + 8 clean words over 4 hops: one word = 1/4 flit.
+    r.wbData(false, 8, 8, 4);
+    EXPECT_DOUBLE_EQ(r.stats().wbL2Used, 8.0);
+    EXPECT_DOUBLE_EQ(r.stats().wbL2Waste, 8.0);
+    r.wbData(true, 4, 0, 2);
+    EXPECT_DOUBLE_EQ(r.stats().wbMemUsed, 2.0);
+    EXPECT_DOUBLE_EQ(r.stats().wbMemWaste, 0.0);
+}
+
+TEST(Traffic, TotalsAddUp)
+{
+    TrafficStats s;
+    s.ldReqCtl = 1;
+    s.stRespL1Used = 2;
+    s.wbControl = 3;
+    s.ohNack = 4;
+    EXPECT_DOUBLE_EQ(s.total(), 10.0);
+    EXPECT_DOUBLE_EQ(s.load(), 1.0);
+    EXPECT_DOUBLE_EQ(s.store(), 2.0);
+    EXPECT_DOUBLE_EQ(s.writeback(), 3.0);
+    EXPECT_DOUBLE_EQ(s.overhead(), 4.0);
+}
+
+TEST(Traffic, WasteDataSumsWasteBucketsOnly)
+{
+    TrafficStats s;
+    s.ldRespL1Used = 10;
+    s.ldRespL1Waste = 1;
+    s.stRespL2Waste = 2;
+    s.wbMemWaste = 3;
+    s.ldReqCtl = 100; // control is not "waste data"
+    EXPECT_DOUBLE_EQ(s.wasteData(), 6.0);
+}
+
+TEST(Traffic, EpochResets)
+{
+    TrafficRecorder r;
+    r.control(TrafficClass::Load, CtlType::ReqCtl, 1.0, 4);
+    r.addRaw(5.0);
+    r.markEpoch();
+    EXPECT_DOUBLE_EQ(r.stats().total(), 0.0);
+    EXPECT_DOUBLE_EQ(r.rawFlitHops(), 0.0);
+}
+
+TEST(Traffic, AccumulateOperator)
+{
+    TrafficStats a, b;
+    a.ldReqCtl = 1;
+    b.ldReqCtl = 2;
+    b.ohInv = 3;
+    a += b;
+    EXPECT_DOUBLE_EQ(a.ldReqCtl, 3.0);
+    EXPECT_DOUBLE_EQ(a.ohInv, 3.0);
+}
+
+} // namespace wastesim
