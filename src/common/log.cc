@@ -8,7 +8,7 @@ namespace wastesim
 
 int logVerbosity = 0;
 
-std::function<void(std::uint64_t)> debugLineDump;
+thread_local std::function<void(std::uint64_t)> debugLineDump;
 
 namespace detail
 {

@@ -24,8 +24,10 @@ extern int logVerbosity;
  * Debug hook: when set (the System installs one), protocol-level
  * stuck-progress panics call it with the affected line address so the
  * whole hierarchy's state for that line is dumped before aborting.
+ * Thread-local so concurrent sweep simulations each dump their own
+ * System.
  */
-extern std::function<void(std::uint64_t)> debugLineDump;
+extern thread_local std::function<void(std::uint64_t)> debugLineDump;
 
 namespace detail
 {

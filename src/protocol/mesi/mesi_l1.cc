@@ -113,6 +113,8 @@ MesiL1::store(Addr a, PlainCallback accepted)
     m.line = la;
     m.isStore = true;
     m.isUpgrade = cl && cl->mesi == MesiState::S;
+    if (m.isUpgrade)
+        cl->busy = true; // pinned until the upgrade resolves
     m.storeWords.set(wordIndex(a));
     m.issued = eq_.now();
     sendRequest(m);
@@ -245,6 +247,10 @@ void
 MesiL1::installData(Message &msg, Mshr &m)
 {
     CacheLine &cl = ensureSlot(msg.line);
+    // Pin the line until the transaction completes: with many misses
+    // outstanding (synthetic hot-set streams), a later install in the
+    // same set must not evict a line whose MSHR still awaits acks.
+    cl.busy = true;
     const double per_word = Network::perWordFlitHops(msg);
     for (auto &chunk : msg.chunks) {
         panic_if(chunk.line != msg.line, "MESI data spans lines");
@@ -349,6 +355,8 @@ MesiL1::maybeComplete(Addr line_addr)
         ub.ctl = CtlType::OhUnblock;
     }
     net_.send(std::move(ub));
+
+    cl->busy = false;
 
     // Retire: complete loads, replay stores, free the slot.
     auto load_waiters = std::move(m.loadWaiters);
@@ -588,6 +596,13 @@ MesiL1::handle(Message msg)
         auto it = mshrs_.find(msg.line);
         panic_if(it == mshrs_.end(), "data for %llx without an MSHR",
                  static_cast<unsigned long long>(msg.line));
+        if (!array_.find(msg.line) && !array_.victimFor(msg.line)) {
+            // Every way of the set is pinned by a completing
+            // transaction; retry once one of them retires.
+            eq_.schedule(params_.nackRetryDelay,
+                         [this, msg] { handle(msg); });
+            return;
+        }
         Mshr &m = it->second;
         installData(msg, m);
         m.dataArrived = true;

@@ -32,6 +32,18 @@ protocolName(ProtocolName p)
     }
 }
 
+bool
+protocolFromName(const std::string &s, ProtocolName &out)
+{
+    for (ProtocolName p : allProtocols) {
+        if (s == protocolName(p)) {
+            out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
 ProtocolConfig
 ProtocolConfig::make(ProtocolName p)
 {

@@ -36,6 +36,9 @@ constexpr unsigned numProtocols =
 /** Printable name as used in the figures. */
 const char *protocolName(ProtocolName p);
 
+/** Parse a figure name back to a ProtocolName; false if unknown. */
+bool protocolFromName(const std::string &s, ProtocolName &out);
+
 /** All nine protocols in figure order. */
 extern const ProtocolName allProtocols[numProtocols];
 

@@ -1,8 +1,12 @@
 #include "system/runner.hh"
 
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "common/log.hh"
 
@@ -12,7 +16,29 @@ namespace wastesim
 namespace
 {
 
-constexpr const char *cacheMagic = "wastesim-sweep-v2";
+constexpr const char *cacheMagic = "wastesim-sweep-v3";
+
+/**
+ * Configuration fingerprint for the sweep cache: every SimParams
+ * field that influences results, spelled out (not hashed), so any
+ * parameter change — and only a parameter change — misses the cache.
+ */
+std::string
+configTagFor(unsigned scale, const SimParams &p)
+{
+    std::ostringstream os;
+    os << "scale=" << scale << ",l1=" << p.l1Sets << "x" << p.l1Ways
+       << "@" << p.l1Latency << ",l2=" << p.l2Sets << "x" << p.l2Ways
+       << "@" << p.l2Latency << ",link=" << p.linkLatency
+       << ",wb=" << p.writeBufferEntries << ",wct=" << p.wcTimeout
+       << ",nack=" << p.nackRetryDelay << ",lr=" << p.loadRetryDelay
+       << ",bloom=" << p.bloomFilters << ",dram=" << p.dram.numRanks
+       << "x" << p.dram.numBanksPerRank << "x" << p.dram.linesPerRow
+       << "/" << p.dram.tCas << "-" << p.dram.tRcd << "-"
+       << p.dram.tRp << "-" << p.dram.tBurst
+       << (p.dram.partialReads ? ",partial" : "");
+    return os.str();
+}
 
 void
 writeResult(std::ostream &os, const RunResult &r)
@@ -86,26 +112,109 @@ runOne(ProtocolName protocol, BenchmarkName bench, unsigned scale,
     return runOne(protocol, *wl, params);
 }
 
+namespace
+{
+
+/** Simulation thread count: $WASTESIM_JOBS, else all hardware threads. */
+unsigned
+sweepJobs(std::size_t num_tasks)
+{
+    unsigned jobs = std::max(1u, std::thread::hardware_concurrency());
+    if (const char *env = std::getenv("WASTESIM_JOBS")) {
+        char *end = nullptr;
+        errno = 0;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && errno != ERANGE && v >= 1 &&
+            v <= 1024)
+            jobs = static_cast<unsigned>(v);
+        else
+            warn("ignoring invalid WASTESIM_JOBS='%s'", env);
+    }
+    return static_cast<unsigned>(
+        std::min<std::size_t>(jobs, std::max<std::size_t>(1, num_tasks)));
+}
+
+} // namespace
+
+Sweep
+runSweep(const std::vector<const Workload *> &workloads,
+         const std::vector<ProtocolName> &protocols, SimParams params)
+{
+    Sweep sweep;
+    for (ProtocolName p : protocols)
+        sweep.protoNames.emplace_back(protocolName(p));
+    for (const Workload *wl : workloads)
+        sweep.benchNames.push_back(wl->name());
+    sweep.results.assign(workloads.size(),
+                         std::vector<RunResult>(protocols.size()));
+
+    // Flatten the grid into (workload, protocol) tasks and let a
+    // fixed-slot pool chew through them; each task writes its own
+    // results cell, so figure order is deterministic regardless of
+    // which thread finishes first.
+    const std::size_t num_tasks = workloads.size() * protocols.size();
+    if (num_tasks == 0)
+        return sweep;
+
+    const unsigned jobs = sweepJobs(num_tasks);
+    std::atomic<std::size_t> next{0};
+
+    auto worker = [&]() {
+        for (std::size_t i = next.fetch_add(1); i < num_tasks;
+             i = next.fetch_add(1)) {
+            const std::size_t b = i / protocols.size();
+            const std::size_t p = i % protocols.size();
+            inform("running %s on %s", protocolName(protocols[p]),
+                   workloads[b]->name().c_str());
+            sweep.results[b][p] =
+                runOne(protocols[p], *workloads[b], params);
+        }
+    };
+
+    if (jobs <= 1) {
+        worker();
+        return sweep;
+    }
+
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+    return sweep;
+}
+
 Sweep
 runSweep(const std::vector<BenchmarkName> &benches,
          const std::vector<ProtocolName> &protocols, unsigned scale,
          SimParams params)
 {
-    Sweep sweep;
-    for (ProtocolName p : protocols)
-        sweep.protoNames.emplace_back(protocolName(p));
-    for (BenchmarkName b : benches) {
-        auto wl = makeBenchmark(b, scale);
-        sweep.benchNames.push_back(wl->name());
-        std::vector<RunResult> row;
-        for (ProtocolName p : protocols) {
-            inform("running %s on %s", protocolName(p),
-                   wl->name().c_str());
-            row.push_back(runOne(p, *wl, params));
+    // Single-job sweeps stream one workload at a time (the old
+    // serial behavior) so peak memory stays at one trace; parallel
+    // sweeps materialize everything so rows can run concurrently.
+    if (sweepJobs(benches.size() * protocols.size()) <= 1) {
+        Sweep sweep;
+        for (ProtocolName p : protocols)
+            sweep.protoNames.emplace_back(protocolName(p));
+        for (BenchmarkName b : benches) {
+            auto wl = makeBenchmark(b, scale);
+            const Sweep row = runSweep({wl.get()}, protocols, params);
+            sweep.benchNames.push_back(row.benchNames.at(0));
+            sweep.results.push_back(row.results.at(0));
         }
-        sweep.results.push_back(std::move(row));
+        return sweep;
     }
-    return sweep;
+
+    std::vector<std::unique_ptr<Workload>> built;
+    built.reserve(benches.size());
+    for (BenchmarkName b : benches)
+        built.push_back(makeBenchmark(b, scale));
+    std::vector<const Workload *> workloads;
+    workloads.reserve(built.size());
+    for (const auto &wl : built)
+        workloads.push_back(wl.get());
+    return runSweep(workloads, protocols, params);
 }
 
 Sweep
@@ -125,6 +234,7 @@ saveSweep(const Sweep &s, const std::string &path)
     if (!os)
         return false;
     os << cacheMagic << '\n';
+    os << (s.configTag.empty() ? "-" : s.configTag) << '\n';
     os << s.benchNames.size() << ' ' << s.protoNames.size() << '\n';
     os.precision(17);
     for (const auto &b : s.benchNames)
@@ -147,10 +257,18 @@ loadSweep(Sweep &s, const std::string &path)
     std::getline(is, magic);
     if (magic != cacheMagic)
         return false;
+    std::string tag;
+    std::getline(is, tag);
     std::size_t nb = 0, np = 0;
     is >> nb >> np;
     is.ignore();
+    // Corrupt counts must fail the load, not drive the allocations
+    // below; real grids are at most benchmarks x protocols sized.
+    if (!is || nb > 1024 || np > 1024)
+        return false;
     s = Sweep{};
+    if (tag != "-")
+        s.configTag = tag;
     for (std::size_t i = 0; i < nb; ++i) {
         std::string line;
         std::getline(is, line);
@@ -170,21 +288,30 @@ loadSweep(Sweep &s, const std::string &path)
 }
 
 Sweep
-cachedFullSweep(unsigned scale, SimParams params)
+cachedFullSweep(unsigned scale, SimParams params,
+                std::function<Sweep(unsigned, SimParams)> compute)
 {
     std::string path = "wastesim_sweep.cache";
     if (const char *env = std::getenv("WASTESIM_CACHE"))
         path = env;
     const bool no_cache = std::getenv("WASTESIM_NO_CACHE") != nullptr;
 
+    // A cache entry only counts as a hit when it was produced under
+    // the same configuration: a `--scale 4` or full-size sweep must
+    // not be served scale-1 figures recorded earlier.
+    const std::string tag = configTagFor(scale, params);
+
     Sweep s;
-    if (!no_cache && loadSweep(s, path) &&
+    if (!no_cache && loadSweep(s, path) && s.configTag == tag &&
         s.benchNames.size() == numBenchmarks &&
         s.protoNames.size() == numProtocols) {
         return s;
     }
 
-    s = runFullSweep(scale, params);
+    if (!compute)
+        compute = runFullSweep;
+    s = compute(scale, params);
+    s.configTag = tag;
     if (!no_cache && !saveSweep(s, path))
         warn("could not write sweep cache to %s", path.c_str());
     return s;

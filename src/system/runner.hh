@@ -7,6 +7,7 @@
 #ifndef WASTESIM_SYSTEM_RUNNER_HH
 #define WASTESIM_SYSTEM_RUNNER_HH
 
+#include <functional>
 #include <vector>
 
 #include "system/config.hh"
@@ -22,6 +23,13 @@ struct Sweep
     std::vector<std::string> benchNames;
     std::vector<std::string> protoNames;
     std::vector<std::vector<RunResult>> results;
+
+    /**
+     * Fingerprint of the configuration that produced the sweep
+     * (scale + SimParams); cachedFullSweep uses it to reject cache
+     * files computed under a different configuration.
+     */
+    std::string configTag;
 };
 
 /** Run one protocol on one benchmark. */
@@ -33,8 +41,26 @@ RunResult runOne(ProtocolName protocol, const Workload &wl,
                  SimParams params = SimParams{});
 
 /**
+ * Run a protocol grid over arbitrary pre-built workloads (Table-4.2
+ * generators, trace replays, synthetic scenarios alike).
+ *
+ * Simulations run on a thread pool sized by
+ * std::thread::hardware_concurrency() (override with $WASTESIM_JOBS);
+ * results land in deterministic figure order regardless of
+ * scheduling.
+ */
+Sweep runSweep(const std::vector<const Workload *> &workloads,
+               const std::vector<ProtocolName> &protocols,
+               SimParams params = SimParams{});
+
+/**
  * Run the full paper grid: all nine protocols over the given
  * benchmarks (defaults to all six).
+ *
+ * All benchmark workloads are materialized up front so their rows
+ * can run concurrently; on memory-constrained machines (or at large
+ * scales) set $WASTESIM_JOBS=1 to bound the number of simultaneous
+ * System instances.
  */
 Sweep runSweep(const std::vector<BenchmarkName> &benches,
                const std::vector<ProtocolName> &protocols,
@@ -54,9 +80,15 @@ bool loadSweep(Sweep &s, const std::string &path);
  * pays for the 54 simulations, subsequent ones re-render instantly.
  * Cache path from $WASTESIM_CACHE (default "wastesim_sweep.cache");
  * set $WASTESIM_NO_CACHE to force re-simulation.
+ *
+ * @param compute sweep producer invoked on a cache miss; defaults to
+ *        runFullSweep (overridable so tests can exercise the cache
+ *        logic without paying for 54 simulations).
  */
 Sweep cachedFullSweep(unsigned scale = 1,
-                      SimParams params = SimParams::scaled());
+                      SimParams params = SimParams::scaled(),
+                      std::function<Sweep(unsigned, SimParams)>
+                          compute = {});
 
 } // namespace wastesim
 

@@ -1,0 +1,456 @@
+/**
+ * @file
+ * `wastesim` — the command-line front end to the simulator.
+ *
+ *   wastesim record  --bench NAME [--scale N] --out FILE
+ *       build a Table-4.2 benchmark and serialize it as a trace file
+ *   wastesim replay  --trace FILE [--protocol P ...]
+ *       replay a trace through protocol variants and print results
+ *   wastesim synth   [--seed N --pattern P ...] [--out FILE]
+ *       generate a synthetic scenario; run it, or save it as a trace
+ *   wastesim sweep   [--scale N] [--report NAME ...]
+ *       run the full 9x6 paper grid (disk-cached) and print reports
+ *   wastesim info    --trace FILE
+ *       print a trace file's header, regions and op counts
+ *
+ * Run `wastesim help` for the full option list.  All simulations use
+ * the scaled Table-4.1 hierarchy (SimParams::scaled()) unless
+ * --full-size is given.
+ */
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "system/report.hh"
+#include "system/runner.hh"
+#include "trace/synthetic.hh"
+#include "trace/trace_workload.hh"
+#include "workload/workload.hh"
+
+using namespace wastesim;
+
+namespace
+{
+
+int
+usage(const char *prog)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  record  --bench NAME [--scale N] --out FILE\n"
+        "          serialize a Table-4.2 benchmark to a trace file\n"
+        "  replay  --trace FILE [--protocol P ...] [--full-size]\n"
+        "          replay a trace through protocols (default: all 9)\n"
+        "  synth   [--seed N] [--pattern stride|random|hotset]\n"
+        "          [--ops N] [--phases N] [--regions N]\n"
+        "          [--region-bytes N] [--private-bytes N]\n"
+        "          [--sharing-degree N] [--read-frac F]\n"
+        "          [--shared-frac F] [--stride W] [--hot-frac F]\n"
+        "          [--hot-prob F] [--work N] [--bypass]\n"
+        "          [--out FILE | --protocol P ... | --full-size]\n"
+        "          generate a synthetic scenario; save or simulate it\n"
+        "  sweep   [--scale N] [--report NAME ...] [--full-size]\n"
+        "          full 9-protocol x 6-benchmark grid (disk-cached;\n"
+        "          reports: fig5.1a b c d, fig5.2, fig5.3a b c,\n"
+        "          overhead, headline; default: fig5.1a + headline)\n"
+        "  info    --trace FILE\n"
+        "          describe a trace file\n"
+        "\n"
+        "benchmarks:",
+        prog);
+    for (BenchmarkName b : allBenchmarks)
+        std::fprintf(stderr, " %s", benchmarkName(b));
+    std::fprintf(stderr, "\nprotocols: ");
+    for (ProtocolName p : allProtocols)
+        std::fprintf(stderr, " %s", protocolName(p));
+    std::fprintf(stderr, "\n");
+    return 2;
+}
+
+/** Argument cursor with typed accessors; calls fatal() on misuse. */
+class Args
+{
+  public:
+    Args(int argc, char **argv) : argc_(argc), argv_(argv) {}
+
+    bool done() const { return i_ >= argc_; }
+
+    std::string
+    next()
+    {
+        fatal_if(done(), "missing argument");
+        return argv_[i_++];
+    }
+
+    std::string
+    value(const std::string &flag)
+    {
+        fatal_if(done(), "%s needs a value", flag.c_str());
+        return argv_[i_++];
+    }
+
+    std::uint64_t
+    uvalue(const std::string &flag,
+           std::uint64_t max = std::numeric_limits<std::uint64_t>::max())
+    {
+        const std::string v = value(flag);
+        char *end = nullptr;
+        errno = 0;
+        const unsigned long long r = std::strtoull(v.c_str(), &end, 10);
+        // strtoull silently wraps negatives; reject them explicitly.
+        fatal_if(end == v.c_str() || *end != '\0' ||
+                     v.find('-') != std::string::npos ||
+                     errno == ERANGE || r > max,
+                 "%s needs an unsigned integer in [0, %llu], got '%s'",
+                 flag.c_str(), static_cast<unsigned long long>(max),
+                 v.c_str());
+        return r;
+    }
+
+    /** uvalue() bounded to 32 bits (the common `unsigned` knobs). */
+    unsigned
+    u32value(const std::string &flag)
+    {
+        return static_cast<unsigned>(
+            uvalue(flag, std::numeric_limits<std::uint32_t>::max()));
+    }
+
+    double
+    fvalue(const std::string &flag)
+    {
+        const std::string v = value(flag);
+        char *end = nullptr;
+        const double r = std::strtod(v.c_str(), &end);
+        fatal_if(end == v.c_str() || *end != '\0',
+                 "%s needs a number, got '%s'", flag.c_str(),
+                 v.c_str());
+        return r;
+    }
+
+  private:
+    int argc_;
+    char **argv_;
+    int i_ = 0;
+};
+
+/** Compact per-protocol result table for replay/synth runs. */
+void
+printRunTable(const Sweep &s)
+{
+    std::printf("workload: %s\n", s.benchNames.at(0).c_str());
+    std::printf("%-12s %12s %14s %10s %10s %10s\n", "protocol",
+                "cycles", "flit-hops", "msgs", "dramRd", "dramWr");
+    const auto &row = s.results.at(0);
+    for (std::size_t p = 0; p < s.protoNames.size(); ++p) {
+        const RunResult &r = row[p];
+        std::printf("%-12s %12llu %14.0f %10llu %10llu %10llu\n",
+                    s.protoNames[p].c_str(),
+                    static_cast<unsigned long long>(r.cycles),
+                    r.traffic.total(),
+                    static_cast<unsigned long long>(r.messages),
+                    static_cast<unsigned long long>(r.dramReads),
+                    static_cast<unsigned long long>(r.dramWrites));
+    }
+    if (s.protoNames.size() > 1 && s.protoNames.front() == "MESI") {
+        const RunResult &base = row.front();
+        const RunResult &last = row.back();
+        if (base.traffic.total() > 0 && base.cycles > 0)
+            std::printf("\n%s vs MESI: traffic %+.1f%%, "
+                        "exec time %+.1f%%\n",
+                        s.protoNames.back().c_str(),
+                        100.0 * (last.traffic.total() /
+                                     base.traffic.total() -
+                                 1.0),
+                        100.0 * (static_cast<double>(last.cycles) /
+                                     base.cycles -
+                                 1.0));
+    }
+}
+
+/** Shared protocol-list parsing: --protocol may repeat. */
+void
+parseProtocol(const std::string &v, std::vector<ProtocolName> &out)
+{
+    ProtocolName p;
+    fatal_if(!protocolFromName(v, p), "unknown protocol '%s'",
+             v.c_str());
+    out.push_back(p);
+}
+
+std::vector<ProtocolName>
+defaultProtocols()
+{
+    return {allProtocols, allProtocols + numProtocols};
+}
+
+int
+cmdRecord(Args args)
+{
+    std::string bench_name, out;
+    unsigned scale = 1;
+    while (!args.done()) {
+        const std::string a = args.next();
+        if (a == "--bench")
+            bench_name = args.value(a);
+        else if (a == "--scale")
+            scale = args.u32value(a);
+        else if (a == "--out" || a == "-o")
+            out = args.value(a);
+        else
+            fatal("record: unknown option '%s'", a.c_str());
+    }
+    fatal_if(bench_name.empty(), "record: --bench is required");
+    fatal_if(out.empty(), "record: --out is required");
+
+    BenchmarkName bench;
+    fatal_if(!benchmarkFromName(bench_name, bench),
+             "record: unknown benchmark '%s'", bench_name.c_str());
+
+    auto wl = makeBenchmark(bench, scale);
+    TraceRecorder rec(out);
+    fatal_if(!rec.record(*wl), "record: %s", rec.error().c_str());
+    std::printf("recorded %s (%s) to %s: %zu ops, %zu regions, "
+                "%zu barriers\n",
+                wl->name().c_str(), wl->inputDesc().c_str(),
+                out.c_str(), wl->totalOps(),
+                wl->regions().numRegions(), wl->barriers().size());
+    return 0;
+}
+
+int
+cmdReplay(Args args)
+{
+    std::string trace_path;
+    std::vector<ProtocolName> protocols;
+    SimParams params = SimParams::scaled();
+    while (!args.done()) {
+        const std::string a = args.next();
+        if (a == "--trace")
+            trace_path = args.value(a);
+        else if (a == "--protocol")
+            parseProtocol(args.value(a), protocols);
+        else if (a == "--full-size")
+            params = SimParams{};
+        else
+            fatal("replay: unknown option '%s'", a.c_str());
+    }
+    fatal_if(trace_path.empty(), "replay: --trace is required");
+    if (protocols.empty())
+        protocols = defaultProtocols();
+
+    std::string err;
+    auto wl = TraceWorkload::load(trace_path, &err);
+    fatal_if(!wl, "replay: %s", err.c_str());
+    std::printf("loaded %s: %zu ops, %zu regions, %zu barriers\n",
+                trace_path.c_str(), wl->totalOps(),
+                wl->regions().numRegions(), wl->barriers().size());
+
+    const Sweep s = runSweep({wl.get()}, protocols, params);
+    printRunTable(s);
+    return 0;
+}
+
+int
+cmdSynth(Args args)
+{
+    SynthParams sp;
+    std::string out;
+    std::vector<ProtocolName> protocols;
+    SimParams params = SimParams::scaled();
+    bool full_size = false;
+    while (!args.done()) {
+        const std::string a = args.next();
+        if (a == "--seed")
+            sp.seed = args.uvalue(a);
+        else if (a == "--pattern") {
+            const std::string v = args.value(a);
+            fatal_if(!SynthParams::patternFromName(v, sp.pattern),
+                     "synth: unknown pattern '%s' (stride, random, "
+                     "hotset)",
+                     v.c_str());
+        } else if (a == "--ops")
+            sp.opsPerCore = args.u32value(a);
+        else if (a == "--phases")
+            sp.phases = args.u32value(a);
+        else if (a == "--regions")
+            sp.sharedRegions = args.u32value(a);
+        else if (a == "--region-bytes")
+            sp.regionBytes = args.u32value(a);
+        else if (a == "--private-bytes")
+            sp.privateBytes = args.u32value(a);
+        else if (a == "--sharing-degree")
+            sp.sharingDegree = args.u32value(a);
+        else if (a == "--read-frac")
+            sp.readFraction = args.fvalue(a);
+        else if (a == "--shared-frac")
+            sp.sharedFraction = args.fvalue(a);
+        else if (a == "--stride")
+            sp.strideWords = args.u32value(a);
+        else if (a == "--hot-frac")
+            sp.hotFraction = args.fvalue(a);
+        else if (a == "--hot-prob")
+            sp.hotProbability = args.fvalue(a);
+        else if (a == "--work")
+            sp.workCycles = args.u32value(a);
+        else if (a == "--bypass")
+            sp.bypassShared = true;
+        else if (a == "--out" || a == "-o")
+            out = args.value(a);
+        else if (a == "--protocol")
+            parseProtocol(args.value(a), protocols);
+        else if (a == "--full-size") {
+            params = SimParams{};
+            full_size = true;
+        } else
+            fatal("synth: unknown option '%s'", a.c_str());
+    }
+
+    fatal_if(!out.empty() && (!protocols.empty() || full_size),
+             "synth: --out saves a trace without simulating; it "
+             "cannot be combined with --protocol or --full-size "
+             "(save the trace, then `replay` it)");
+
+    auto wl = makeSynthetic(sp);
+    std::printf("generated %s (%s): %zu ops\n", wl->name().c_str(),
+                wl->inputDesc().c_str(), wl->totalOps());
+
+    if (!out.empty()) {
+        TraceRecorder rec(out);
+        fatal_if(!rec.record(*wl), "synth: %s", rec.error().c_str());
+        std::printf("saved trace to %s\n", out.c_str());
+        return 0;
+    }
+
+    if (protocols.empty())
+        protocols = defaultProtocols();
+    const Sweep s = runSweep({wl.get()}, protocols, params);
+    printRunTable(s);
+    return 0;
+}
+
+int
+cmdSweep(Args args)
+{
+    unsigned scale = 1;
+    SimParams params = SimParams::scaled();
+    std::vector<std::string> reports;
+    while (!args.done()) {
+        const std::string a = args.next();
+        if (a == "--scale")
+            scale = args.u32value(a);
+        else if (a == "--report")
+            reports.push_back(args.value(a));
+        else if (a == "--full-size")
+            params = SimParams{};
+        else
+            fatal("sweep: unknown option '%s'", a.c_str());
+    }
+    if (reports.empty())
+        reports = {"fig5.1a", "headline"};
+
+    const Sweep s = cachedFullSweep(scale, params);
+    for (const std::string &r : reports) {
+        std::string text;
+        if (r == "fig5.1a")
+            text = renderFig51a(s);
+        else if (r == "fig5.1b")
+            text = renderFig51b(s);
+        else if (r == "fig5.1c")
+            text = renderFig51c(s);
+        else if (r == "fig5.1d")
+            text = renderFig51d(s);
+        else if (r == "fig5.2")
+            text = renderFig52(s);
+        else if (r == "fig5.3a")
+            text = renderFig53(s, WasteLevel::L1);
+        else if (r == "fig5.3b")
+            text = renderFig53(s, WasteLevel::L2);
+        else if (r == "fig5.3c")
+            text = renderFig53(s, WasteLevel::Memory);
+        else if (r == "overhead")
+            text = renderOverheadComposition(s);
+        else if (r == "headline")
+            text = renderHeadline(s);
+        else
+            fatal("sweep: unknown report '%s'", r.c_str());
+        std::printf("%s\n", text.c_str());
+    }
+    return 0;
+}
+
+int
+cmdInfo(Args args)
+{
+    std::string trace_path;
+    while (!args.done()) {
+        const std::string a = args.next();
+        if (a == "--trace")
+            trace_path = args.value(a);
+        else
+            fatal("info: unknown option '%s'", a.c_str());
+    }
+    fatal_if(trace_path.empty(), "info: --trace is required");
+
+    std::string err;
+    auto wl = TraceWorkload::load(trace_path, &err);
+    fatal_if(!wl, "info: %s", err.c_str());
+
+    std::printf("trace:     %s\n", trace_path.c_str());
+    std::printf("workload:  %s\n", wl->name().c_str());
+    std::printf("input:     %s\n", wl->inputDesc().c_str());
+    std::printf("ops:       %zu across %u cores\n", wl->totalOps(),
+                numTiles);
+    std::printf("barriers:  %zu\n", wl->barriers().size());
+    std::printf("regions:   %zu\n", wl->regions().numRegions());
+    for (std::size_t i = 0; i < wl->regions().numRegions(); ++i) {
+        const Region &r =
+            wl->regions().region(static_cast<RegionId>(i));
+        std::printf("  [%3zu] %-24s base=0x%llx size=%llu%s%s%s\n", i,
+                    r.name.c_str(),
+                    static_cast<unsigned long long>(r.base),
+                    static_cast<unsigned long long>(r.size),
+                    r.flex ? " flex" : "", r.bypass ? " bypass" : "",
+                    r.stream ? " stream" : "");
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(argv[0]);
+
+    const std::string cmd = argv[1];
+    logVerbosity = 1;
+    Args rest(argc - 2, argv + 2);
+
+    if (cmd == "record")
+        return cmdRecord(rest);
+    if (cmd == "replay")
+        return cmdReplay(rest);
+    if (cmd == "synth")
+        return cmdSynth(rest);
+    if (cmd == "sweep")
+        return cmdSweep(rest);
+    if (cmd == "info")
+        return cmdInfo(rest);
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+        usage(argv[0]);
+        return 0;
+    }
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    return usage(argv[0]);
+}

@@ -1,0 +1,252 @@
+#include "trace/synthetic.hh"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace wastesim
+{
+
+const char *
+SynthParams::patternName(Pattern p)
+{
+    switch (p) {
+      case Pattern::Stride: return "stride";
+      case Pattern::Random: return "random";
+      case Pattern::HotSet: return "hotset";
+      default: return "?";
+    }
+}
+
+bool
+SynthParams::patternFromName(const std::string &s, Pattern &out)
+{
+    for (Pattern p :
+         {Pattern::Stride, Pattern::Random, Pattern::HotSet}) {
+        if (s == patternName(p)) {
+            out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+SynthParams::describe() const
+{
+    std::ostringstream os;
+    os << patternName(pattern) << " seed=" << seed
+       << " ops/core=" << opsPerCore << " phases=" << phases
+       << " shared=" << sharedRegions << "x" << regionBytes << "B"
+       << " degree=" << sharingDegree << " read=" << readFraction
+       << " sharedFrac=" << sharedFraction;
+    if (pattern == Pattern::Stride)
+        os << " stride=" << strideWords;
+    if (pattern == Pattern::HotSet)
+        os << " hot=" << hotFraction << "@" << hotProbability;
+    if (bypassShared)
+        os << " bypass";
+    return os.str();
+}
+
+SyntheticWorkload::SyntheticWorkload(const SynthParams &p) : params_(p)
+{
+    fatal_if(params_.opsPerCore == 0, "synthetic: opsPerCore must be > 0");
+    fatal_if(params_.phases == 0, "synthetic: phases must be > 0");
+    fatal_if(params_.sharedRegions == 0,
+             "synthetic: sharedRegions must be > 0");
+    fatal_if(params_.regionBytes < bytesPerLine,
+             "synthetic: regionBytes must be at least one line");
+    fatal_if(params_.privateBytes < bytesPerLine,
+             "synthetic: privateBytes must be at least one line");
+    fatal_if(params_.sharingDegree == 0 ||
+                 params_.sharingDegree > numTiles,
+             "synthetic: sharingDegree must be in [1, %u]", numTiles);
+    fatal_if(params_.strideWords == 0,
+             "synthetic: strideWords must be > 0");
+    // Negated >=/<= forms so NaN (which compares false to anything)
+    // is rejected instead of reaching float-to-unsigned casts.
+    fatal_if(!(params_.readFraction >= 0 && params_.readFraction <= 1) ||
+                 !(params_.sharedFraction >= 0 &&
+                   params_.sharedFraction <= 1),
+             "synthetic: fractions must lie in [0, 1]");
+    fatal_if(params_.pattern == SynthParams::Pattern::HotSet &&
+                 (!(params_.hotFraction > 0 &&
+                    params_.hotFraction <= 1) ||
+                  !(params_.hotProbability >= 0 &&
+                    params_.hotProbability <= 1)),
+             "synthetic: hotFraction must lie in (0, 1] and "
+             "hotProbability in [0, 1]");
+    build();
+}
+
+std::string
+SyntheticWorkload::name() const
+{
+    return std::string("synth-") +
+           SynthParams::patternName(params_.pattern) + "-s" +
+           std::to_string(params_.seed);
+}
+
+void
+SyntheticWorkload::build()
+{
+    const SynthParams &p = params_;
+
+    // --- address space -----------------------------------------------------
+
+    std::vector<Addr> privBase(numTiles);
+    std::vector<RegionId> privRegion(numTiles);
+    for (CoreId c = 0; c < numTiles; ++c) {
+        privBase[c] = alloc(p.privateBytes);
+        Region r;
+        r.name = "synth.priv." + std::to_string(c);
+        r.base = privBase[c];
+        r.size = p.privateBytes;
+        privRegion[c] = regions_.add(std::move(r));
+    }
+
+    std::vector<Addr> sharedBase(p.sharedRegions);
+    std::vector<RegionId> sharedRegion(p.sharedRegions);
+    for (unsigned i = 0; i < p.sharedRegions; ++i) {
+        sharedBase[i] = alloc(p.regionBytes);
+        Region r;
+        r.name = "synth.shared." + std::to_string(i);
+        r.base = sharedBase[i];
+        r.size = p.regionBytes;
+        r.bypass = p.bypassShared;
+        sharedRegion[i] = regions_.add(std::move(r));
+    }
+
+    // --- sharing clusters --------------------------------------------------
+
+    // Cores form numTiles/sharingDegree clusters; shared region i
+    // belongs to cluster i % numClusters, so every region has exactly
+    // one cluster (= sharingDegree cores) touching it.
+    const unsigned numClusters =
+        std::max(1u, numTiles / p.sharingDegree);
+    std::vector<std::vector<unsigned>> clusterRegions(numClusters);
+    for (unsigned i = 0; i < p.sharedRegions; ++i)
+        clusterRegions[i % numClusters].push_back(i);
+    // Clusters left without a region (more clusters than regions)
+    // fall back to the full region set.
+    std::vector<unsigned> allRegions(p.sharedRegions);
+    for (unsigned i = 0; i < p.sharedRegions; ++i)
+        allRegions[i] = i;
+    for (auto &regs : clusterRegions)
+        if (regs.empty())
+            regs = allRegions;
+
+    auto clusterOf = [&](CoreId c) {
+        return (c / p.sharingDegree) % numClusters;
+    };
+
+    // --- deterministic per-core streams ------------------------------------
+
+    // One RNG per core, seeded independently of generation order, so
+    // the same params always reproduce the same trace.
+    std::vector<Rng> rng;
+    rng.reserve(numTiles);
+    for (CoreId c = 0; c < numTiles; ++c)
+        rng.emplace_back(p.seed * 0x9e3779b97f4a7c15ULL + c + 1);
+
+    const unsigned privWords = p.privateBytes / bytesPerWord;
+    const unsigned sharedWords = p.regionBytes / bytesPerWord;
+
+    // Per-core stride cursors (one per target arena).
+    std::vector<Addr> privCursor(numTiles, 0);
+    std::vector<std::vector<Addr>> sharedCursor(
+        numTiles, std::vector<Addr>(p.sharedRegions, 0));
+
+    auto pickWord = [&](CoreId c, unsigned words,
+                        Addr &cursor) -> Addr {
+        switch (p.pattern) {
+          case SynthParams::Pattern::Stride: {
+              const Addr w = cursor % words;
+              cursor += p.strideWords;
+              return w;
+          }
+          case SynthParams::Pattern::Random:
+            return rng[c].below(words);
+          case SynthParams::Pattern::HotSet: {
+              const unsigned hot_words = std::max(
+                  1u,
+                  static_cast<unsigned>(words * p.hotFraction));
+              if (rng[c].chance(p.hotProbability))
+                  return rng[c].below(hot_words);
+              return rng[c].below(words);
+          }
+          default:
+            panic("unknown synthetic pattern");
+        }
+    };
+
+    // --- warm-up: touch one word per line of everything this core
+    // will use, so the measurement window starts from a warm L2 like
+    // the Table-4.2 generators do. -----------------------------------------
+
+    for (CoreId c = 0; c < numTiles; ++c) {
+        for (Addr off = 0; off < p.privateBytes; off += bytesPerLine)
+            load(c, privBase[c] + off);
+        for (unsigned i : clusterRegions[clusterOf(c)])
+            for (Addr off = 0; off < p.regionBytes; off += bytesPerLine)
+                load(c, sharedBase[i] + off);
+    }
+    barrierAll({});
+    epochAll();
+
+    // --- measured phases ---------------------------------------------------
+
+    const unsigned opsPerPhase =
+        std::max(1u, p.opsPerCore / p.phases);
+
+    for (unsigned phase = 0; phase < p.phases; ++phase) {
+        // Shared regions stored to this phase, for precise DeNovo
+        // self-invalidation at the closing barrier.
+        std::set<RegionId> written;
+
+        for (CoreId c = 0; c < numTiles; ++c) {
+            for (unsigned op = 0; op < opsPerPhase; ++op) {
+                Addr addr;
+                bool is_shared = rng[c].chance(p.sharedFraction);
+                unsigned region_idx = 0;
+                if (is_shared) {
+                    const auto &regs = clusterRegions[clusterOf(c)];
+                    region_idx = regs[rng[c].below(regs.size())];
+                    const Addr w =
+                        pickWord(c, sharedWords,
+                                 sharedCursor[c][region_idx]);
+                    addr = sharedBase[region_idx] + w * bytesPerWord;
+                } else {
+                    const Addr w = pickWord(c, privWords,
+                                            privCursor[c]);
+                    addr = privBase[c] + w * bytesPerWord;
+                }
+
+                if (rng[c].chance(p.readFraction)) {
+                    load(c, addr);
+                } else {
+                    store(c, addr);
+                    if (is_shared)
+                        written.insert(sharedRegion[region_idx]);
+                }
+                work(c, p.workCycles);
+            }
+        }
+
+        barrierAll(std::vector<RegionId>(written.begin(),
+                                         written.end()));
+    }
+}
+
+std::unique_ptr<Workload>
+makeSynthetic(const SynthParams &p)
+{
+    return std::make_unique<SyntheticWorkload>(p);
+}
+
+} // namespace wastesim

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Parameterized synthetic workload generator.
+ *
+ * Turns the six hard-coded Table-4.2 benchmarks into an unbounded
+ * scenario space: seeded, deterministic per-core access streams with
+ * tunable sharing degree, read/write mix, access pattern (strided,
+ * uniform random, hot-set), region count/size and barrier phasing —
+ * the axes the paper's waste and traffic results are sensitive to.
+ *
+ * Generation is bit-reproducible: the same SynthParams always produce
+ * the same Workload, so synthetic scenarios can be recorded, replayed
+ * and compared across protocols like any benchmark.
+ */
+
+#ifndef WASTESIM_TRACE_SYNTHETIC_HH
+#define WASTESIM_TRACE_SYNTHETIC_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "workload/workload.hh"
+
+namespace wastesim
+{
+
+/** Tuning knobs for SyntheticWorkload. */
+struct SynthParams
+{
+    enum class Pattern
+    {
+        Stride, //!< sequential with a fixed word stride per core
+        Random, //!< uniform random words within the target region
+        HotSet  //!< skewed: most accesses hit a small hot subset
+    };
+
+    std::uint64_t seed = 1;
+    Pattern pattern = Pattern::Stride;
+
+    unsigned opsPerCore = 16384; //!< memory accesses per core, total
+    unsigned phases = 4;         //!< barrier-delimited compute phases
+
+    unsigned sharedRegions = 8;       //!< number of shared regions
+    unsigned regionBytes = 16 * 1024; //!< bytes per shared region
+    unsigned privateBytes = 8 * 1024; //!< per-core private arena
+
+    /**
+     * Cores per sharing cluster.  Shared regions are partitioned
+     * among numTiles/sharingDegree clusters; a core only touches the
+     * regions of its own cluster, so 1 = private-ish, numTiles = all
+     * cores contend on everything.
+     */
+    unsigned sharingDegree = 4;
+
+    double readFraction = 0.7;   //!< loads / (loads + stores)
+    double sharedFraction = 0.5; //!< accesses hitting shared regions
+
+    unsigned strideWords = 4;    //!< Pattern::Stride step
+    double hotFraction = 0.1;    //!< Pattern::HotSet hot-subset size
+    double hotProbability = 0.9; //!< Pattern::HotSet hit probability
+
+    unsigned workCycles = 2; //!< compute cycles between accesses
+    bool bypassShared = false; //!< mark shared regions as L2-bypass
+
+    static const char *patternName(Pattern p);
+    static bool patternFromName(const std::string &s, Pattern &out);
+
+    /** One-line parameter summary (reports, CLI). */
+    std::string describe() const;
+};
+
+/** A generated synthetic scenario. */
+class SyntheticWorkload : public Workload
+{
+  public:
+    explicit SyntheticWorkload(const SynthParams &p);
+
+    std::string name() const override;
+    std::string inputDesc() const override { return params_.describe(); }
+
+    const SynthParams &params() const { return params_; }
+
+  private:
+    void build();
+
+    SynthParams params_;
+};
+
+/** Convenience factory mirroring makeBenchmark(). */
+std::unique_ptr<Workload> makeSynthetic(const SynthParams &p = {});
+
+} // namespace wastesim
+
+#endif // WASTESIM_TRACE_SYNTHETIC_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Versioned binary trace container for workloads.
+ *
+ * A trace file captures everything `System` consumes from a
+ * `Workload` — the per-core operation streams, the region table and
+ * the barrier self-invalidation info — so recorded or externally
+ * generated access streams replay through every protocol variant
+ * bit-identically.
+ *
+ * On-disk layout (all integers little-endian, strings u32-length
+ * prefixed):
+ *
+ *   magic      8 bytes  "WASTETRC"
+ *   version    u32      currently 1
+ *   header     numCores u32, name str, inputDesc str,
+ *              numRegions u64, numBarriers u64, totalOps u64
+ *   regions    numRegions x { name str, base u64, size u64,
+ *              flags u8 (bit0 flex, bit1 bypass, bit2 stream),
+ *              strideWords u32, usedFields u32[n] (u32 count first) }
+ *   barriers   numBarriers x { selfInvalidate u32[n] (u32 count) }
+ *   traces     numCores x { numOps u64, ops... } where an op is
+ *              type u8 followed by addr u64 (Load/Store) or
+ *              arg u32 (Work/Barrier/Epoch)
+ *   trailer    8 bytes  "WTRCEND."
+ *
+ * The trailer guards against truncated files; every section is
+ * validated on read (op types, barrier indices, core count).
+ */
+
+#ifndef WASTESIM_TRACE_TRACE_IO_HH
+#define WASTESIM_TRACE_TRACE_IO_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/region_table.hh"
+#include "workload/workload.hh"
+
+namespace wastesim
+{
+
+/** Trace file metadata. */
+struct TraceHeader
+{
+    std::uint32_t version = 1;
+    std::uint32_t numCores = numTiles;
+    std::string name;
+    std::string inputDesc;
+    std::uint64_t numRegions = 0;
+    std::uint64_t numBarriers = 0;
+    std::uint64_t totalOps = 0;
+};
+
+/** Current (and only) trace format version. */
+constexpr std::uint32_t traceFormatVersion = 1;
+
+/** Streams a trace file section by section. */
+class TraceWriter
+{
+  public:
+    explicit TraceWriter(std::ostream &os) : os_(os) {}
+
+    void writeHeader(const TraceHeader &h);
+    void writeRegion(const Region &r);
+    void writeBarrier(const BarrierInfo &b);
+    void writeTrace(const Trace &t);
+    void writeTrailer();
+
+    /** True while no stream error has occurred. */
+    bool ok() const;
+
+  private:
+    void u8(std::uint8_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void str(const std::string &s);
+
+    std::ostream &os_;
+};
+
+/**
+ * Reads a trace file written by TraceWriter.  Sections must be read
+ * in file order; every read returns false on malformed input and
+ * records a diagnostic in error().
+ */
+class TraceReader
+{
+  public:
+    explicit TraceReader(std::istream &is) : is_(is) {}
+
+    bool readHeader(TraceHeader &h);
+    bool readRegion(Region &r);
+    bool readBarrier(BarrierInfo &b, std::uint64_t num_regions);
+    bool readTrace(Trace &t, std::uint64_t num_barriers);
+    bool readTrailer();
+
+    const std::string &error() const { return error_; }
+
+  private:
+    bool u8(std::uint8_t &v);
+    bool u32(std::uint32_t &v);
+    bool u64(std::uint64_t &v);
+    bool str(std::string &s);
+    bool fail(const std::string &why);
+
+    std::istream &is_;
+    std::string error_;
+};
+
+} // namespace wastesim
+
+#endif // WASTESIM_TRACE_TRACE_IO_HH

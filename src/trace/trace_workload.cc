@@ -1,0 +1,98 @@
+#include "trace/trace_workload.hh"
+
+#include <fstream>
+
+#include "trace/trace_io.hh"
+
+namespace wastesim
+{
+
+bool
+TraceRecorder::record(const Workload &wl)
+{
+    std::ofstream os(path_, std::ios::binary);
+    if (!os) {
+        error_ = "cannot open '" + path_ + "' for writing";
+        return false;
+    }
+
+    TraceWriter w(os);
+
+    TraceHeader h;
+    h.name = wl.name();
+    h.inputDesc = wl.inputDesc();
+    h.numRegions = wl.regions().numRegions();
+    h.numBarriers = wl.barriers().size();
+    h.totalOps = wl.totalOps();
+    w.writeHeader(h);
+
+    for (std::size_t i = 0; i < wl.regions().numRegions(); ++i)
+        w.writeRegion(wl.regions().region(static_cast<RegionId>(i)));
+    for (const BarrierInfo &b : wl.barriers())
+        w.writeBarrier(b);
+    for (const Trace &t : wl.traces())
+        w.writeTrace(t);
+    w.writeTrailer();
+
+    if (!w.ok()) {
+        error_ = "write error on '" + path_ + "'";
+        return false;
+    }
+    return true;
+}
+
+std::unique_ptr<TraceWorkload>
+TraceWorkload::load(const std::string &path, std::string *err)
+{
+    auto set_err = [&](const std::string &msg) {
+        if (err)
+            *err = msg;
+        return nullptr;
+    };
+
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return set_err("cannot open '" + path + "'");
+
+    TraceReader r(is);
+    TraceHeader h;
+    if (!r.readHeader(h))
+        return set_err(path + ": " + r.error());
+
+    // Cannot use make_unique: the constructor is private.
+    std::unique_ptr<TraceWorkload> wl(new TraceWorkload);
+    wl->name_ = h.name;
+    wl->inputDesc_ = h.inputDesc;
+    wl->path_ = path;
+
+    for (std::uint64_t i = 0; i < h.numRegions; ++i) {
+        Region reg;
+        if (!r.readRegion(reg))
+            return set_err(path + ": " + r.error());
+        // RegionTable::add() reassigns sequential ids, matching the
+        // id-ordered layout TraceRecorder wrote.
+        wl->regions_.add(std::move(reg));
+    }
+
+    wl->barriers_.resize(h.numBarriers);
+    for (auto &b : wl->barriers_)
+        if (!r.readBarrier(b, h.numRegions))
+            return set_err(path + ": " + r.error());
+
+    std::uint64_t total_ops = 0;
+    for (auto &t : wl->traces_) {
+        if (!r.readTrace(t, h.numBarriers))
+            return set_err(path + ": " + r.error());
+        total_ops += t.size();
+    }
+
+    if (!r.readTrailer())
+        return set_err(path + ": " + r.error());
+    if (total_ops != h.totalOps)
+        return set_err(path + ": op count mismatch (header says " +
+                       std::to_string(h.totalOps) + ", streams hold " +
+                       std::to_string(total_ops) + ")");
+    return wl;
+}
+
+} // namespace wastesim

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Trace capture and replay on top of the Workload interface.
+ *
+ * TraceRecorder serializes any built Workload (Table-4.2 generator,
+ * SyntheticWorkload, or a hand-rolled one) to a trace file;
+ * TraceWorkload loads such a file and presents it as a Workload, so
+ * recorded or externally generated access streams flow through
+ * runOne/runSweep and every protocol variant unchanged.  Replaying a
+ * recording reproduces the source workload's RunResult exactly: the
+ * simulation is a pure function of ops, regions and barriers, all of
+ * which round-trip bit-identically.
+ */
+
+#ifndef WASTESIM_TRACE_TRACE_WORKLOAD_HH
+#define WASTESIM_TRACE_TRACE_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+
+#include "workload/workload.hh"
+
+namespace wastesim
+{
+
+/** Writes Workloads to trace files. */
+class TraceRecorder
+{
+  public:
+    /** @param path destination trace file. */
+    explicit TraceRecorder(std::string path) : path_(std::move(path)) {}
+
+    /** Serialize @p wl; returns false (with error() set) on failure. */
+    bool record(const Workload &wl);
+
+    const std::string &error() const { return error_; }
+
+  private:
+    std::string path_;
+    std::string error_;
+};
+
+/** A Workload deserialized from a trace file. */
+class TraceWorkload : public Workload
+{
+  public:
+    /**
+     * Load a trace file.
+     * @return the workload, or nullptr with @p err set (when given).
+     */
+    static std::unique_ptr<TraceWorkload>
+    load(const std::string &path, std::string *err = nullptr);
+
+    std::string name() const override { return name_; }
+    std::string inputDesc() const override { return inputDesc_; }
+
+    /** Path the trace was loaded from. */
+    const std::string &path() const { return path_; }
+
+  private:
+    TraceWorkload() = default;
+
+    std::string name_;
+    std::string inputDesc_;
+    std::string path_;
+};
+
+} // namespace wastesim
+
+#endif // WASTESIM_TRACE_TRACE_WORKLOAD_HH

@@ -25,6 +25,18 @@ benchmarkName(BenchmarkName b)
     }
 }
 
+bool
+benchmarkFromName(const std::string &s, BenchmarkName &out)
+{
+    for (BenchmarkName b : allBenchmarks) {
+        if (s == benchmarkName(b)) {
+            out = b;
+            return true;
+        }
+    }
+    return false;
+}
+
 std::size_t
 Workload::totalOps() const
 {

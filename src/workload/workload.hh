@@ -139,6 +139,9 @@ extern const BenchmarkName allBenchmarks[numBenchmarks];
 /** Printable name. */
 const char *benchmarkName(BenchmarkName b);
 
+/** Parse a figure name back to a BenchmarkName; false if unknown. */
+bool benchmarkFromName(const std::string &s, BenchmarkName &out);
+
 /**
  * Build a benchmark at the default (scaled) input size.
  * @param scale size multiplier: 1 = default sweep size; larger values

@@ -1,0 +1,246 @@
+/** Unit tests: SyntheticWorkload generator (src/trace/synthetic.*). */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "trace/synthetic.hh"
+
+namespace wastesim
+{
+
+namespace
+{
+
+bool
+tracesIdentical(const Workload &a, const Workload &b)
+{
+    if (a.traces().size() != b.traces().size())
+        return false;
+    for (CoreId c = 0; c < numTiles; ++c) {
+        const Trace &ta = a.traces()[c];
+        const Trace &tb = b.traces()[c];
+        if (ta.size() != tb.size())
+            return false;
+        for (std::size_t i = 0; i < ta.size(); ++i)
+            if (ta[i].type != tb[i].type || ta[i].addr != tb[i].addr ||
+                ta[i].arg != tb[i].arg)
+                return false;
+    }
+    return true;
+}
+
+} // namespace
+
+class SynthPatterns
+    : public ::testing::TestWithParam<SynthParams::Pattern>
+{
+};
+
+TEST_P(SynthPatterns, DeterministicForFixedSeed)
+{
+    SynthParams p;
+    p.pattern = GetParam();
+    p.seed = 1234;
+    p.opsPerCore = 2000;
+    auto a = makeSynthetic(p);
+    auto b = makeSynthetic(p);
+    EXPECT_TRUE(tracesIdentical(*a, *b));
+    EXPECT_EQ(a->name(), b->name());
+}
+
+TEST_P(SynthPatterns, DifferentSeedsDiffer)
+{
+    SynthParams p;
+    p.pattern = GetParam();
+    p.opsPerCore = 2000;
+    p.seed = 1;
+    auto a = makeSynthetic(p);
+    p.seed = 2;
+    auto b = makeSynthetic(p);
+    EXPECT_FALSE(tracesIdentical(*a, *b));
+}
+
+TEST_P(SynthPatterns, WellFormed)
+{
+    SynthParams p;
+    p.pattern = GetParam();
+    p.opsPerCore = 1000;
+    auto wl = makeSynthetic(p);
+
+    ASSERT_EQ(wl->traces().size(), numTiles);
+
+    // Same barrier sequence on every core; exactly one epoch.
+    std::vector<std::uint32_t> seq0;
+    for (const auto &op : wl->traces()[0])
+        if (op.type == Op::Type::Barrier)
+            seq0.push_back(op.arg);
+    EXPECT_EQ(seq0.size(), 1 + p.phases); // warm-up + per-phase
+    for (CoreId c = 0; c < numTiles; ++c) {
+        std::vector<std::uint32_t> seq;
+        unsigned epochs = 0;
+        for (const auto &op : wl->traces()[c]) {
+            if (op.type == Op::Type::Barrier)
+                seq.push_back(op.arg);
+            epochs += op.type == Op::Type::Epoch;
+        }
+        EXPECT_EQ(seq, seq0) << "core " << c;
+        EXPECT_EQ(epochs, 1u) << "core " << c;
+    }
+
+    // Every access is word aligned and inside a declared region.
+    for (const auto &t : wl->traces()) {
+        for (const auto &op : t) {
+            if (op.type != Op::Type::Load &&
+                op.type != Op::Type::Store)
+                continue;
+            EXPECT_EQ(op.addr % bytesPerWord, 0u);
+            EXPECT_NE(wl->regions().regionOf(op.addr), nullptr);
+        }
+    }
+
+    // Barrier self-invalidation references real regions.
+    for (const auto &b : wl->barriers())
+        for (RegionId id : b.selfInvalidate)
+            EXPECT_LT(id, wl->regions().numRegions());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPatterns, SynthPatterns,
+    ::testing::Values(SynthParams::Pattern::Stride,
+                      SynthParams::Pattern::Random,
+                      SynthParams::Pattern::HotSet),
+    [](const auto &info) {
+        return std::string(SynthParams::patternName(info.param));
+    });
+
+TEST(Synthetic, ReadFractionShapesTheMix)
+{
+    SynthParams p;
+    p.opsPerCore = 4000;
+    p.readFraction = 0.9;
+    auto reads = makeSynthetic(p);
+    p.readFraction = 0.1;
+    auto writes = makeSynthetic(p);
+
+    auto count = [](const Workload &wl, Op::Type t) {
+        std::size_t n = 0;
+        for (const auto &tr : wl.traces())
+            for (const auto &op : tr)
+                n += op.type == t;
+        return n;
+    };
+
+    // Warm-up loads are common to both; the measured mix dominates.
+    EXPECT_GT(count(*reads, Op::Type::Load),
+              count(*writes, Op::Type::Load));
+    EXPECT_LT(count(*reads, Op::Type::Store),
+              count(*writes, Op::Type::Store));
+}
+
+TEST(Synthetic, SharingDegreePartitionsRegions)
+{
+    // With degree 4 there are 4 clusters; cores of different clusters
+    // must touch disjoint shared regions (8 regions, 2 per cluster).
+    SynthParams p;
+    p.sharingDegree = 4;
+    p.sharedRegions = 8;
+    p.opsPerCore = 2000;
+    p.sharedFraction = 1.0;
+    auto wl = makeSynthetic(p);
+
+    std::vector<std::set<RegionId>> touched(numTiles);
+    bool past_epoch[numTiles] = {};
+    for (CoreId c = 0; c < numTiles; ++c) {
+        for (const auto &op : wl->traces()[c]) {
+            if (op.type == Op::Type::Epoch)
+                past_epoch[c] = true;
+            if (!past_epoch[c])
+                continue;
+            if (op.type != Op::Type::Load &&
+                op.type != Op::Type::Store)
+                continue;
+            const Region *r = wl->regions().regionOf(op.addr);
+            ASSERT_NE(r, nullptr);
+            if (r->name.rfind("synth.shared.", 0) == 0)
+                touched[c].insert(r->id);
+        }
+    }
+
+    // Cores 0..3 form cluster 0, 4..7 cluster 1, etc.
+    for (unsigned cluster = 0; cluster < 4; ++cluster)
+        for (unsigned other = cluster + 1; other < 4; ++other)
+            for (RegionId id : touched[cluster * 4])
+                EXPECT_EQ(touched[other * 4].count(id), 0u)
+                    << "cluster " << cluster << " vs " << other;
+}
+
+TEST(Synthetic, HotSetConcentratesAccesses)
+{
+    SynthParams p;
+    p.pattern = SynthParams::Pattern::HotSet;
+    p.hotFraction = 0.1;
+    p.hotProbability = 0.9;
+    p.sharedFraction = 1.0;
+    p.sharedRegions = 1;
+    p.sharingDegree = numTiles;
+    p.opsPerCore = 4000;
+    auto wl = makeSynthetic(p);
+
+    // Find the shared region and count accesses to its first 10%.
+    const Region *shared = nullptr;
+    for (std::size_t i = 0; i < wl->regions().numRegions(); ++i) {
+        const Region &r =
+            wl->regions().region(static_cast<RegionId>(i));
+        if (r.name == "synth.shared.0")
+            shared = &r;
+    }
+    ASSERT_NE(shared, nullptr);
+
+    std::size_t hot = 0, total = 0;
+    bool past_epoch = false;
+    for (const auto &op : wl->traces()[0]) {
+        if (op.type == Op::Type::Epoch)
+            past_epoch = true;
+        if (!past_epoch || (op.type != Op::Type::Load &&
+                            op.type != Op::Type::Store))
+            continue;
+        if (!shared->contains(op.addr))
+            continue;
+        ++total;
+        hot += op.addr < shared->base + shared->size / 10;
+    }
+    ASSERT_GT(total, 100u);
+    // ~90% hot + ~10% uniform spillover: well above 80%.
+    EXPECT_GT(static_cast<double>(hot) / total, 0.8);
+}
+
+TEST(Synthetic, BypassFlagPropagates)
+{
+    SynthParams p;
+    p.bypassShared = true;
+    p.opsPerCore = 500;
+    auto wl = makeSynthetic(p);
+    bool any_bypass = false;
+    for (std::size_t i = 0; i < wl->regions().numRegions(); ++i)
+        any_bypass |=
+            wl->regions().region(static_cast<RegionId>(i)).bypass;
+    EXPECT_TRUE(any_bypass);
+}
+
+TEST(Synthetic, PatternNamesRoundTrip)
+{
+    for (SynthParams::Pattern p :
+         {SynthParams::Pattern::Stride, SynthParams::Pattern::Random,
+          SynthParams::Pattern::HotSet}) {
+        SynthParams::Pattern back;
+        ASSERT_TRUE(SynthParams::patternFromName(
+            SynthParams::patternName(p), back));
+        EXPECT_EQ(static_cast<int>(back), static_cast<int>(p));
+    }
+    SynthParams::Pattern dummy;
+    EXPECT_FALSE(SynthParams::patternFromName("zipfian", dummy));
+}
+
+} // namespace wastesim
