@@ -56,19 +56,20 @@ BloomBank::image(unsigned idx) const
     return filters_[idx].image();
 }
 
-BloomShadow::BloomShadow(unsigned num_filters)
-    : numFilters_(num_filters),
-      valid_(numTiles * num_filters, false)
+BloomShadow::BloomShadow(unsigned num_filters, Topology topo)
+    : numFilters_(num_filters), topo_(std::move(topo)),
+      valid_(topo_.numTiles() * num_filters, false)
 {
-    filters_.reserve(numTiles * num_filters);
-    for (unsigned i = 0; i < numTiles * num_filters; ++i)
+    const unsigned n = topo_.numTiles() * num_filters;
+    filters_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
         filters_.emplace_back(bloomHash());
 }
 
 bool
 BloomShadow::query(Addr line_addr, bool &need_copy) const
 {
-    const NodeId slice = homeSlice(line_addr);
+    const NodeId slice = topo_.homeSlice(line_addr);
     const unsigned idx = bloomFilterIndex(line_addr, numFilters_);
     const unsigned f = flatIndex(slice, idx);
     if (!valid_[f]) {
@@ -91,14 +92,14 @@ BloomShadow::installImage(NodeId slice, unsigned idx,
 bool
 BloomShadow::hasCopy(Addr line_addr) const
 {
-    return valid_[flatIndex(homeSlice(line_addr),
+    return valid_[flatIndex(topo_.homeSlice(line_addr),
                             bloomFilterIndex(line_addr, numFilters_))];
 }
 
 void
 BloomShadow::insertWriteback(Addr line_addr)
 {
-    filters_[flatIndex(homeSlice(line_addr),
+    filters_[flatIndex(topo_.homeSlice(line_addr),
                        bloomFilterIndex(line_addr, numFilters_))]
         .insert(bloomKey(line_addr));
 }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bloom/bloom_filter.hh"
+#include "common/topology.hh"
 #include "common/types.hh"
 
 namespace wastesim
@@ -70,7 +71,8 @@ class BloomBank
 class BloomShadow
 {
   public:
-    explicit BloomShadow(unsigned num_filters = bloomFiltersPerSlice);
+    explicit BloomShadow(unsigned num_filters = bloomFiltersPerSlice,
+                         Topology topo = Topology{});
 
     /**
      * Query @p line_addr for bypass safety.
@@ -105,6 +107,7 @@ class BloomShadow
     }
 
     unsigned numFilters_;
+    Topology topo_; //!< slices shadowed + the home-slice map
     std::vector<BloomFilter> filters_;
     std::vector<bool> valid_;
 };

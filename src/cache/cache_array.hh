@@ -12,6 +12,7 @@
 #define WASTESIM_CACHE_CACHE_ARRAY_HH
 
 #include <array>
+#include <bitset>
 #include <cstdint>
 #include <vector>
 
@@ -23,6 +24,9 @@ namespace wastesim
 
 /** MESI line states (used by the L1; the directory tracks its own). */
 enum class MesiState : unsigned char { I, S, E, M };
+
+/** Directory sharer bit vector, wide enough for any topology. */
+using SharerMask = std::bitset<maxTiles>;
 
 /** Printable name of a MESI state. */
 const char *mesiStateName(MesiState s);
@@ -46,7 +50,7 @@ struct CacheLine
     WordMask regWords;          //!< DeNovo L1: words this core registered
 
     // --- directory / L2 ---
-    std::uint16_t sharers = 0;  //!< MESI dir: L1 sharer bit vector
+    SharerMask sharers;         //!< MESI dir: L1 sharer bit vector
     NodeId owner = invalidNode; //!< MESI dir: exclusive/modified owner
     /** DeNovo L2: registrant L1 per word (invalidNode = none). */
     std::array<NodeId, wordsPerLine> regOwner;
@@ -78,7 +82,7 @@ struct CacheLine
         validWords = WordMask::none();
         dirtyWords = WordMask::none();
         regWords = WordMask::none();
-        sharers = 0;
+        sharers.reset();
         owner = invalidNode;
         inBloom = false;
         clearPerWord();

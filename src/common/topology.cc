@@ -1,0 +1,147 @@
+#include "common/topology.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace wastesim
+{
+
+namespace
+{
+
+/** Keep linkFlits_ (numTiles^2 counters) and sharer vectors sane. */
+constexpr unsigned maxMeshDim = 64;
+
+/**
+ * Default controller placement: the mesh corners (the paper's layout)
+ * first, then, if more channels were requested, tiles spread evenly
+ * across the id space.  Deterministic, so equal Topologies always
+ * place controllers identically.
+ */
+std::vector<NodeId>
+placeMemCtrls(unsigned mesh_x, unsigned mesh_y, unsigned num_mcs)
+{
+    const unsigned tiles = mesh_x * mesh_y;
+    const NodeId corners[4] = {
+        0,                                    // NW
+        mesh_x - 1,                           // NE
+        static_cast<NodeId>((mesh_y - 1) * mesh_x),      // SW
+        static_cast<NodeId>(mesh_x * mesh_y - 1),        // SE
+    };
+
+    std::vector<NodeId> mcs;
+    auto add = [&](NodeId t) {
+        if (std::find(mcs.begin(), mcs.end(), t) == mcs.end())
+            mcs.push_back(t);
+    };
+
+    if (num_mcs == 0) {
+        // "One per corner": a 1-row/column mesh has fewer corners.
+        for (NodeId c : corners)
+            add(c);
+        return mcs;
+    }
+
+    for (NodeId c : corners) {
+        if (mcs.size() >= num_mcs)
+            break;
+        add(c);
+    }
+    // More channels than corners: fill with evenly spaced tiles.
+    for (unsigned i = 0; mcs.size() < std::min(num_mcs, tiles) &&
+                         i < tiles;
+         ++i) {
+        add(static_cast<NodeId>(
+            (static_cast<std::uint64_t>(i) * tiles) / num_mcs));
+    }
+    for (NodeId t = 0; mcs.size() < std::min(num_mcs, tiles) &&
+                       t < tiles;
+         ++t) {
+        add(t); // last resort: first free tiles
+    }
+    return mcs;
+}
+
+} // namespace
+
+Topology::Topology(unsigned mesh_x, unsigned mesh_y, unsigned num_mcs)
+    : Topology(mesh_x, mesh_y, placeMemCtrls(std::max(1u, mesh_x),
+                                             std::max(1u, mesh_y),
+                                             num_mcs))
+{
+    fatal_if(num_mcs > numTiles(),
+             "topology: %u memory controllers exceed %u tiles", num_mcs,
+             numTiles());
+}
+
+Topology::Topology(unsigned mesh_x, unsigned mesh_y,
+                   std::vector<NodeId> mc_tiles)
+    : meshX_(mesh_x), meshY_(mesh_y), mcTiles_(std::move(mc_tiles))
+{
+    fatal_if(meshX_ == 0 || meshY_ == 0,
+             "topology: mesh dimensions must be >= 1 (got %ux%u)",
+             meshX_, meshY_);
+    fatal_if(meshX_ > maxMeshDim || meshY_ > maxMeshDim,
+             "topology: mesh dimensions capped at %ux%u (got %ux%u)",
+             maxMeshDim, maxMeshDim, meshX_, meshY_);
+    fatal_if(numTiles() > maxTiles,
+             "topology: %ux%u = %u tiles exceeds the %u-tile sharer "
+             "vector limit",
+             meshX_, meshY_, numTiles(), maxTiles);
+    fatal_if(mcTiles_.empty(),
+             "topology: at least one memory controller is required");
+    for (NodeId t : mcTiles_) {
+        fatal_if(t >= numTiles(),
+                 "topology: memory controller tile %u outside the "
+                 "%ux%u mesh",
+                 t, meshX_, meshY_);
+    }
+    auto sorted = mcTiles_;
+    std::sort(sorted.begin(), sorted.end());
+    fatal_if(std::adjacent_find(sorted.begin(), sorted.end()) !=
+                 sorted.end(),
+             "topology: duplicate memory controller tile");
+}
+
+std::string
+Topology::describe() const
+{
+    std::ostringstream os;
+    os << meshX_ << "x" << meshY_;
+    // The default placement needs no annotation; anything else is
+    // spelled out so config fingerprints distinguish placements.
+    const Topology def(meshX_, meshY_);
+    if (mcTiles_ != def.mcTiles_) {
+        os << "+mc:";
+        for (std::size_t i = 0; i < mcTiles_.size(); ++i)
+            os << (i ? "." : "") << mcTiles_[i];
+    } else if (numMemCtrls() != 4) {
+        os << "+" << numMemCtrls() << "mc";
+    }
+    return os.str();
+}
+
+bool
+Topology::parseMesh(const std::string &s, unsigned &x, unsigned &y)
+{
+    const std::size_t sep = s.find('x');
+    if (sep == std::string::npos || sep == 0 || sep + 1 >= s.size())
+        return false;
+    const std::string xs = s.substr(0, sep), ys = s.substr(sep + 1);
+    for (char c : xs + ys)
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return false;
+    const unsigned long xv = std::strtoul(xs.c_str(), nullptr, 10);
+    const unsigned long yv = std::strtoul(ys.c_str(), nullptr, 10);
+    if (xv == 0 || yv == 0 || xv > maxMeshDim || yv > maxMeshDim)
+        return false;
+    x = static_cast<unsigned>(xv);
+    y = static_cast<unsigned>(yv);
+    return true;
+}
+
+} // namespace wastesim

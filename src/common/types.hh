@@ -61,17 +61,23 @@ constexpr unsigned maxDataFlits = 4;
 /** Maximum data words per packet. */
 constexpr unsigned maxWordsPerMsg = maxDataFlits * wordsPerFlit;
 
-/** Number of tiles / cores / L2 slices. */
+/**
+ * The paper's system size (Table 4.1), used as the default Topology
+ * and for sizing in tests and benchmarks.  Simulation code must not
+ * consume these directly: the active geometry lives in
+ * SimParams::topo (see common/topology.hh).
+ */
 constexpr unsigned numTiles = 16;
 
-/** Mesh dimensions. */
+/** Default mesh dimension (the paper's 4x4). */
 constexpr unsigned meshDim = 4;
 
-/** Number of memory controllers (corner tiles). */
+/** Default number of memory controllers (the four mesh corners). */
 constexpr unsigned numMemCtrls = 4;
 
-/** Tiles hosting memory controllers: the four mesh corners. */
-constexpr NodeId memCtrlTiles[numMemCtrls] = { 0, 3, 12, 15 };
+/** Hard ceiling on tiles in any topology: sizes the directory sharer
+ *  bit vectors (cache_array.hh), so it is a compile-time constant. */
+constexpr unsigned maxTiles = 256;
 
 /** Return the byte address of the line containing @p a. */
 constexpr Addr
@@ -113,36 +119,11 @@ isLineAligned(Addr a)
  * that a Flex communication region spanning a few adjacent lines
  * usually has a single home slice (so one request/response packet can
  * cover it), fine enough to spread load across slices.
+ *
+ * The slice (and channel) maps themselves live on Topology, which
+ * knows the runtime tile and controller counts.
  */
 constexpr unsigned sliceInterleaveLines = 4;
-
-/**
- * Home L2 slice of a line: 256-byte-granular interleave across the
- * 16 slices.
- */
-constexpr NodeId
-homeSlice(Addr line_addr)
-{
-    return static_cast<NodeId>(
-        (line_addr / bytesPerLine / sliceInterleaveLines) % numTiles);
-}
-
-/**
- * Memory channel of a line: line-address interleave across the four
- * corner memory controllers.
- */
-constexpr unsigned
-memChannel(Addr line_addr)
-{
-    return static_cast<unsigned>((line_addr / bytesPerLine) % numMemCtrls);
-}
-
-/** Tile that hosts the memory controller for @p channel. */
-constexpr NodeId
-memCtrlTile(unsigned channel)
-{
-    return memCtrlTiles[channel % numMemCtrls];
-}
 
 } // namespace wastesim
 

@@ -76,11 +76,22 @@ struct DramMap
 {
     DramTiming timing;
 
+    /** Channels lines interleave across (Topology::numMemCtrls()). */
+    unsigned numChannels = numMemCtrls;
+
+    /** Channel of @p line_addr (matches Topology::memChannel). */
+    unsigned
+    channelOf(Addr line_addr) const
+    {
+        return static_cast<unsigned>((line_addr / bytesPerLine) %
+                                     numChannels);
+    }
+
     /** Channel-local line number of @p line_addr. */
     Addr
     localLine(Addr line_addr) const
     {
-        return (line_addr / bytesPerLine) / numMemCtrls;
+        return (line_addr / bytesPerLine) / numChannels;
     }
 
     /** Bank index (rank * 8 + bank) of a line within its channel. */
@@ -105,7 +116,7 @@ struct DramMap
     bool
     sameRow(Addr line_a, Addr line_b) const
     {
-        return memChannel(line_a) == memChannel(line_b) &&
+        return channelOf(line_a) == channelOf(line_b) &&
                bankOf(line_a) == bankOf(line_b) &&
                rowOf(line_a) == rowOf(line_b);
     }

@@ -64,7 +64,7 @@ MemoryController::handleRead(Message msg)
 
     const bool partial = dram_.map().timing.partialReads;
     for (const auto &c : req->chunks) {
-        panic_if(memChannel(c.line) != channel_,
+        panic_if(net_.topology().memChannel(c.line) != channel_,
                  "line routed to wrong memory channel");
         // With the partial-read extension (Yoon et al. [31]) a Flex
         // request fetches only the wanted words from the array.
@@ -135,7 +135,7 @@ MemoryController::finishRead(const Message &req, Tick arrive,
     };
 
     if (!bypass)
-        respond(l2Ep(homeSlice(req.line)));
+        respond(l2Ep(net_.topology().homeSlice(req.line)));
     if (to_l1)
         respond(l1Ep(req.requester));
 }
@@ -145,7 +145,7 @@ MemoryController::handleWrite(const Message &msg)
 {
     const bool partial = dram_.map().timing.partialReads;
     for (const auto &c : msg.chunks) {
-        panic_if(memChannel(c.line) != channel_,
+        panic_if(net_.topology().memChannel(c.line) != channel_,
                  "write routed to wrong memory channel");
         wordsWritten_ += c.mask.count();
         dram_.enqueue(DramRequest{

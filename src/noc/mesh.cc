@@ -4,7 +4,7 @@ namespace wastesim
 {
 
 std::vector<NodeId>
-Mesh::xyRoute(NodeId a, NodeId b)
+Mesh::xyRoute(NodeId a, NodeId b) const
 {
     std::vector<NodeId> route;
     unsigned x = xOf(a), y = yOf(a);

@@ -1,6 +1,7 @@
 /**
  * @file
- * 4x4 mesh topology geometry: coordinates, XY routing and hop counts.
+ * Mesh topology geometry: coordinates, XY routing and hop counts for
+ * a runtime-sized X-by-Y mesh (the paper's system is 4x4).
  *
  * The traffic metric of the paper is flit-hops; a "hop" here is one
  * link traversal.  Every message traverses at least the ejection link
@@ -14,31 +15,48 @@
 #include <cstdlib>
 #include <vector>
 
+#include "common/topology.hh"
 #include "common/types.hh"
 
 namespace wastesim
 {
 
-/** Geometry helper for the numTiles-node mesh. */
+/** Geometry of one dimX-by-dimY mesh instance. */
 class Mesh
 {
   public:
+    /** Defaults to the paper's 4x4 mesh. */
+    explicit Mesh(unsigned dim_x = meshDim, unsigned dim_y = meshDim)
+        : dimX_(dim_x), dimY_(dim_y)
+    {
+    }
+
+    /** Geometry of @p topo's mesh. */
+    explicit Mesh(const Topology &topo)
+        : Mesh(topo.meshX(), topo.meshY())
+    {
+    }
+
+    unsigned dimX() const { return dimX_; }
+    unsigned dimY() const { return dimY_; }
+    unsigned numTiles() const { return dimX_ * dimY_; }
+
     /** X coordinate of tile @p n. */
-    static constexpr unsigned xOf(NodeId n) { return n % meshDim; }
+    unsigned xOf(NodeId n) const { return n % dimX_; }
 
     /** Y coordinate of tile @p n. */
-    static constexpr unsigned yOf(NodeId n) { return n / meshDim; }
+    unsigned yOf(NodeId n) const { return n / dimX_; }
 
     /** Tile at (x, y). */
-    static constexpr NodeId
-    tileAt(unsigned x, unsigned y)
+    NodeId
+    tileAt(unsigned x, unsigned y) const
     {
-        return y * meshDim + x;
+        return y * dimX_ + x;
     }
 
     /** Manhattan distance between two tiles. */
-    static constexpr unsigned
-    manhattan(NodeId a, NodeId b)
+    unsigned
+    manhattan(NodeId a, NodeId b) const
     {
         int dx = static_cast<int>(xOf(a)) - static_cast<int>(xOf(b));
         int dy = static_cast<int>(yOf(a)) - static_cast<int>(yOf(b));
@@ -50,8 +68,8 @@ class Mesh
      * Link traversals for a message from @p a to @p b, including the
      * final ejection link.
      */
-    static constexpr unsigned
-    hops(NodeId a, NodeId b)
+    unsigned
+    hops(NodeId a, NodeId b) const
     {
         return manhattan(a, b) + 1;
     }
@@ -60,7 +78,11 @@ class Mesh
      * Enumerate the tiles visited by XY (dimension-order) routing from
      * @p a to @p b, inclusive of both endpoints.
      */
-    static std::vector<NodeId> xyRoute(NodeId a, NodeId b);
+    std::vector<NodeId> xyRoute(NodeId a, NodeId b) const;
+
+  private:
+    unsigned dimX_;
+    unsigned dimY_;
 };
 
 } // namespace wastesim

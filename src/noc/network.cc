@@ -24,7 +24,7 @@ Network::totalLinkFlits() const
 void
 Network::send(Message msg)
 {
-    msg.hops = Mesh::hops(msg.src.tile(), msg.dst.tile());
+    msg.hops = mesh_.hops(msg.src.tile(topo_), msg.dst.tile(topo_));
     msg.sentAt = eq_.now();
     ++msgsSent_;
 
@@ -67,18 +67,19 @@ Network::send(Message msg)
 
     // Per-link utilization along the XY route (+ the ejection link).
     {
-        const auto route = Mesh::xyRoute(msg.src.tile(),
-                                         msg.dst.tile());
+        const unsigned tiles = topo_.numTiles();
+        const auto route = mesh_.xyRoute(msg.src.tile(topo_),
+                                         msg.dst.tile(topo_));
         for (std::size_t i = 1; i < route.size(); ++i)
-            linkFlits_[route[i - 1] * numTiles + route[i]] +=
-                total_flits;
-        linkFlits_[route.back() * numTiles + route.back()] +=
-            total_flits;
+            linkFlits_[static_cast<std::size_t>(route[i - 1]) * tiles +
+                       route[i]] += total_flits;
+        linkFlits_[static_cast<std::size_t>(route.back()) * tiles +
+                   route.back()] += total_flits;
     }
 
-    MessageHandler *h = handlers_[msg.dst.flatId()];
+    MessageHandler *h = handlers_[msg.dst.flatId(topo_)];
     panic_if(!h, "no handler attached for endpoint flatId %u",
-             msg.dst.flatId());
+             msg.dst.flatId(topo_));
 
     // Head flit arrives after the link latency of each hop; the tail
     // follows one cycle per additional flit (wormhole serialization).

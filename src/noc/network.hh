@@ -14,9 +14,10 @@
 #ifndef WASTESIM_NOC_NETWORK_HH
 #define WASTESIM_NOC_NETWORK_HH
 
-#include <array>
 #include <cstdint>
+#include <vector>
 
+#include "common/topology.hh"
 #include "common/types.hh"
 #include "noc/mesh.hh"
 #include "profile/traffic.hh"
@@ -31,17 +32,21 @@ class Network
 {
   public:
     Network(EventQueue &eq, TrafficRecorder &traffic,
-            Tick link_latency = 3)
-        : eq_(eq), traffic_(traffic), linkLatency_(link_latency)
+            Tick link_latency = 3, Topology topo = Topology{})
+        : eq_(eq), traffic_(traffic), linkLatency_(link_latency),
+          topo_(std::move(topo)), mesh_(topo_),
+          handlers_(topo_.numFlatIds(), nullptr),
+          linkFlits_(static_cast<std::size_t>(topo_.numTiles()) *
+                         topo_.numTiles(),
+                     0)
     {
-        handlers_.fill(nullptr);
     }
 
     /** Register the handler for endpoint @p ep. */
     void
     attach(Endpoint ep, MessageHandler *h)
     {
-        handlers_[ep.flatId()] = h;
+        handlers_[ep.flatId(topo_)] = h;
     }
 
     /**
@@ -65,6 +70,10 @@ class Network
 
     Tick linkLatency() const { return linkLatency_; }
 
+    /** The active topology and its mesh geometry. */
+    const Topology &topology() const { return topo_; }
+    const Mesh &mesh() const { return mesh_; }
+
     /**
      * Flits that crossed the directed link from tile @p a to adjacent
      * tile @p b (XY routing); @p a == @p b gives the ejection link.
@@ -72,7 +81,9 @@ class Network
     std::uint64_t
     linkFlits(NodeId a, NodeId b) const
     {
-        return linkFlits_[a * numTiles + b];
+        return linkFlits_[static_cast<std::size_t>(a) *
+                              topo_.numTiles() +
+                          b];
     }
 
     /** Most-loaded link (hotspot detection). */
@@ -85,10 +96,12 @@ class Network
     EventQueue &eq_;
     TrafficRecorder &traffic_;
     Tick linkLatency_;
+    Topology topo_;
+    Mesh mesh_;
     std::uint64_t msgsSent_ = 0;
-    std::array<MessageHandler *, Endpoint::numFlatIds> handlers_;
+    std::vector<MessageHandler *> handlers_;
     /** Directed per-link flit counters, indexed a*numTiles+b. */
-    std::array<std::uint64_t, numTiles * numTiles> linkFlits_{};
+    std::vector<std::uint64_t> linkFlits_;
 };
 
 } // namespace wastesim

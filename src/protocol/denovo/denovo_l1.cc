@@ -1,6 +1,7 @@
 #include "protocol/denovo/denovo_l1.hh"
 
 #include <algorithm>
+#include <map>
 #include <unordered_set>
 
 #include "common/log.hh"
@@ -20,7 +21,7 @@ DenovoL1::DenovoL1(CoreId id, const ProtocolConfig &cfg,
           [this](Addr line, WordMask words) {
               flushRegistration(line, words);
           }),
-      bloom_(params.bloomFilters)
+      bloom_(params.bloomFilters, params.topo)
 {
 }
 
@@ -125,7 +126,7 @@ DenovoL1::composeWanted(Addr a)
 void
 DenovoL1::requestBloomCopy(Addr line_addr)
 {
-    const NodeId slice = homeSlice(line_addr);
+    const NodeId slice = params_.topo.homeSlice(line_addr);
     const unsigned idx = bloomFilterIndex(line_addr,
                                           params_.bloomFilters);
     const Addr key = slice * params_.bloomFilters + idx;
@@ -166,13 +167,10 @@ DenovoL1::sendLoadRequest(Addr critical, std::vector<LineChunk> wanted)
         if (all_safe) {
             ++bypassDirect_;
             // Group by memory channel: one MemRead per controller.
-            for (unsigned ch = 0; ch < numMemCtrls; ++ch) {
-                std::vector<LineChunk> group;
-                for (const auto &c : wanted)
-                    if (memChannel(c.line) == ch)
-                        group.push_back(c);
-                if (group.empty())
-                    continue;
+            std::map<unsigned, std::vector<LineChunk>> byChannel;
+            for (const auto &c : wanted)
+                byChannel[params_.topo.memChannel(c.line)].push_back(c);
+            for (auto &[ch, group] : byChannel) {
                 Message rd;
                 rd.kind = MsgKind::MemRead;
                 rd.src = l1Ep(id_);
@@ -196,13 +194,10 @@ DenovoL1::sendLoadRequest(Addr critical, std::vector<LineChunk> wanted)
     }
 
     // Route through the home L2 slice(s).
-    for (NodeId slice = 0; slice < numTiles; ++slice) {
-        std::vector<LineChunk> group;
-        for (const auto &c : wanted)
-            if (homeSlice(c.line) == slice)
-                group.push_back(c);
-        if (group.empty())
-            continue;
+    std::map<NodeId, std::vector<LineChunk>> bySlice;
+    for (const auto &c : wanted)
+        bySlice[params_.topo.homeSlice(c.line)].push_back(c);
+    for (auto &[slice, group] : bySlice) {
         Message req;
         req.kind = MsgKind::DnLoadReq;
         req.src = l1Ep(id_);
@@ -259,7 +254,7 @@ DenovoL1::evictLine(CacheLine &cl)
         Message wb;
         wb.kind = MsgKind::DnWb;
         wb.src = l1Ep(id_);
-        wb.dst = l2Ep(homeSlice(la));
+        wb.dst = l2Ep(params_.topo.homeSlice(la));
         wb.line = la;
         wb.requester = id_;
         wb.cls = TrafficClass::Writeback;
@@ -324,7 +319,7 @@ DenovoL1::flushRegistration(Addr line_addr, WordMask words)
     Message reg;
     reg.kind = MsgKind::DnReg;
     reg.src = l1Ep(id_);
-    reg.dst = l2Ep(homeSlice(line_addr));
+    reg.dst = l2Ep(params_.topo.homeSlice(line_addr));
     reg.line = line_addr;
     reg.mask = words;
     reg.requester = id_;
@@ -583,7 +578,7 @@ DenovoL1::handleRecall(const Message &msg)
     Message resp;
     resp.kind = MsgKind::DnWb;
     resp.src = l1Ep(id_);
-    resp.dst = l2Ep(homeSlice(la));
+    resp.dst = l2Ep(params_.topo.homeSlice(la));
     resp.line = la;
     resp.requester = id_;
     resp.cls = TrafficClass::Writeback;
@@ -628,7 +623,7 @@ DenovoL1::handleNack(const Message &msg)
             Message reg;
             reg.kind = MsgKind::DnReg;
             reg.src = l1Ep(id_);
-            reg.dst = l2Ep(homeSlice(la));
+            reg.dst = l2Ep(params_.topo.homeSlice(la));
             reg.line = la;
             reg.mask = words;
             reg.requester = id_;
@@ -698,7 +693,7 @@ DenovoL1::handle(Message msg)
             Message dereg;
             dereg.kind = MsgKind::DnWb;
             dereg.src = l1Ep(id_);
-            dereg.dst = l2Ep(homeSlice(msg.line));
+            dereg.dst = l2Ep(params_.topo.homeSlice(msg.line));
             dereg.line = msg.line;
             dereg.mask = stale;
             dereg.requester = id_;

@@ -11,7 +11,7 @@ DenovoL2::DenovoL2(NodeId slice, const ProtocolConfig &cfg,
                    WordProfiler &prof, MemProfiler &mem_prof)
     : slice_(slice), cfg_(cfg), params_(params), eq_(eq), net_(net),
       prof_(prof), memProf_(mem_prof),
-      array_(params.l2Sets, params.l2Ways, numTiles),
+      array_(params.l2Sets, params.l2Ways, params.topo.numTiles()),
       bloom_(params.bloomFilters)
 {
 }
@@ -98,7 +98,7 @@ DenovoL2::handleLoadReq(Message &msg)
 
     for (const auto &chunk : msg.chunks) {
         const Addr la = chunk.line;
-        panic_if(homeSlice(la) != slice_, "request routed to wrong slice");
+        panic_if(params_.topo.homeSlice(la) != slice_, "request routed to wrong slice");
         const WordMask want = chunk.want;
         CacheLine *cl = array_.find(la);
         WordMask from_l2, missing = want;
@@ -151,7 +151,7 @@ DenovoL2::handleLoadReq(Message &msg)
                 Message rd;
                 rd.kind = MsgKind::MemRead;
                 rd.src = l2Ep(slice_);
-                rd.dst = mcEp(memChannel(la));
+                rd.dst = mcEp(params_.topo.memChannel(la));
                 rd.line = la;
                 rd.requester = requester;
                 rd.cls = TrafficClass::Load;
@@ -246,7 +246,7 @@ DenovoL2::startMemFetch(Addr line_addr, WordMask missing, CoreId requester,
     Message rd;
     rd.kind = MsgKind::MemRead;
     rd.src = l2Ep(slice_);
-    rd.dst = mcEp(memChannel(line_addr));
+    rd.dst = mcEp(params_.topo.memChannel(line_addr));
     rd.line = line_addr;
     rd.requester = requester;
     rd.cls = cls;
@@ -412,7 +412,7 @@ DenovoL2::handleReg(Message &msg)
             Message rd;
             rd.kind = MsgKind::MemRead;
             rd.src = l2Ep(slice_);
-            rd.dst = mcEp(memChannel(la));
+            rd.dst = mcEp(params_.topo.memChannel(la));
             rd.line = la;
             rd.requester = msg.requester;
             rd.cls = TrafficClass::Store;
@@ -502,7 +502,7 @@ DenovoL2::handleWb(Message &msg)
             Message wt;
             wt.kind = MsgKind::MemWrite;
             wt.src = l2Ep(slice_);
-            wt.dst = mcEp(memChannel(la));
+            wt.dst = mcEp(params_.topo.memChannel(la));
             wt.line = la;
             wt.cls = TrafficClass::Writeback;
             wt.ctl = CtlType::WbControl;
@@ -632,7 +632,7 @@ DenovoL2::finishVictim(Addr victim_line)
         Message wb;
         wb.kind = MsgKind::MemWrite;
         wb.src = l2Ep(slice_);
-        wb.dst = mcEp(memChannel(victim_line));
+        wb.dst = mcEp(params_.topo.memChannel(victim_line));
         wb.line = victim_line;
         wb.cls = TrafficClass::Writeback;
         wb.ctl = CtlType::WbControl;

@@ -8,23 +8,12 @@
 namespace wastesim
 {
 
-namespace
-{
-
-std::uint16_t
-bitOf(CoreId c)
-{
-    return static_cast<std::uint16_t>(1u << c);
-}
-
-} // namespace
-
 MesiDir::MesiDir(NodeId slice, const ProtocolConfig &cfg,
                  const SimParams &params, EventQueue &eq, Network &net,
                  WordProfiler &prof, MemProfiler &mem_prof)
     : slice_(slice), cfg_(cfg), params_(params), eq_(eq), net_(net),
       prof_(prof), memProf_(mem_prof),
-      array_(params.l2Sets, params.l2Ways, numTiles)
+      array_(params.l2Sets, params.l2Ways, params.topo.numTiles())
 {
 }
 
@@ -156,7 +145,7 @@ MesiDir::handleGetS(const Message &msg)
         return;
     }
 
-    t.excl = cl->sharers == 0;
+    t.excl = cl->sharers.none();
     txns_[la] = t;
     for (unsigned w = 0; w < wordsPerLine; ++w)
         if (cl->validWords.test(w)) {
@@ -203,10 +192,10 @@ MesiDir::handleGetX(const Message &msg)
         return;
     }
 
-    const std::uint16_t invs =
-        cl->sharers & static_cast<std::uint16_t>(~bitOf(msg.requester));
-    for (CoreId c = 0; c < numTiles; ++c) {
-        if (!(invs & bitOf(c)))
+    SharerMask invs = cl->sharers;
+    invs.reset(msg.requester);
+    for (CoreId c = 0; c < params_.topo.numTiles(); ++c) {
+        if (!invs.test(c))
             continue;
         Message inv;
         inv.kind = MsgKind::Inv;
@@ -224,7 +213,7 @@ MesiDir::handleGetX(const Message &msg)
     // The store fetch returns data Used only if reused later; the
     // demand forward itself is not L2 reuse (see word_profiler.hh).
     sendDataFromL2(*cl, msg.requester, false, true,
-                   std::popcount(invs));
+                   static_cast<unsigned>(invs.count()));
 }
 
 void
@@ -236,7 +225,7 @@ MesiDir::handleUpgrade(const Message &msg)
         return;
     }
     CacheLine *cl = array_.find(la);
-    if (!cl || !(cl->sharers & bitOf(msg.requester)) ||
+    if (!cl || !cl->sharers.test(msg.requester) ||
         cl->owner != invalidNode) {
         // The requester lost its S copy (or the state moved on); it
         // will re-issue as a GetX.
@@ -246,10 +235,10 @@ MesiDir::handleUpgrade(const Message &msg)
     ++hits_;
     cl->busy = true;
 
-    const std::uint16_t invs =
-        cl->sharers & static_cast<std::uint16_t>(~bitOf(msg.requester));
-    for (CoreId c = 0; c < numTiles; ++c) {
-        if (!(invs & bitOf(c)))
+    SharerMask invs = cl->sharers;
+    invs.reset(msg.requester);
+    for (CoreId c = 0; c < params_.topo.numTiles(); ++c) {
+        if (!invs.test(c))
             continue;
         Message inv;
         inv.kind = MsgKind::Inv;
@@ -276,7 +265,7 @@ MesiDir::handleUpgrade(const Message &msg)
     ack.requester = msg.requester;
     ack.cls = TrafficClass::Store;
     ack.ctl = CtlType::RespCtl;
-    ack.aux = std::popcount(invs);
+    ack.aux = static_cast<unsigned>(invs.count());
     net_.send(std::move(ack));
 }
 
@@ -304,7 +293,7 @@ MesiDir::handlePutX(Message &msg)
         installWords(msg, *cl, false);
         if (cl->owner == msg.requester)
             cl->owner = invalidNode;
-        cl->sharers &= static_cast<std::uint16_t>(~bitOf(msg.requester));
+        cl->sharers.reset(msg.requester);
     }
     sendWbAck(la, msg.requester);
 }
@@ -318,7 +307,7 @@ MesiDir::handlePutS(const Message &msg)
         return;
     }
     if (CacheLine *cl = array_.find(la)) {
-        cl->sharers &= static_cast<std::uint16_t>(~bitOf(msg.requester));
+        cl->sharers.reset(msg.requester);
         if (cl->owner == msg.requester)
             cl->owner = invalidNode;
     }
@@ -358,18 +347,18 @@ MesiDir::handleUnblock(Message &msg)
       case MsgKind::GetS:
         if (t.fwdOwner != invalidNode) {
             cl->owner = invalidNode;
-            cl->sharers |= bitOf(t.fwdOwner);
-            cl->sharers |= bitOf(t.requester);
+            cl->sharers.set(t.fwdOwner);
+            cl->sharers.set(t.requester);
         } else if (t.excl) {
             cl->owner = t.requester;
         } else {
-            cl->sharers |= bitOf(t.requester);
+            cl->sharers.set(t.requester);
         }
         break;
       case MsgKind::GetX:
       case MsgKind::Upgrade:
         cl->owner = t.requester;
-        cl->sharers = 0;
+        cl->sharers.reset();
         break;
       default:
         panic("unexpected transaction kind at unblock");
@@ -433,7 +422,7 @@ MesiDir::finishVictim(Addr victim_line)
         Message wb;
         wb.kind = MsgKind::MemWrite;
         wb.src = l2Ep(slice_);
-        wb.dst = mcEp(memChannel(victim_line));
+        wb.dst = mcEp(params_.topo.memChannel(victim_line));
         wb.line = victim_line;
         wb.cls = TrafficClass::Writeback;
         wb.ctl = CtlType::WbControl;
@@ -482,8 +471,8 @@ MesiDir::recallVictim(CacheLine &victim, std::function<void()> cont)
     if (victim.owner != invalidNode) {
         send_inv(victim.owner);
     } else {
-        for (CoreId c = 0; c < numTiles; ++c)
-            if (victim.sharers & bitOf(c))
+        for (CoreId c = 0; c < params_.topo.numTiles(); ++c)
+            if (victim.sharers.test(c))
                 send_inv(c);
     }
 
@@ -531,7 +520,7 @@ MesiDir::startFetch(const Message &msg)
     Message rd;
     rd.kind = MsgKind::MemRead;
     rd.src = l2Ep(slice_);
-    rd.dst = mcEp(memChannel(la));
+    rd.dst = mcEp(params_.topo.memChannel(la));
     rd.line = la;
     rd.mask = WordMask::full();
     rd.requester = msg.requester;

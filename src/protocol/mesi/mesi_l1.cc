@@ -127,7 +127,7 @@ MesiL1::sendRequest(const Mshr &m)
 {
     Message msg;
     msg.src = l1Ep(id_);
-    msg.dst = l2Ep(homeSlice(m.line));
+    msg.dst = l2Ep(params_.topo.homeSlice(m.line));
     msg.line = m.line;
     msg.mask = WordMask::full();
     msg.requester = id_;
@@ -209,7 +209,7 @@ MesiL1::evictLine(CacheLine &cl)
         Message msg;
         msg.kind = MsgKind::PutX;
         msg.src = l1Ep(id_);
-        msg.dst = l2Ep(homeSlice(la));
+        msg.dst = l2Ep(params_.topo.homeSlice(la));
         msg.line = la;
         msg.requester = id_;
         msg.cls = TrafficClass::Writeback;
@@ -228,7 +228,7 @@ MesiL1::evictLine(CacheLine &cl)
         Message msg;
         msg.kind = MsgKind::PutS;
         msg.src = l1Ep(id_);
-        msg.dst = l2Ep(homeSlice(la));
+        msg.dst = l2Ep(params_.topo.homeSlice(la));
         msg.line = la;
         msg.requester = id_;
         msg.cls = TrafficClass::Overhead;
@@ -338,7 +338,7 @@ MesiL1::maybeComplete(Addr line_addr)
     // profiled as load traffic (Section 3.3).
     Message ub;
     ub.src = l1Ep(id_);
-    ub.dst = l2Ep(homeSlice(line_addr));
+    ub.dst = l2Ep(params_.topo.homeSlice(line_addr));
     ub.line = line_addr;
     ub.requester = id_;
     if (cfg_.memToL1 && m.usedMemory && !m.isStore && !m.isUpgrade) {
@@ -415,7 +415,7 @@ MesiL1::respondToFwd(const Message &msg, bool exclusive)
             Message copy;
             copy.kind = MsgKind::Data;
             copy.src = l1Ep(id_);
-            copy.dst = l2Ep(homeSlice(msg.line));
+            copy.dst = l2Ep(params_.topo.homeSlice(msg.line));
             copy.line = msg.line;
             copy.requester = msg.requester;
             copy.cls = TrafficClass::Load;
@@ -473,7 +473,7 @@ MesiL1::handleInv(const Message &msg)
             Message resp;
             resp.kind = MsgKind::PutX;
             resp.src = l1Ep(id_);
-            resp.dst = l2Ep(homeSlice(msg.line));
+            resp.dst = l2Ep(params_.topo.homeSlice(msg.line));
             resp.line = msg.line;
             resp.requester = id_;
             resp.cls = TrafficClass::Writeback;
@@ -497,7 +497,7 @@ MesiL1::handleInv(const Message &msg)
         Message resp;
         resp.kind = MsgKind::PutX;
         resp.src = l1Ep(id_);
-        resp.dst = l2Ep(homeSlice(msg.line));
+        resp.dst = l2Ep(params_.topo.homeSlice(msg.line));
         resp.line = msg.line;
         resp.requester = id_;
         resp.cls = TrafficClass::Writeback;
@@ -518,7 +518,7 @@ MesiL1::handleInv(const Message &msg)
     Message ack;
     ack.kind = MsgKind::InvAck;
     ack.src = l1Ep(id_);
-    ack.dst = to_dir ? l2Ep(homeSlice(msg.line)) : l1Ep(msg.requester);
+    ack.dst = to_dir ? l2Ep(params_.topo.homeSlice(msg.line)) : l1Ep(msg.requester);
     ack.line = msg.line;
     ack.requester = msg.requester;
     ack.cls = TrafficClass::Overhead;
@@ -541,7 +541,7 @@ MesiL1::handleNack(const Message &msg)
             Message msg;
             msg.kind = MsgKind::PutX;
             msg.src = l1Ep(id_);
-            msg.dst = l2Ep(homeSlice(la));
+            msg.dst = l2Ep(params_.topo.homeSlice(la));
             msg.line = la;
             msg.requester = id_;
             msg.cls = TrafficClass::Writeback;
@@ -561,7 +561,7 @@ MesiL1::handleNack(const Message &msg)
             Message msg;
             msg.kind = MsgKind::PutS;
             msg.src = l1Ep(id_);
-            msg.dst = l2Ep(homeSlice(la));
+            msg.dst = l2Ep(params_.topo.homeSlice(la));
             msg.line = la;
             msg.requester = id_;
             msg.cls = TrafficClass::Overhead;

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/topology.hh"
 #include "common/types.hh"
 #include "common/word_mask.hh"
 #include "profile/waste.hh"
@@ -32,33 +33,31 @@ struct Endpoint
     Kind kind = Kind::L1;
     unsigned idx = 0;
 
-    /** Tile this endpoint lives on. */
+    /** Tile this endpoint lives on under @p topo. */
     NodeId
-    tile() const
+    tile(const Topology &topo) const
     {
         switch (kind) {
           case Kind::L1:
           case Kind::L2:
             return idx;
           case Kind::MC:
-            return memCtrlTile(idx);
+            return topo.memCtrlTile(idx);
         }
         return 0;
     }
 
-    /** Dense id for handler registration. */
+    /** Dense id for handler registration (< topo.numFlatIds()). */
     unsigned
-    flatId() const
+    flatId(const Topology &topo) const
     {
         switch (kind) {
           case Kind::L1: return idx;
-          case Kind::L2: return numTiles + idx;
-          case Kind::MC: return 2 * numTiles + idx;
+          case Kind::L2: return topo.numTiles() + idx;
+          case Kind::MC: return 2 * topo.numTiles() + idx;
         }
         return 0;
     }
-
-    static constexpr unsigned numFlatIds = 2 * numTiles + numMemCtrls;
 
     bool operator==(const Endpoint &) const = default;
 };

@@ -101,13 +101,17 @@ SimParams::describe() const
        << " B lines\n"
        << "L2 (shared): " << l2Sets * l2Ways * bytesPerLine / 1024
        << " KB slices ("
-       << numTiles * l2Sets * l2Ways * bytesPerLine / (1024 * 1024)
+       << topo.numTiles() * l2Sets * l2Ways * bytesPerLine /
+              (1024 * 1024)
        << " MB total), " << l2Ways << "-way, " << bytesPerLine
        << " B lines\n"
-       << "Network: 4x4 mesh, 16 B links, " << linkLatency
+       << "Network: " << topo.meshX() << "x" << topo.meshY()
+       << " mesh, 16 B links, " << linkLatency
        << "-cycle link latency\n"
-       << "Memory controllers: " << numMemCtrls
-       << " (corner tiles), FR-FCFS, open page\n"
+       << "Memory controllers: " << topo.numMemCtrls() << " (tiles";
+    for (NodeId t : topo.memCtrlTiles())
+        os << " " << t;
+    os << "), FR-FCFS, open page\n"
        << "DRAM: DDR3-1066, " << dram.numBanksPerRank << " banks, "
        << dram.numRanks << " ranks\n"
        << "Write buffer / combining entries per core: "

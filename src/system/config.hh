@@ -9,6 +9,7 @@
 
 #include <string>
 
+#include "common/topology.hh"
 #include "common/types.hh"
 #include "dram/dram_timing.hh"
 
@@ -65,6 +66,10 @@ struct ProtocolConfig
 /** Table 4.1 system parameters (in 2 GHz core cycles). */
 struct SimParams
 {
+    /** System geometry: mesh dims, tile count, MC placement.  The
+     *  default is the paper's 4x4 / 4-controller system. */
+    Topology topo;
+
     // Caches.
     unsigned l1Sets = 64;        //!< 32 KB, 8-way, 64 B lines
     unsigned l1Ways = 8;

@@ -27,7 +27,10 @@ std::string
 configTagFor(unsigned scale, const SimParams &p)
 {
     std::ostringstream os;
-    os << "scale=" << scale << ",l1=" << p.l1Sets << "x" << p.l1Ways
+    // describe() spells out any non-default MC placement, so the
+    // topology token alone fingerprints the full geometry.
+    os << "scale=" << scale << ",topo=" << p.topo.describe()
+       << ",l1=" << p.l1Sets << "x" << p.l1Ways
        << "@" << p.l1Latency << ",l2=" << p.l2Sets << "x" << p.l2Ways
        << "@" << p.l2Latency << ",link=" << p.linkLatency
        << ",wb=" << p.writeBufferEntries << ",wct=" << p.wcTimeout
@@ -108,7 +111,7 @@ RunResult
 runOne(ProtocolName protocol, BenchmarkName bench, unsigned scale,
        SimParams params)
 {
-    auto wl = makeBenchmark(bench, scale);
+    auto wl = makeBenchmark(bench, scale, params.topo);
     return runOne(protocol, *wl, params);
 }
 
@@ -198,7 +201,7 @@ runSweep(const std::vector<BenchmarkName> &benches,
         for (ProtocolName p : protocols)
             sweep.protoNames.emplace_back(protocolName(p));
         for (BenchmarkName b : benches) {
-            auto wl = makeBenchmark(b, scale);
+            auto wl = makeBenchmark(b, scale, params.topo);
             const Sweep row = runSweep({wl.get()}, protocols, params);
             sweep.benchNames.push_back(row.benchNames.at(0));
             sweep.results.push_back(row.results.at(0));
@@ -209,7 +212,7 @@ runSweep(const std::vector<BenchmarkName> &benches,
     std::vector<std::unique_ptr<Workload>> built;
     built.reserve(benches.size());
     for (BenchmarkName b : benches)
-        built.push_back(makeBenchmark(b, scale));
+        built.push_back(makeBenchmark(b, scale, params.topo));
     std::vector<const Workload *> workloads;
     workloads.reserve(built.size());
     for (const auto &wl : built)

@@ -8,38 +8,49 @@ namespace wastesim
 System::System(ProtocolName protocol, const Workload &workload,
                SimParams params)
     : protocolName_(protocol), cfg_(ProtocolConfig::make(protocol)),
-      params_(params), workload_(workload), barrier_(numTiles)
+      params_(std::move(params)), workload_(workload),
+      barrier_(params_.topo.numTiles())
 {
-    net_ = std::make_unique<Network>(eq_, traffic_, params_.linkLatency);
+    const Topology &topo = params_.topo;
+    const unsigned tiles = topo.numTiles();
 
-    l1Profs_.reserve(numTiles);
-    l2Profs_.reserve(numTiles);
-    for (unsigned i = 0; i < numTiles; ++i) {
+    fatal_if(workload_.numCores() != tiles,
+             "workload '%s' drives %u cores but the active topology "
+             "%s has %u tiles",
+             workload_.name().c_str(), workload_.numCores(),
+             topo.describe().c_str(), tiles);
+
+    net_ = std::make_unique<Network>(eq_, traffic_,
+                                     params_.linkLatency, topo);
+
+    l1Profs_.reserve(tiles);
+    l2Profs_.reserve(tiles);
+    for (unsigned i = 0; i < tiles; ++i) {
         l1Profs_.emplace_back(WordProfiler::Level::L1);
         l2Profs_.emplace_back(WordProfiler::Level::L2);
     }
 
     // Protocol controllers.
-    l1Ifaces_.resize(numTiles, nullptr);
+    l1Ifaces_.resize(tiles, nullptr);
     if (cfg_.isMesi()) {
-        for (unsigned i = 0; i < numTiles; ++i) {
+        for (unsigned i = 0; i < tiles; ++i) {
             mesiDirs_.push_back(std::make_unique<MesiDir>(
                 i, cfg_, params_, eq_, *net_, l2Profs_[i], memProf_));
             net_->attach(l2Ep(i), mesiDirs_.back().get());
         }
-        for (unsigned i = 0; i < numTiles; ++i) {
+        for (unsigned i = 0; i < tiles; ++i) {
             mesiL1s_.push_back(std::make_unique<MesiL1>(
                 i, cfg_, params_, eq_, *net_, l1Profs_[i], memProf_));
             net_->attach(l1Ep(i), mesiL1s_.back().get());
             l1Ifaces_[i] = mesiL1s_.back().get();
         }
     } else {
-        for (unsigned i = 0; i < numTiles; ++i) {
+        for (unsigned i = 0; i < tiles; ++i) {
             dnL2s_.push_back(std::make_unique<DenovoL2>(
                 i, cfg_, params_, eq_, *net_, l2Profs_[i], memProf_));
             net_->attach(l2Ep(i), dnL2s_.back().get());
         }
-        for (unsigned i = 0; i < numTiles; ++i) {
+        for (unsigned i = 0; i < tiles; ++i) {
             dnL1s_.push_back(std::make_unique<DenovoL1>(
                 i, cfg_, params_, eq_, *net_, l1Profs_[i], memProf_,
                 workload_.regions()));
@@ -50,14 +61,15 @@ System::System(ProtocolName protocol, const Workload &workload,
 
     // Memory system.
     auto present = [this](Addr line, unsigned w) {
-        const NodeId s = homeSlice(line);
+        const NodeId s = params_.topo.homeSlice(line);
         if (cfg_.isMesi())
             return mesiDirs_[s]->wordPresent(line, w);
         return dnL2s_[s]->wordPresent(line, w);
     };
-    for (unsigned c = 0; c < numMemCtrls; ++c) {
+    for (unsigned c = 0; c < topo.numMemCtrls(); ++c) {
         DramMap map;
         map.timing = params_.dram;
+        map.numChannels = topo.numMemCtrls();
         drams_.push_back(std::make_unique<DramChannel>(eq_, map));
         mcs_.push_back(std::make_unique<MemoryController>(
             c, eq_, *net_, *drams_.back(), memProf_, present));
@@ -65,7 +77,7 @@ System::System(ProtocolName protocol, const Workload &workload,
     }
 
     // Cores.
-    for (CoreId c = 0; c < numTiles; ++c) {
+    for (CoreId c = 0; c < tiles; ++c) {
         Core::Hooks hooks;
         hooks.onEpoch = [this] { onEpoch(); };
         hooks.onDone = [this](CoreId) {
@@ -90,7 +102,7 @@ System::~System()
 bool
 System::coresDone() const
 {
-    return coresDone_ == numTiles;
+    return coresDone_ == params_.topo.numTiles();
 }
 
 void
@@ -126,9 +138,9 @@ System::run(Tick max_ticks)
     debugLineDump = [this](std::uint64_t line) {
         std::fprintf(stderr, "state of line %llx (home slice %u):\n",
                      static_cast<unsigned long long>(line),
-                     homeSlice(line));
+                     params_.topo.homeSlice(line));
         if (cfg_.isDeNovo()) {
-            dnL2s_[homeSlice(line)]->dumpLine(line);
+            dnL2s_[params_.topo.homeSlice(line)]->dumpLine(line);
             for (const auto &l1 : dnL1s_)
                 l1->dumpLine(line);
         }
@@ -142,7 +154,7 @@ System::run(Tick max_ticks)
              static_cast<unsigned long long>(max_ticks));
 
     if (!coresDone()) {
-        for (CoreId c = 0; c < numTiles; ++c) {
+        for (CoreId c = 0; c < params_.topo.numTiles(); ++c) {
             if (!cores_[c]->done()) {
                 warn("core %u stuck at op %zu of %zu", c,
                      cores_[c]->opsExecuted(),
@@ -208,25 +220,26 @@ System::run(Tick max_ticks)
 void
 System::checkInvariants() const
 {
+    const unsigned tiles = params_.topo.numTiles();
     if (cfg_.isMesi()) {
         // At most one exclusive owner per line; an owner implies no
         // sharers recorded alongside stale exclusivity.
         for (const auto &dir : mesiDirs_) {
             const_cast<CacheArray &>(dir->array())
-                .forEachValid([](CacheLine &cl) {
+                .forEachValid([tiles](CacheLine &cl) {
                     if (cl.owner != invalidNode) {
-                        panic_if(cl.owner >= numTiles,
+                        panic_if(cl.owner >= tiles,
                                  "bogus owner id");
                     }
                 });
         }
         // No two L1s hold the same line in M.
-        for (unsigned i = 0; i < numTiles; ++i) {
+        for (unsigned i = 0; i < tiles; ++i) {
             const_cast<CacheArray &>(mesiL1s_[i]->array())
                 .forEachValid([&](CacheLine &a) {
                     if (a.mesi != MesiState::M)
                         return;
-                    for (unsigned j = i + 1; j < numTiles; ++j) {
+                    for (unsigned j = i + 1; j < tiles; ++j) {
                         const CacheLine *b =
                             mesiL1s_[j]->array().find(a.line);
                         panic_if(b && b->valid &&
@@ -240,10 +253,10 @@ System::checkInvariants() const
     } else {
         // A word is registered to at most one L1 (the L2 regOwner is
         // the single source of truth; check L1 regWords agree).
-        for (unsigned i = 0; i < numTiles; ++i) {
+        for (unsigned i = 0; i < tiles; ++i) {
             const_cast<CacheArray &>(dnL1s_[i]->array())
                 .forEachValid([&](CacheLine &a) {
-                    for (unsigned j = i + 1; j < numTiles; ++j) {
+                    for (unsigned j = i + 1; j < tiles; ++j) {
                         const CacheLine *b =
                             dnL1s_[j]->array().find(a.line);
                         if (!b || !b->valid)

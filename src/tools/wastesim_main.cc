@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "common/topology.hh"
 #include "system/report.hh"
 #include "system/runner.hh"
 #include "trace/synthetic.hh"
@@ -47,9 +48,11 @@ usage(const char *prog)
         "usage: %s <command> [options]\n"
         "\n"
         "commands:\n"
-        "  record  --bench NAME [--scale N] --out FILE\n"
+        "  record  --bench NAME [--scale N] [--mesh WxH] [--mcs N]\n"
+        "          --out FILE\n"
         "          serialize a Table-4.2 benchmark to a trace file\n"
-        "  replay  --trace FILE [--protocol P ...] [--full-size]\n"
+        "  replay  --trace FILE [--protocol P ...] [--mesh WxH]\n"
+        "          [--mcs N] [--full-size]\n"
         "          replay a trace through protocols (default: all 9)\n"
         "  synth   [--seed N] [--pattern stride|random|hotset]\n"
         "          [--ops N] [--phases N] [--regions N]\n"
@@ -57,14 +60,19 @@ usage(const char *prog)
         "          [--sharing-degree N] [--read-frac F]\n"
         "          [--shared-frac F] [--stride W] [--hot-frac F]\n"
         "          [--hot-prob F] [--work N] [--bypass]\n"
+        "          [--mesh WxH] [--mcs N]\n"
         "          [--out FILE | --protocol P ... | --full-size]\n"
         "          generate a synthetic scenario; save or simulate it\n"
-        "  sweep   [--scale N] [--report NAME ...] [--full-size]\n"
+        "  sweep   [--scale N] [--report NAME ...] [--mesh WxH]\n"
+        "          [--mcs N] [--full-size]\n"
         "          full 9-protocol x 6-benchmark grid (disk-cached;\n"
         "          reports: fig5.1a b c d, fig5.2, fig5.3a b c,\n"
         "          overhead, headline; default: fig5.1a + headline)\n"
         "  info    --trace FILE\n"
         "          describe a trace file\n"
+        "\n"
+        "topology: --mesh WxH sets the mesh (default 4x4); --mcs N\n"
+        "the memory-controller count (default: one per corner)\n"
         "\n"
         "benchmarks:",
         prog);
@@ -193,17 +201,54 @@ defaultProtocols()
     return {allProtocols, allProtocols + numProtocols};
 }
 
+/**
+ * Deferred --mesh / --mcs parsing: flags are collected while walking
+ * the argument list and applied once at the end, so their position
+ * relative to --full-size (which replaces the whole SimParams) does
+ * not matter.
+ */
+struct TopoArgs
+{
+    unsigned meshX = 0, meshY = 0; //!< 0 = not given
+    unsigned mcs = 0;              //!< 0 = default placement
+
+    void
+    parseMesh(const std::string &flag, const std::string &v)
+    {
+        fatal_if(!Topology::parseMesh(v, meshX, meshY),
+                 "%s needs a WxH mesh spec (e.g. 4x4), got '%s'",
+                 flag.c_str(), v.c_str());
+    }
+
+    /** The requested topology (paper default when nothing given). */
+    Topology
+    make() const
+    {
+        if (meshX == 0)
+            return mcs == 0 ? Topology{} : Topology(meshDim, meshDim, mcs);
+        return Topology(meshX, meshY, mcs);
+    }
+
+    /** Install into @p params (after all flags are parsed). */
+    void apply(SimParams &params) const { params.topo = make(); }
+};
+
 int
 cmdRecord(Args args)
 {
     std::string bench_name, out;
     unsigned scale = 1;
+    TopoArgs topo;
     while (!args.done()) {
         const std::string a = args.next();
         if (a == "--bench")
             bench_name = args.value(a);
         else if (a == "--scale")
             scale = args.u32value(a);
+        else if (a == "--mesh")
+            topo.parseMesh(a, args.value(a));
+        else if (a == "--mcs")
+            topo.mcs = args.u32value(a);
         else if (a == "--out" || a == "-o")
             out = args.value(a);
         else
@@ -216,7 +261,7 @@ cmdRecord(Args args)
     fatal_if(!benchmarkFromName(bench_name, bench),
              "record: unknown benchmark '%s'", bench_name.c_str());
 
-    auto wl = makeBenchmark(bench, scale);
+    auto wl = makeBenchmark(bench, scale, topo.make());
     TraceRecorder rec(out);
     fatal_if(!rec.record(*wl), "record: %s", rec.error().c_str());
     std::printf("recorded %s (%s) to %s: %zu ops, %zu regions, "
@@ -233,12 +278,17 @@ cmdReplay(Args args)
     std::string trace_path;
     std::vector<ProtocolName> protocols;
     SimParams params = SimParams::scaled();
+    TopoArgs topo;
     while (!args.done()) {
         const std::string a = args.next();
         if (a == "--trace")
             trace_path = args.value(a);
         else if (a == "--protocol")
             parseProtocol(args.value(a), protocols);
+        else if (a == "--mesh")
+            topo.parseMesh(a, args.value(a));
+        else if (a == "--mcs")
+            topo.mcs = args.u32value(a);
         else if (a == "--full-size")
             params = SimParams{};
         else
@@ -247,9 +297,10 @@ cmdReplay(Args args)
     fatal_if(trace_path.empty(), "replay: --trace is required");
     if (protocols.empty())
         protocols = defaultProtocols();
+    topo.apply(params);
 
     std::string err;
-    auto wl = TraceWorkload::load(trace_path, &err);
+    auto wl = TraceWorkload::load(trace_path, params.topo, &err);
     fatal_if(!wl, "replay: %s", err.c_str());
     std::printf("loaded %s: %zu ops, %zu regions, %zu barriers\n",
                 trace_path.c_str(), wl->totalOps(),
@@ -267,6 +318,7 @@ cmdSynth(Args args)
     std::string out;
     std::vector<ProtocolName> protocols;
     SimParams params = SimParams::scaled();
+    TopoArgs topo;
     bool full_size = false;
     while (!args.done()) {
         const std::string a = args.next();
@@ -304,6 +356,10 @@ cmdSynth(Args args)
             sp.workCycles = args.u32value(a);
         else if (a == "--bypass")
             sp.bypassShared = true;
+        else if (a == "--mesh")
+            topo.parseMesh(a, args.value(a));
+        else if (a == "--mcs")
+            topo.mcs = args.u32value(a);
         else if (a == "--out" || a == "-o")
             out = args.value(a);
         else if (a == "--protocol")
@@ -319,8 +375,9 @@ cmdSynth(Args args)
              "synth: --out saves a trace without simulating; it "
              "cannot be combined with --protocol or --full-size "
              "(save the trace, then `replay` it)");
+    topo.apply(params);
 
-    auto wl = makeSynthetic(sp);
+    auto wl = makeSynthetic(sp, params.topo);
     std::printf("generated %s (%s): %zu ops\n", wl->name().c_str(),
                 wl->inputDesc().c_str(), wl->totalOps());
 
@@ -344,12 +401,17 @@ cmdSweep(Args args)
     unsigned scale = 1;
     SimParams params = SimParams::scaled();
     std::vector<std::string> reports;
+    TopoArgs topo;
     while (!args.done()) {
         const std::string a = args.next();
         if (a == "--scale")
             scale = args.u32value(a);
         else if (a == "--report")
             reports.push_back(args.value(a));
+        else if (a == "--mesh")
+            topo.parseMesh(a, args.value(a));
+        else if (a == "--mcs")
+            topo.mcs = args.u32value(a);
         else if (a == "--full-size")
             params = SimParams{};
         else
@@ -357,6 +419,7 @@ cmdSweep(Args args)
     }
     if (reports.empty())
         reports = {"fig5.1a", "headline"};
+    topo.apply(params);
 
     const Sweep s = cachedFullSweep(scale, params);
     for (const std::string &r : reports) {
@@ -402,14 +465,14 @@ cmdInfo(Args args)
     fatal_if(trace_path.empty(), "info: --trace is required");
 
     std::string err;
-    auto wl = TraceWorkload::load(trace_path, &err);
+    auto wl = TraceWorkload::loadAnyTopology(trace_path, &err);
     fatal_if(!wl, "info: %s", err.c_str());
 
     std::printf("trace:     %s\n", trace_path.c_str());
     std::printf("workload:  %s\n", wl->name().c_str());
     std::printf("input:     %s\n", wl->inputDesc().c_str());
     std::printf("ops:       %zu across %u cores\n", wl->totalOps(),
-                numTiles);
+                wl->numCores());
     std::printf("barriers:  %zu\n", wl->barriers().size());
     std::printf("regions:   %zu\n", wl->regions().numRegions());
     for (std::size_t i = 0; i < wl->regions().numRegions(); ++i) {

@@ -53,7 +53,9 @@ SynthParams::describe() const
     return os.str();
 }
 
-SyntheticWorkload::SyntheticWorkload(const SynthParams &p) : params_(p)
+SyntheticWorkload::SyntheticWorkload(const SynthParams &p,
+                                     Topology topo)
+    : Workload(std::move(topo)), params_(p)
 {
     fatal_if(params_.opsPerCore == 0, "synthetic: opsPerCore must be > 0");
     fatal_if(params_.phases == 0, "synthetic: phases must be > 0");
@@ -64,8 +66,9 @@ SyntheticWorkload::SyntheticWorkload(const SynthParams &p) : params_(p)
     fatal_if(params_.privateBytes < bytesPerLine,
              "synthetic: privateBytes must be at least one line");
     fatal_if(params_.sharingDegree == 0 ||
-                 params_.sharingDegree > numTiles,
-             "synthetic: sharingDegree must be in [1, %u]", numTiles);
+                 params_.sharingDegree > numCores(),
+             "synthetic: sharingDegree must be in [1, %u]",
+             numCores());
     fatal_if(params_.strideWords == 0,
              "synthetic: strideWords must be > 0");
     // Negated >=/<= forms so NaN (which compares false to anything)
@@ -99,9 +102,11 @@ SyntheticWorkload::build()
 
     // --- address space -----------------------------------------------------
 
-    std::vector<Addr> privBase(numTiles);
-    std::vector<RegionId> privRegion(numTiles);
-    for (CoreId c = 0; c < numTiles; ++c) {
+    const unsigned cores = numCores();
+
+    std::vector<Addr> privBase(cores);
+    std::vector<RegionId> privRegion(cores);
+    for (CoreId c = 0; c < cores; ++c) {
         privBase[c] = alloc(p.privateBytes);
         Region r;
         r.name = "synth.priv." + std::to_string(c);
@@ -124,11 +129,11 @@ SyntheticWorkload::build()
 
     // --- sharing clusters --------------------------------------------------
 
-    // Cores form numTiles/sharingDegree clusters; shared region i
+    // Cores form numCores/sharingDegree clusters; shared region i
     // belongs to cluster i % numClusters, so every region has exactly
     // one cluster (= sharingDegree cores) touching it.
     const unsigned numClusters =
-        std::max(1u, numTiles / p.sharingDegree);
+        std::max(1u, cores / p.sharingDegree);
     std::vector<std::vector<unsigned>> clusterRegions(numClusters);
     for (unsigned i = 0; i < p.sharedRegions; ++i)
         clusterRegions[i % numClusters].push_back(i);
@@ -150,17 +155,17 @@ SyntheticWorkload::build()
     // One RNG per core, seeded independently of generation order, so
     // the same params always reproduce the same trace.
     std::vector<Rng> rng;
-    rng.reserve(numTiles);
-    for (CoreId c = 0; c < numTiles; ++c)
+    rng.reserve(cores);
+    for (CoreId c = 0; c < cores; ++c)
         rng.emplace_back(p.seed * 0x9e3779b97f4a7c15ULL + c + 1);
 
     const unsigned privWords = p.privateBytes / bytesPerWord;
     const unsigned sharedWords = p.regionBytes / bytesPerWord;
 
     // Per-core stride cursors (one per target arena).
-    std::vector<Addr> privCursor(numTiles, 0);
+    std::vector<Addr> privCursor(cores, 0);
     std::vector<std::vector<Addr>> sharedCursor(
-        numTiles, std::vector<Addr>(p.sharedRegions, 0));
+        cores, std::vector<Addr>(p.sharedRegions, 0));
 
     auto pickWord = [&](CoreId c, unsigned words,
                         Addr &cursor) -> Addr {
@@ -189,7 +194,7 @@ SyntheticWorkload::build()
     // will use, so the measurement window starts from a warm L2 like
     // the Table-4.2 generators do. -----------------------------------------
 
-    for (CoreId c = 0; c < numTiles; ++c) {
+    for (CoreId c = 0; c < cores; ++c) {
         for (Addr off = 0; off < p.privateBytes; off += bytesPerLine)
             load(c, privBase[c] + off);
         for (unsigned i : clusterRegions[clusterOf(c)])
@@ -209,7 +214,7 @@ SyntheticWorkload::build()
         // self-invalidation at the closing barrier.
         std::set<RegionId> written;
 
-        for (CoreId c = 0; c < numTiles; ++c) {
+        for (CoreId c = 0; c < cores; ++c) {
             for (unsigned op = 0; op < opsPerPhase; ++op) {
                 Addr addr;
                 bool is_shared = rng[c].chance(p.sharedFraction);
@@ -244,9 +249,9 @@ SyntheticWorkload::build()
 }
 
 std::unique_ptr<Workload>
-makeSynthetic(const SynthParams &p)
+makeSynthetic(const SynthParams &p, Topology topo)
 {
-    return std::make_unique<SyntheticWorkload>(p);
+    return std::make_unique<SyntheticWorkload>(p, std::move(topo));
 }
 
 } // namespace wastesim

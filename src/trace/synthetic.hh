@@ -47,8 +47,8 @@ struct SynthParams
 
     /**
      * Cores per sharing cluster.  Shared regions are partitioned
-     * among numTiles/sharingDegree clusters; a core only touches the
-     * regions of its own cluster, so 1 = private-ish, numTiles = all
+     * among numCores/sharingDegree clusters; a core only touches the
+     * regions of its own cluster, so 1 = private-ish, numCores = all
      * cores contend on everything.
      */
     unsigned sharingDegree = 4;
@@ -74,7 +74,8 @@ struct SynthParams
 class SyntheticWorkload : public Workload
 {
   public:
-    explicit SyntheticWorkload(const SynthParams &p);
+    explicit SyntheticWorkload(const SynthParams &p,
+                               Topology topo = Topology{});
 
     std::string name() const override;
     std::string inputDesc() const override { return params_.describe(); }
@@ -88,7 +89,8 @@ class SyntheticWorkload : public Workload
 };
 
 /** Convenience factory mirroring makeBenchmark(). */
-std::unique_ptr<Workload> makeSynthetic(const SynthParams &p = {});
+std::unique_ptr<Workload> makeSynthetic(const SynthParams &p = {},
+                                        Topology topo = Topology{});
 
 } // namespace wastesim
 

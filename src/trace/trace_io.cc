@@ -17,6 +17,7 @@ constexpr char traceTrailer[8] = {'W', 'T', 'R', 'C', 'E', 'N', 'D', '.'};
 constexpr std::uint64_t maxRegionsOrBarriers = 1ULL << 24;
 constexpr std::uint64_t maxBarrierEntries = 1ULL << 24;
 constexpr std::uint64_t maxOpsPerCore = 1ULL << 32;
+constexpr std::uint32_t maxCores = 1u << 16;
 
 } // namespace
 
@@ -201,10 +202,12 @@ TraceReader::readHeader(TraceHeader &h)
     if (!u32(h.numCores) || !str(h.name) || !str(h.inputDesc) ||
         !u64(h.numRegions) || !u64(h.numBarriers) || !u64(h.totalOps))
         return false;
-    if (h.numCores != numTiles)
-        return fail("trace has " + std::to_string(h.numCores) +
-                    " cores; this build simulates " +
-                    std::to_string(numTiles));
+    // Matching the core count against the active topology happens in
+    // TraceWorkload::load(), which knows the target Topology; here we
+    // only reject counts no topology could satisfy.
+    if (h.numCores == 0 || h.numCores > maxCores)
+        return fail("implausible core count " +
+                    std::to_string(h.numCores));
     if (h.numRegions > maxRegionsOrBarriers ||
         h.numBarriers > maxRegionsOrBarriers)
         return fail("implausible section size in header");

@@ -19,6 +19,7 @@ TraceRecorder::record(const Workload &wl)
     TraceWriter w(os);
 
     TraceHeader h;
+    h.numCores = wl.numCores();
     h.name = wl.name();
     h.inputDesc = wl.inputDesc();
     h.numRegions = wl.regions().numRegions();
@@ -41,13 +42,46 @@ TraceRecorder::record(const Workload &wl)
     return true;
 }
 
+namespace
+{
+
+/** nullptr return with a diagnostic, shared by both load paths. */
 std::unique_ptr<TraceWorkload>
-TraceWorkload::load(const std::string &path, std::string *err)
+loadError(std::string *err, const std::string &msg)
+{
+    if (err)
+        *err = msg;
+    return nullptr;
+}
+
+} // namespace
+
+std::unique_ptr<TraceWorkload>
+TraceWorkload::load(const std::string &path, Topology topo,
+                    std::string *err)
+{
+    auto wl = loadAnyTopology(path, err);
+    if (!wl)
+        return nullptr;
+    if (wl->numCores() != topo.numTiles()) {
+        return loadError(
+            err, path + ": trace was recorded for " +
+                     std::to_string(wl->numCores()) +
+                     " cores; the active topology " + topo.describe() +
+                     " has " + std::to_string(topo.numTiles()) +
+                     " (re-record the trace or pass a matching "
+                     "--mesh)");
+    }
+    wl->topo_ = std::move(topo);
+    return wl;
+}
+
+std::unique_ptr<TraceWorkload>
+TraceWorkload::loadAnyTopology(const std::string &path,
+                               std::string *err)
 {
     auto set_err = [&](const std::string &msg) {
-        if (err)
-            *err = msg;
-        return nullptr;
+        return loadError(err, msg);
     };
 
     std::ifstream is(path, std::ios::binary);
@@ -59,8 +93,12 @@ TraceWorkload::load(const std::string &path, std::string *err)
     if (!r.readHeader(h))
         return set_err(path + ": " + r.error());
 
-    // Cannot use make_unique: the constructor is private.
-    std::unique_ptr<TraceWorkload> wl(new TraceWorkload);
+    // Cannot use make_unique: the constructor is private.  The
+    // recorded core count, not the default topology, sizes the
+    // streams; load() installs the caller's topology after checking.
+    std::unique_ptr<TraceWorkload> wl(new TraceWorkload(Topology{}));
+    wl->traces_.clear();
+    wl->traces_.resize(h.numCores);
     wl->name_ = h.name;
     wl->inputDesc_ = h.inputDesc;
     wl->path_ = path;

@@ -45,11 +45,33 @@ class TraceWorkload : public Workload
 {
   public:
     /**
-     * Load a trace file.
+     * Load a trace file for replay on @p topo.  A trace records the
+     * per-core streams of the topology it was captured on; replaying
+     * it on a system with a different core count is rejected with a
+     * clear error rather than producing out-of-bounds or truncated
+     * streams.
+     *
      * @return the workload, or nullptr with @p err set (when given).
      */
     static std::unique_ptr<TraceWorkload>
-    load(const std::string &path, std::string *err = nullptr);
+    load(const std::string &path, Topology topo,
+         std::string *err = nullptr);
+
+    /** Load for the default (paper) topology. */
+    static std::unique_ptr<TraceWorkload>
+    load(const std::string &path, std::string *err = nullptr)
+    {
+        return load(path, Topology{}, err);
+    }
+
+    /**
+     * Load without a target topology (inspection only, e.g.
+     * `wastesim info`): the recorded core count is accepted as-is.
+     * The result must not be simulated — System rejects workloads
+     * whose core count disagrees with its topology.
+     */
+    static std::unique_ptr<TraceWorkload>
+    loadAnyTopology(const std::string &path, std::string *err = nullptr);
 
     std::string name() const override { return name_; }
     std::string inputDesc() const override { return inputDesc_; }
@@ -58,7 +80,7 @@ class TraceWorkload : public Workload
     const std::string &path() const { return path_; }
 
   private:
-    TraceWorkload() = default;
+    explicit TraceWorkload(Topology topo) : Workload(std::move(topo)) {}
 
     std::string name_;
     std::string inputDesc_;

@@ -27,7 +27,8 @@ namespace
 class BarnesWorkload : public Workload
 {
   public:
-    explicit BarnesWorkload(unsigned scale)
+    BarnesWorkload(unsigned scale, Topology topo)
+        : Workload(std::move(topo))
     {
         nBodies_ = 1024 * scale;
         nNodes_ = nBodies_ / 2;
@@ -111,15 +112,22 @@ class BarnesWorkload : public Workload
         }
     }
 
+    /** First body of core @p c's balanced contiguous share. */
+    unsigned
+    bodyStart(CoreId c) const
+    {
+        return static_cast<unsigned>(
+            static_cast<std::uint64_t>(nBodies_) * c / numCores());
+    }
+
     /** Force phase: irregular traversal per body. */
     void
     forces(std::uint64_t seed)
     {
-        const unsigned per_core = nBodies_ / numTiles;
-        for (CoreId c = 0; c < numTiles; ++c) {
+        for (CoreId c = 0; c < numCores(); ++c) {
             Rng rng(seed ^ (0x9e3779b9ULL * (c + 1)));
-            for (unsigned i = 0; i < per_core; ++i) {
-                const unsigned b = c * per_core + i;
+            for (unsigned b = bodyStart(c); b < bodyStart(c + 1);
+                 ++b) {
                 // Walk ~12 tree nodes (zipf-ish: low-index nodes, the
                 // top of the tree, are visited most).
                 for (unsigned v = 0; v < 12; ++v) {
@@ -152,10 +160,9 @@ class BarnesWorkload : public Workload
     void
     update()
     {
-        const unsigned per_core = nBodies_ / numTiles;
-        for (CoreId c = 0; c < numTiles; ++c) {
-            for (unsigned i = 0; i < per_core; ++i) {
-                const unsigned b = c * per_core + i;
+        for (CoreId c = 0; c < numCores(); ++c) {
+            for (unsigned b = bodyStart(c); b < bodyStart(c + 1);
+                 ++b) {
                 for (unsigned f = 14; f < 20; ++f)
                     load(c, bodyField(b, f));
                 for (unsigned f = 8; f < 14; ++f) {
@@ -197,9 +204,9 @@ class BarnesWorkload : public Workload
 } // namespace
 
 std::unique_ptr<Workload>
-makeBarnes(unsigned scale)
+makeBarnes(unsigned scale, Topology topo)
 {
-    return std::make_unique<BarnesWorkload>(scale);
+    return std::make_unique<BarnesWorkload>(scale, std::move(topo));
 }
 
 } // namespace wastesim

@@ -24,7 +24,8 @@ namespace
 class FftWorkload : public Workload
 {
   public:
-    explicit FftWorkload(unsigned scale)
+    FftWorkload(unsigned scale, Topology topo)
+        : Workload(std::move(topo))
     {
         // rows x cols complex doubles (4 words each).
         rows_ = 128;
@@ -74,8 +75,13 @@ class FftWorkload : public Workload
                    bytesPerWord;
     }
 
-    /** Rows owned by a core: contiguous slabs. */
-    unsigned rowsPerCore() const { return rows_ / numTiles; }
+    /** First row of core @p c's balanced contiguous slab. */
+    unsigned
+    rowStart(CoreId c) const
+    {
+        return static_cast<unsigned>(
+            static_cast<std::uint64_t>(rows_) * c / numCores());
+    }
 
     void
     readElem(CoreId core, Addr a)
@@ -95,9 +101,9 @@ class FftWorkload : public Workload
     void
     transpose(Addr from, Addr to)
     {
-        for (CoreId core = 0; core < numTiles; ++core) {
-            const unsigned r0 = core * rowsPerCore();
-            for (unsigned r = r0; r < r0 + rowsPerCore(); ++r) {
+        for (CoreId core = 0; core < numCores(); ++core) {
+            for (unsigned r = rowStart(core); r < rowStart(core + 1);
+                 ++r) {
                 for (unsigned c = 0; c < cols_; ++c) {
                     readElem(core, elemAddr(from, r, c));
                     // The destination is written column-major: the
@@ -115,9 +121,9 @@ class FftWorkload : public Workload
     void
     rowFft(Addr base)
     {
-        for (CoreId core = 0; core < numTiles; ++core) {
-            const unsigned r0 = core * rowsPerCore();
-            for (unsigned r = r0; r < r0 + rowsPerCore(); ++r) {
+        for (CoreId core = 0; core < numCores(); ++core) {
+            for (unsigned r = rowStart(core); r < rowStart(core + 1);
+                 ++r) {
                 for (unsigned c = 0; c < cols_; ++c)
                     readElem(core, elemAddr(base, r, c));
                 work(core, cols_ * 2);
@@ -157,9 +163,9 @@ class FftWorkload : public Workload
 } // namespace
 
 std::unique_ptr<Workload>
-makeFft(unsigned scale)
+makeFft(unsigned scale, Topology topo)
 {
-    return std::make_unique<FftWorkload>(scale);
+    return std::make_unique<FftWorkload>(scale, std::move(topo));
 }
 
 } // namespace wastesim

@@ -27,7 +27,8 @@ namespace
 class FluidWorkload : public Workload
 {
   public:
-    explicit FluidWorkload(unsigned scale)
+    FluidWorkload(unsigned scale, Topology topo)
+        : Workload(std::move(topo))
     {
         gx_ = 16;
         gy_ = 16;
@@ -36,7 +37,7 @@ class FluidWorkload : public Workload
 
         cellBase_ = alloc(static_cast<Addr>(nCells_) * cellWords *
                           bytesPerWord);
-        ghostBase_ = alloc(static_cast<Addr>(numTiles) * ghostCells *
+        ghostBase_ = alloc(static_cast<Addr>(numCores()) * ghostCells *
                            cellWords * bytesPerWord);
 
         Region cells;
@@ -50,7 +51,7 @@ class FluidWorkload : public Workload
         Region ghosts;
         ghosts.name = "fluid.ghosts";
         ghosts.base = ghostBase_;
-        ghosts.size = static_cast<Addr>(numTiles) * ghostCells *
+        ghosts.size = static_cast<Addr>(numCores()) * ghostCells *
                       cellWords * bytesPerWord;
         ghostId_ = regions_.add(ghosts);
 
@@ -91,11 +92,25 @@ class FluidWorkload : public Workload
                    bytesPerWord;
     }
 
-    /** 4x4 X-Y tile of columns per core. */
+    /** X block (mesh column) owning grid column @p x. */
+    unsigned
+    xBlockOf(unsigned x) const
+    {
+        return x * topo().meshX() / gx_;
+    }
+
+    /** Y block (mesh row) owning grid row @p y. */
+    unsigned
+    yBlockOf(unsigned y) const
+    {
+        return y * topo().meshY() / gy_;
+    }
+
+    /** meshX-by-meshY X-Y tile of columns per core. */
     CoreId
     ownerOf(unsigned x, unsigned y) const
     {
-        return (y / (gy_ / meshDim)) * meshDim + (x / (gx_ / meshDim));
+        return yBlockOf(y) * topo().meshX() + xBlockOf(x);
     }
 
     unsigned
@@ -125,7 +140,7 @@ class FluidWorkload : public Workload
     iteration()
     {
         // 1. Clear accumulators: written without being read.
-        for (CoreId c = 0; c < numTiles; ++c) {
+        for (CoreId c = 0; c < numCores(); ++c) {
             forOwnCells(c, [&](unsigned x, unsigned y, unsigned z) {
                 const unsigned cell = cellIndex(x, y, z);
                 const unsigned occ = occupancy(cell);
@@ -137,12 +152,12 @@ class FluidWorkload : public Workload
 
         // 2. Ghost exchange: read neighbor-tile border cells, write
         //    private ghost copies.
-        for (CoreId c = 0; c < numTiles; ++c) {
+        for (CoreId c = 0; c < numCores(); ++c) {
             unsigned g = 0;
             forOwnCells(c, [&](unsigned x, unsigned y, unsigned z) {
                 const bool border =
-                    (x % (gx_ / meshDim) == 0 && x > 0) ||
-                    (y % (gy_ / meshDim) == 0 && y > 0);
+                    (x > 0 && xBlockOf(x) != xBlockOf(x - 1)) ||
+                    (y > 0 && yBlockOf(y) != yBlockOf(y - 1));
                 if (!border || g >= ghostCells || z % 4 != 0)
                     return;
                 const unsigned nx = x > 0 ? x - 1 : x;
@@ -159,7 +174,7 @@ class FluidWorkload : public Workload
         barrierAll({ghostId_});
 
         // 3. Density: stencil over own + neighbor cells' positions.
-        for (CoreId c = 0; c < numTiles; ++c) {
+        for (CoreId c = 0; c < numCores(); ++c) {
             forOwnCells(c, [&](unsigned x, unsigned y, unsigned z) {
                 const unsigned cell = cellIndex(x, y, z);
                 const unsigned occ = occupancy(cell);
@@ -187,7 +202,7 @@ class FluidWorkload : public Workload
         barrierAll({cellsId_});
 
         // 4. Force: read p/v and densities, accumulate accelerations.
-        for (CoreId c = 0; c < numTiles; ++c) {
+        for (CoreId c = 0; c < numCores(); ++c) {
             forOwnCells(c, [&](unsigned x, unsigned y, unsigned z) {
                 const unsigned cell = cellIndex(x, y, z);
                 const unsigned occ = occupancy(cell);
@@ -210,7 +225,7 @@ class FluidWorkload : public Workload
 
         // 5. Advance: read accelerations, overwrite p and v (the
         //    read-then-overwrite pattern bypass targets).
-        for (CoreId c = 0; c < numTiles; ++c) {
+        for (CoreId c = 0; c < numCores(); ++c) {
             forOwnCells(c, [&](unsigned x, unsigned y, unsigned z) {
                 const unsigned cell = cellIndex(x, y, z);
                 const unsigned occ = occupancy(cell);
@@ -241,9 +256,9 @@ class FluidWorkload : public Workload
 } // namespace
 
 std::unique_ptr<Workload>
-makeFluidanimate(unsigned scale)
+makeFluidanimate(unsigned scale, Topology topo)
 {
-    return std::make_unique<FluidWorkload>(scale);
+    return std::make_unique<FluidWorkload>(scale, std::move(topo));
 }
 
 } // namespace wastesim

@@ -25,7 +25,8 @@ namespace
 class KdTreeWorkload : public Workload
 {
   public:
-    explicit KdTreeWorkload(unsigned scale)
+    KdTreeWorkload(unsigned scale, Topology topo)
+        : Workload(std::move(topo))
     {
         nTris_ = 4096 * scale;
         nEdges_ = 4 * nTris_;
@@ -103,9 +104,11 @@ class KdTreeWorkload : public Workload
     {
         const unsigned span = nEdges_ / 3;
         const unsigned e0 = iter * span;
-        const unsigned per_core = span / numTiles;
+        // Floor division (remainder edges dropped), preserving the
+        // original 16-core streams bit-for-bit.
+        const unsigned per_core = span / numCores();
 
-        for (CoreId c = 0; c < numTiles; ++c) {
+        for (CoreId c = 0; c < numCores(); ++c) {
             Rng rng(seed ^ (0x2545f491ULL * (c + 1)));
             unsigned node_cursor = e0 + c * per_core;
             for (unsigned i = 0; i < per_core; ++i) {
@@ -153,9 +156,9 @@ class KdTreeWorkload : public Workload
 } // namespace
 
 std::unique_ptr<Workload>
-makeKdTree(unsigned scale)
+makeKdTree(unsigned scale, Topology topo)
 {
-    return std::make_unique<KdTreeWorkload>(scale);
+    return std::make_unique<KdTreeWorkload>(scale, std::move(topo));
 }
 
 } // namespace wastesim

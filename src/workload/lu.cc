@@ -23,7 +23,8 @@ namespace
 class LuWorkload : public Workload
 {
   public:
-    explicit LuWorkload(unsigned scale)
+    LuWorkload(unsigned scale, Topology topo)
+        : Workload(std::move(topo))
     {
         n_ = 128 * scale;
         nb_ = n_ / blockDim;
@@ -70,11 +71,12 @@ class LuWorkload : public Workload
                            bytesPerWord;
     }
 
-    /** SPLASH 2D-scatter block-to-core assignment. */
+    /** SPLASH 2D-scatter block-to-core assignment over the mesh. */
     CoreId
     ownerOf(unsigned i, unsigned j) const
     {
-        return (i % meshDim) * meshDim + (j % meshDim);
+        return (i % topo().meshY()) * topo().meshX() +
+               (j % topo().meshX());
     }
 
     Addr
@@ -175,9 +177,9 @@ class LuWorkload : public Workload
 } // namespace
 
 std::unique_ptr<Workload>
-makeLu(unsigned scale)
+makeLu(unsigned scale, Topology topo)
 {
-    return std::make_unique<LuWorkload>(scale);
+    return std::make_unique<LuWorkload>(scale, std::move(topo));
 }
 
 } // namespace wastesim

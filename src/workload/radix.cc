@@ -24,14 +24,15 @@ namespace
 class RadixWorkload : public Workload
 {
   public:
-    explicit RadixWorkload(unsigned scale)
+    RadixWorkload(unsigned scale, Topology topo)
+        : Workload(std::move(topo))
     {
         nKeys_ = 65536 * scale;
         const Addr key_bytes = static_cast<Addr>(nKeys_) * bytesPerWord;
 
         srcBase_ = alloc(key_bytes);
         dstBase_ = alloc(key_bytes);
-        histBase_ = alloc(static_cast<Addr>(numTiles) * radix_ *
+        histBase_ = alloc(static_cast<Addr>(numCores()) * radix_ *
                           bytesPerWord);
         globalBase_ = alloc(static_cast<Addr>(radix_) * bytesPerWord);
 
@@ -52,7 +53,8 @@ class RadixWorkload : public Workload
         Region hist;
         hist.name = "radix.hist";
         hist.base = histBase_;
-        hist.size = static_cast<Addr>(numTiles) * radix_ * bytesPerWord;
+        hist.size = static_cast<Addr>(numCores()) * radix_ *
+                    bytesPerWord;
         histId_ = regions_.add(hist);
 
         Region glob;
@@ -82,29 +84,45 @@ class RadixWorkload : public Workload
         return base + idx * bytesPerWord;
     }
 
+    /** First key of core @p c's balanced contiguous share. */
+    Addr
+    keyStart(CoreId c) const
+    {
+        return nKeys_ * c / numCores();
+    }
+
+    /** First digit of core @p c's balanced reduction range. */
+    unsigned
+    digitStart(CoreId c) const
+    {
+        return static_cast<unsigned>(
+            static_cast<std::uint64_t>(radix_) * c / numCores());
+    }
+
     /** One counting-sort pass over (from -> to). */
     void
     pass(Addr from, Addr to, std::uint64_t seed)
     {
-        const Addr per_core = nKeys_ / numTiles;
+        const unsigned cores = numCores();
 
         // Per-core bucket cursors: where each digit's next key goes.
         // Buckets are contiguous digit-major runs in the destination,
         // with per-core sub-runs, exactly like SPLASH's layout.
         std::vector<std::vector<Addr>> cursor(
-            numTiles, std::vector<Addr>(radix_));
+            cores, std::vector<Addr>(radix_));
         {
             // Precompute digit counts deterministically.
             std::vector<std::vector<Addr>> count(
-                numTiles, std::vector<Addr>(radix_, 0));
-            for (CoreId c = 0; c < numTiles; ++c) {
+                cores, std::vector<Addr>(radix_, 0));
+            for (CoreId c = 0; c < cores; ++c) {
                 Rng rng(seed ^ (0x517cc1b7ULL * (c + 1)));
-                for (Addr i = 0; i < per_core; ++i)
+                const Addr n = keyStart(c + 1) - keyStart(c);
+                for (Addr i = 0; i < n; ++i)
                     ++count[c][rng.below(radix_)];
             }
             Addr off = 0;
             for (unsigned d = 0; d < radix_; ++d) {
-                for (CoreId c = 0; c < numTiles; ++c) {
+                for (CoreId c = 0; c < cores; ++c) {
                     cursor[c][d] = off;
                     off += count[c][d];
                 }
@@ -112,8 +130,9 @@ class RadixWorkload : public Workload
         }
 
         // Phase 1: local histogram (keys streamed once).
-        for (CoreId c = 0; c < numTiles; ++c) {
-            const Addr k0 = c * per_core;
+        for (CoreId c = 0; c < cores; ++c) {
+            const Addr k0 = keyStart(c);
+            const Addr per_core = keyStart(c + 1) - k0;
             for (Addr i = 0; i < per_core; ++i) {
                 load(c, keyAddr(from, k0 + i));
                 work(c, 1);
@@ -132,11 +151,10 @@ class RadixWorkload : public Workload
 
         // Phase 2: global histogram: each core reduces its digit
         // range across all cores' local histograms.
-        const unsigned digits_per_core = radix_ / numTiles;
-        for (CoreId c = 0; c < numTiles; ++c) {
-            for (unsigned d = c * digits_per_core;
-                 d < (c + 1) * digits_per_core; ++d) {
-                for (CoreId o = 0; o < numTiles; ++o) {
+        for (CoreId c = 0; c < cores; ++c) {
+            for (unsigned d = digitStart(c); d < digitStart(c + 1);
+                 ++d) {
+                for (CoreId o = 0; o < cores; ++o) {
                     load(c, histBase_ +
                                 (static_cast<Addr>(o) * radix_ + d) *
                                     bytesPerWord);
@@ -150,9 +168,10 @@ class RadixWorkload : public Workload
 
         // Phase 3: permutation — scattered writes over up to 1024
         // open buckets per core.
-        for (CoreId c = 0; c < numTiles; ++c) {
+        for (CoreId c = 0; c < cores; ++c) {
             Rng rng(seed ^ (0x517cc1b7ULL * (c + 1)));
-            const Addr k0 = c * per_core;
+            const Addr k0 = keyStart(c);
+            const Addr per_core = keyStart(c + 1) - k0;
             for (Addr i = 0; i < per_core; ++i) {
                 load(c, keyAddr(from, k0 + i));
                 const unsigned d =
@@ -182,9 +201,9 @@ class RadixWorkload : public Workload
 } // namespace
 
 std::unique_ptr<Workload>
-makeRadix(unsigned scale)
+makeRadix(unsigned scale, Topology topo)
 {
-    return std::make_unique<RadixWorkload>(scale);
+    return std::make_unique<RadixWorkload>(scale, std::move(topo));
 }
 
 } // namespace wastesim

@@ -51,14 +51,14 @@ Workload::barrierAll(std::vector<RegionId> self_invalidate)
 {
     const auto idx = static_cast<std::uint32_t>(barriers_.size());
     barriers_.push_back(BarrierInfo{std::move(self_invalidate)});
-    for (CoreId c = 0; c < numTiles; ++c)
+    for (CoreId c = 0; c < numCores(); ++c)
         traces_[c].push_back(Op{Op::Type::Barrier, 0, idx});
 }
 
 void
 Workload::epochAll()
 {
-    for (CoreId c = 0; c < numTiles; ++c)
+    for (CoreId c = 0; c < numCores(); ++c)
         traces_[c].push_back(Op{Op::Type::Epoch, 0, 0});
 }
 
@@ -66,24 +66,29 @@ Workload::epochAll()
 // bottom of each benchmark's translation unit; the dispatcher lives in
 // fft.cc's sibling, see makeBenchmark in benchmarks.cc-style below.
 
-std::unique_ptr<Workload> makeFluidanimate(unsigned scale);
-std::unique_ptr<Workload> makeLu(unsigned scale);
-std::unique_ptr<Workload> makeFft(unsigned scale);
-std::unique_ptr<Workload> makeRadix(unsigned scale);
-std::unique_ptr<Workload> makeBarnes(unsigned scale);
-std::unique_ptr<Workload> makeKdTree(unsigned scale);
+std::unique_ptr<Workload> makeFluidanimate(unsigned scale,
+                                           Topology topo);
+std::unique_ptr<Workload> makeLu(unsigned scale, Topology topo);
+std::unique_ptr<Workload> makeFft(unsigned scale, Topology topo);
+std::unique_ptr<Workload> makeRadix(unsigned scale, Topology topo);
+std::unique_ptr<Workload> makeBarnes(unsigned scale, Topology topo);
+std::unique_ptr<Workload> makeKdTree(unsigned scale, Topology topo);
 
 std::unique_ptr<Workload>
-makeBenchmark(BenchmarkName b, unsigned scale)
+makeBenchmark(BenchmarkName b, unsigned scale, Topology topo)
 {
     fatal_if(scale == 0, "benchmark scale must be >= 1");
     switch (b) {
-      case BenchmarkName::Fluidanimate: return makeFluidanimate(scale);
-      case BenchmarkName::LU: return makeLu(scale);
-      case BenchmarkName::FFT: return makeFft(scale);
-      case BenchmarkName::Radix: return makeRadix(scale);
-      case BenchmarkName::Barnes: return makeBarnes(scale);
-      case BenchmarkName::KdTree: return makeKdTree(scale);
+      case BenchmarkName::Fluidanimate:
+        return makeFluidanimate(scale, std::move(topo));
+      case BenchmarkName::LU: return makeLu(scale, std::move(topo));
+      case BenchmarkName::FFT: return makeFft(scale, std::move(topo));
+      case BenchmarkName::Radix:
+        return makeRadix(scale, std::move(topo));
+      case BenchmarkName::Barnes:
+        return makeBarnes(scale, std::move(topo));
+      case BenchmarkName::KdTree:
+        return makeKdTree(scale, std::move(topo));
       default: panic("unknown benchmark");
     }
 }

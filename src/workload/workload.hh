@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/topology.hh"
 #include "common/types.hh"
 #include "workload/region_table.hh"
 
@@ -69,11 +70,24 @@ class Workload
     const std::vector<Trace> &traces() const { return traces_; }
     const std::vector<BarrierInfo> &barriers() const { return barriers_; }
 
+    /** Topology the workload was generated for. */
+    const Topology &topo() const { return topo_; }
+
+    /** Cores the workload drives (== topo().numTiles()). */
+    unsigned
+    numCores() const
+    {
+        return static_cast<unsigned>(traces_.size());
+    }
+
     /** Total ops across all cores (reporting). */
     std::size_t totalOps() const;
 
   protected:
-    Workload() : traces_(numTiles) {}
+    explicit Workload(Topology topo = Topology{})
+        : topo_(std::move(topo)), traces_(topo_.numTiles())
+    {
+    }
 
     // --- helpers for generators ---
 
@@ -112,6 +126,7 @@ class Workload
         return base;
     }
 
+    Topology topo_;
     RegionTable regions_;
     std::vector<Trace> traces_;
     std::vector<BarrierInfo> barriers_;
@@ -146,9 +161,12 @@ bool benchmarkFromName(const std::string &s, BenchmarkName &out);
  * Build a benchmark at the default (scaled) input size.
  * @param scale size multiplier: 1 = default sweep size; larger values
  *        approach the paper's inputs at higher simulation cost.
+ * @param topo  system topology to decompose the work over; defaults
+ *        to the paper's 4x4 system.
  */
 std::unique_ptr<Workload> makeBenchmark(BenchmarkName b,
-                                        unsigned scale = 1);
+                                        unsigned scale = 1,
+                                        Topology topo = Topology{});
 
 } // namespace wastesim
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/topology.hh"
+
 #include "bloom/bloom_bank.hh"
 #include "bloom/bloom_filter.hh"
 #include "bloom/h3.hh"
@@ -140,7 +142,7 @@ TEST(BloomShadow, ConservativeUntilCopied)
 
     // Install an empty image: the filter is now authoritative.
     BloomImage empty{};
-    shadow.installImage(homeSlice(la), bloomFilterIndex(la, bloomFiltersPerSlice), empty);
+    shadow.installImage(Topology{}.homeSlice(la), bloomFilterIndex(la, bloomFiltersPerSlice), empty);
     EXPECT_FALSE(shadow.query(la, need_copy));
     EXPECT_FALSE(need_copy);
 }
@@ -175,7 +177,7 @@ TEST(BloomShadow, WritebackInsertsLocally)
     BloomShadow shadow;
     const Addr la = 1u << 20;
     BloomImage empty{};
-    shadow.installImage(homeSlice(la), bloomFilterIndex(la, bloomFiltersPerSlice), empty);
+    shadow.installImage(Topology{}.homeSlice(la), bloomFilterIndex(la, bloomFiltersPerSlice), empty);
     bool need_copy = false;
     EXPECT_FALSE(shadow.query(la, need_copy));
     shadow.insertWriteback(la);
@@ -187,7 +189,7 @@ TEST(BloomShadow, ClearAllResetsValidity)
     BloomShadow shadow;
     const Addr la = 1u << 20;
     BloomImage empty{};
-    shadow.installImage(homeSlice(la), bloomFilterIndex(la, bloomFiltersPerSlice), empty);
+    shadow.installImage(Topology{}.homeSlice(la), bloomFilterIndex(la, bloomFiltersPerSlice), empty);
     EXPECT_TRUE(shadow.hasCopy(la));
     shadow.clearAll();
     EXPECT_FALSE(shadow.hasCopy(la));

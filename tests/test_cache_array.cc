@@ -123,7 +123,7 @@ TEST(CacheLine, ResetClearsState)
     cl.dirtyWords.set(3);
     cl.regOwner[5] = 2;
     cl.memRef[5] = 77;
-    cl.sharers = 0xff;
+    cl.sharers = SharerMask(0xff);
     cl.owner = 3;
     cl.inBloom = true;
     cl.resetTo(256);
@@ -133,7 +133,7 @@ TEST(CacheLine, ResetClearsState)
     EXPECT_TRUE(cl.dirtyWords.empty());
     EXPECT_EQ(cl.regOwner[5], invalidNode);
     EXPECT_EQ(cl.memRef[5], invalidInst);
-    EXPECT_EQ(cl.sharers, 0u);
+    EXPECT_TRUE(cl.sharers.none());
     EXPECT_EQ(cl.owner, invalidNode);
     EXPECT_FALSE(cl.inBloom);
 }

@@ -4,6 +4,7 @@
 
 #include "common/rng.hh"
 #include "common/stats.hh"
+#include "common/topology.hh"
 #include "common/types.hh"
 #include "common/word_mask.hh"
 
@@ -35,34 +36,36 @@ TEST(Types, Geometry)
 
 TEST(Types, HomeSliceInterleave)
 {
+    const Topology topo;
     // 256-byte interleave: four consecutive lines share a slice.
     const Addr base = 1u << 20;
-    const NodeId s = homeSlice(base);
-    EXPECT_EQ(homeSlice(base + 64), s);
-    EXPECT_EQ(homeSlice(base + 128), s);
-    EXPECT_EQ(homeSlice(base + 192), s);
-    EXPECT_NE(homeSlice(base + 256), s);
+    const NodeId s = topo.homeSlice(base);
+    EXPECT_EQ(topo.homeSlice(base + 64), s);
+    EXPECT_EQ(topo.homeSlice(base + 128), s);
+    EXPECT_EQ(topo.homeSlice(base + 192), s);
+    EXPECT_NE(topo.homeSlice(base + 256), s);
     // All 16 slices are covered.
     bool seen[16] = {};
     for (Addr a = base; a < base + 16 * 256; a += 256)
-        seen[homeSlice(a)] = true;
+        seen[topo.homeSlice(a)] = true;
     for (bool b : seen)
         EXPECT_TRUE(b);
 }
 
 TEST(Types, MemChannelInterleave)
 {
+    const Topology topo;
     const Addr base = 1u << 20;
     bool seen[4] = {};
     for (unsigned i = 0; i < 4; ++i)
-        seen[memChannel(base + i * 64)] = true;
+        seen[topo.memChannel(base + i * 64)] = true;
     for (bool b : seen)
         EXPECT_TRUE(b);
     // MC tiles are the corners.
-    EXPECT_EQ(memCtrlTile(0), 0u);
-    EXPECT_EQ(memCtrlTile(1), 3u);
-    EXPECT_EQ(memCtrlTile(2), 12u);
-    EXPECT_EQ(memCtrlTile(3), 15u);
+    EXPECT_EQ(topo.memCtrlTile(0), 0u);
+    EXPECT_EQ(topo.memCtrlTile(1), 3u);
+    EXPECT_EQ(topo.memCtrlTile(2), 12u);
+    EXPECT_EQ(topo.memCtrlTile(3), 15u);
 }
 
 TEST(WordMask, Basics)

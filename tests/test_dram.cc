@@ -25,7 +25,7 @@ TEST(DramMap, ChannelLocality)
 {
     DramMap map;
     EXPECT_EQ(map.localLine(ch0Line(5)), 5u);
-    EXPECT_EQ(memChannel(ch0Line(5)), 0u);
+    EXPECT_EQ(map.channelOf(ch0Line(5)), 0u);
 }
 
 TEST(DramMap, RowAndBank)

@@ -141,7 +141,7 @@ TEST(LinkLoad, OnlyAdjacentAndEjectionLinksUsed)
     sys.run();
     for (NodeId a = 0; a < numTiles; ++a) {
         for (NodeId b = 0; b < numTiles; ++b) {
-            if (Mesh::manhattan(a, b) > 1) {
+            if (Mesh{}.manhattan(a, b) > 1) {
                 EXPECT_EQ(sys.network().linkFlits(a, b), 0u)
                     << a << "->" << b;
             }

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/topology.hh"
+
 #include "dram/memory_controller.hh"
 #include "noc/network.hh"
 #include "profile/mem_profiler.hh"
@@ -50,7 +52,7 @@ struct McHarness
     {
         net.attach(mcEp(0), &mc);
         // Home slice of line(0) is slice 0.
-        net.attach(l2Ep(homeSlice(line(0))), &l2sink);
+        net.attach(l2Ep(Topology{}.homeSlice(line(0))), &l2sink);
         net.attach(l1Ep(5), &l1sink);
     }
 
@@ -60,7 +62,7 @@ struct McHarness
     {
         Message m;
         m.kind = MsgKind::MemRead;
-        m.src = l2Ep(homeSlice(line(0)));
+        m.src = l2Ep(Topology{}.homeSlice(line(0)));
         m.dst = mcEp(0);
         m.line = line(0);
         m.requester = 5;
@@ -174,7 +176,7 @@ TEST(MemoryController, WritesReachDram)
     McHarness h;
     Message m;
     m.kind = MsgKind::MemWrite;
-    m.src = l2Ep(homeSlice(McHarness::line(0)));
+    m.src = l2Ep(Topology{}.homeSlice(McHarness::line(0)));
     m.dst = mcEp(0);
     m.line = McHarness::line(0);
     m.cls = TrafficClass::Writeback;

@@ -1,4 +1,4 @@
-/** Unit tests: mesh geometry, hop counts, XY routing. */
+/** Mesh geometry tests, parameterized over runtime topologies. */
 
 #include <gtest/gtest.h>
 
@@ -7,70 +7,139 @@
 namespace wastesim
 {
 
-TEST(Mesh, Coordinates)
+/** Geometry invariants for one dimX x dimY mesh. */
+class MeshGeometry
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>>
 {
-    EXPECT_EQ(Mesh::xOf(0), 0u);
-    EXPECT_EQ(Mesh::yOf(0), 0u);
-    EXPECT_EQ(Mesh::xOf(5), 1u);
-    EXPECT_EQ(Mesh::yOf(5), 1u);
-    EXPECT_EQ(Mesh::xOf(15), 3u);
-    EXPECT_EQ(Mesh::yOf(15), 3u);
-    EXPECT_EQ(Mesh::tileAt(3, 3), 15u);
+  protected:
+    Mesh mesh{GetParam().first, GetParam().second};
+};
+
+TEST_P(MeshGeometry, CoordinateRoundTrip)
+{
+    EXPECT_EQ(mesh.numTiles(), mesh.dimX() * mesh.dimY());
+    for (NodeId n = 0; n < mesh.numTiles(); ++n) {
+        EXPECT_LT(mesh.xOf(n), mesh.dimX());
+        EXPECT_LT(mesh.yOf(n), mesh.dimY());
+        EXPECT_EQ(mesh.tileAt(mesh.xOf(n), mesh.yOf(n)), n);
+    }
 }
 
-TEST(Mesh, ManhattanDistance)
+TEST_P(MeshGeometry, ManhattanSymmetricAndBounded)
 {
-    EXPECT_EQ(Mesh::manhattan(0, 0), 0u);
-    EXPECT_EQ(Mesh::manhattan(0, 15), 6u);
-    EXPECT_EQ(Mesh::manhattan(0, 3), 3u);
-    EXPECT_EQ(Mesh::manhattan(3, 12), 6u);
-    EXPECT_EQ(Mesh::manhattan(5, 6), 1u);
-    // Symmetry.
-    for (NodeId a = 0; a < numTiles; ++a)
-        for (NodeId b = 0; b < numTiles; ++b)
-            EXPECT_EQ(Mesh::manhattan(a, b), Mesh::manhattan(b, a));
-}
-
-TEST(Mesh, HopsIncludeEjection)
-{
-    EXPECT_EQ(Mesh::hops(0, 0), 1u);
-    EXPECT_EQ(Mesh::hops(0, 15), 7u);
-}
-
-TEST(Mesh, XyRouteEndpoints)
-{
-    const auto route = Mesh::xyRoute(0, 15);
-    ASSERT_GE(route.size(), 2u);
-    EXPECT_EQ(route.front(), 0u);
-    EXPECT_EQ(route.back(), 15u);
-    // Route length = manhattan + 1 tiles.
-    EXPECT_EQ(route.size(), Mesh::manhattan(0, 15) + 1);
-}
-
-TEST(Mesh, XyRouteGoesXFirst)
-{
-    const auto route = Mesh::xyRoute(0, 5); // (0,0) -> (1,1)
-    ASSERT_EQ(route.size(), 3u);
-    EXPECT_EQ(route[1], 1u); // x first
-    EXPECT_EQ(route[2], 5u);
-}
-
-TEST(Mesh, XyRouteSelf)
-{
-    const auto route = Mesh::xyRoute(7, 7);
-    ASSERT_EQ(route.size(), 1u);
-    EXPECT_EQ(route[0], 7u);
-}
-
-TEST(Mesh, XyRouteAdjacentTilesOnly)
-{
-    for (NodeId a = 0; a < numTiles; ++a) {
-        for (NodeId b = 0; b < numTiles; ++b) {
-            const auto route = Mesh::xyRoute(a, b);
-            for (std::size_t i = 1; i < route.size(); ++i)
-                EXPECT_EQ(Mesh::manhattan(route[i - 1], route[i]), 1u);
+    for (NodeId a = 0; a < mesh.numTiles(); ++a) {
+        for (NodeId b = 0; b < mesh.numTiles(); ++b) {
+            EXPECT_EQ(mesh.manhattan(a, b), mesh.manhattan(b, a));
+            EXPECT_LE(mesh.manhattan(a, b),
+                      (mesh.dimX() - 1) + (mesh.dimY() - 1));
+            EXPECT_EQ(mesh.hops(a, b), mesh.manhattan(a, b) + 1);
         }
     }
+    // The corner-to-corner distance is the diameter.
+    EXPECT_EQ(mesh.manhattan(0, mesh.numTiles() - 1),
+              (mesh.dimX() - 1) + (mesh.dimY() - 1));
+}
+
+TEST_P(MeshGeometry, XyRouteEnumeration)
+{
+    for (NodeId a = 0; a < mesh.numTiles(); ++a) {
+        for (NodeId b = 0; b < mesh.numTiles(); ++b) {
+            const auto route = mesh.xyRoute(a, b);
+            ASSERT_FALSE(route.empty());
+            EXPECT_EQ(route.front(), a);
+            EXPECT_EQ(route.back(), b);
+            EXPECT_EQ(route.size(), mesh.manhattan(a, b) + 1);
+            // Consecutive tiles are mesh neighbors, and X is
+            // exhausted before Y (dimension order).
+            bool seen_y = false;
+            for (std::size_t i = 1; i < route.size(); ++i) {
+                EXPECT_EQ(mesh.manhattan(route[i - 1], route[i]), 1u);
+                const bool y_step =
+                    mesh.yOf(route[i]) != mesh.yOf(route[i - 1]);
+                if (y_step)
+                    seen_y = true;
+                else
+                    EXPECT_FALSE(seen_y) << "X step after a Y step";
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, MeshGeometry,
+    ::testing::Values(std::pair<unsigned, unsigned>{2, 2},
+                      std::pair<unsigned, unsigned>{4, 4},
+                      std::pair<unsigned, unsigned>{8, 2},
+                      std::pair<unsigned, unsigned>{8, 8}),
+    [](const auto &info) {
+        return std::to_string(info.param.first) + "x" +
+               std::to_string(info.param.second);
+    });
+
+// --- regression pins: the paper's 4x4 numbers ---------------------------
+
+TEST(Mesh, Paper4x4Coordinates)
+{
+    const Mesh mesh; // defaults to 4x4
+    EXPECT_EQ(mesh.dimX(), 4u);
+    EXPECT_EQ(mesh.dimY(), 4u);
+    EXPECT_EQ(mesh.numTiles(), 16u);
+    EXPECT_EQ(mesh.xOf(0), 0u);
+    EXPECT_EQ(mesh.yOf(0), 0u);
+    EXPECT_EQ(mesh.xOf(5), 1u);
+    EXPECT_EQ(mesh.yOf(5), 1u);
+    EXPECT_EQ(mesh.xOf(15), 3u);
+    EXPECT_EQ(mesh.yOf(15), 3u);
+    EXPECT_EQ(mesh.tileAt(3, 3), 15u);
+}
+
+TEST(Mesh, Paper4x4Distances)
+{
+    const Mesh mesh;
+    EXPECT_EQ(mesh.manhattan(0, 0), 0u);
+    EXPECT_EQ(mesh.manhattan(0, 15), 6u);
+    EXPECT_EQ(mesh.manhattan(0, 3), 3u);
+    EXPECT_EQ(mesh.manhattan(3, 12), 6u);
+    EXPECT_EQ(mesh.manhattan(5, 6), 1u);
+    EXPECT_EQ(mesh.hops(0, 0), 1u);
+    EXPECT_EQ(mesh.hops(0, 15), 7u);
+}
+
+TEST(Mesh, Paper4x4CornerRoute)
+{
+    const Mesh mesh;
+    const auto route = mesh.xyRoute(0, 15);
+    const std::vector<NodeId> expect = {0, 1, 2, 3, 7, 11, 15};
+    EXPECT_EQ(route, expect);
+}
+
+TEST(Mesh, Paper4x4XBeforeY)
+{
+    const Mesh mesh;
+    const auto route = mesh.xyRoute(0, 5); // (0,0) -> (1,1)
+    const std::vector<NodeId> expect = {0, 1, 5};
+    EXPECT_EQ(route, expect);
+}
+
+TEST(Mesh, SelfRouteIsSelf)
+{
+    const Mesh mesh;
+    const auto route = mesh.xyRoute(7, 7);
+    const std::vector<NodeId> expect = {7};
+    EXPECT_EQ(route, expect);
+}
+
+TEST(Mesh, NonSquareGeometry)
+{
+    const Mesh mesh(8, 2);
+    EXPECT_EQ(mesh.numTiles(), 16u);
+    EXPECT_EQ(mesh.xOf(9), 1u);
+    EXPECT_EQ(mesh.yOf(9), 1u);
+    EXPECT_EQ(mesh.manhattan(0, 15), 8u);
+    const auto route = mesh.xyRoute(8, 7); // (0,1) -> (7,0)
+    EXPECT_EQ(route.size(), 9u);
+    EXPECT_EQ(route.front(), 8u);
+    EXPECT_EQ(route.back(), 7u);
 }
 
 } // namespace wastesim

@@ -189,7 +189,7 @@ TEST(Network, RawBlobChargedAsControl)
     net.send(std::move(m));
     eq.run();
 
-    const unsigned hops = Mesh::hops(5, 0);
+    const unsigned hops = Mesh{}.hops(5, 0);
     // 1 ctl + 4 data flits, all charged to the Bloom bucket.
     EXPECT_DOUBLE_EQ(tr.stats().ohBloom, 5.0 * hops);
     EXPECT_DOUBLE_EQ(tr.rawFlitHops(), 5.0 * hops);

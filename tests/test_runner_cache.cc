@@ -222,6 +222,22 @@ TEST(SweepCache, ConfigChangeInvalidatesCache)
     // Unchanged configuration: hit again.
     cachedFullSweep(2, SimParams{}, compute);
     EXPECT_EQ(computed, 3);
+
+    // A different topology (--mesh) must miss, not serve 4x4 figures.
+    SimParams mesh2x2;
+    mesh2x2.topo = Topology(2, 2);
+    cachedFullSweep(2, mesh2x2, compute);
+    EXPECT_EQ(computed, 4);
+
+    // Same mesh, different MC placement: still a miss.
+    SimParams mc2;
+    mc2.topo = Topology(2, 2, 2);
+    cachedFullSweep(2, mc2, compute);
+    EXPECT_EQ(computed, 5);
+
+    // Unchanged topology: hit.
+    cachedFullSweep(2, mc2, compute);
+    EXPECT_EQ(computed, 5);
 }
 
 TEST(SweepCache, StaleCacheShapeTriggersRecompute)
