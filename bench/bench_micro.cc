@@ -62,7 +62,7 @@ BM_CacheArrayLookup(benchmark::State &state)
     for (unsigned i = 0; i < 512; ++i) {
         const Addr la = static_cast<Addr>(i) * 64;
         if (CacheLine *s = arr.victimFor(la))
-            s->resetTo(la);
+            arr.resetTo(*s, la);
     }
     Addr la = 0;
     for (auto _ : state) {

@@ -19,39 +19,23 @@ mesiStateName(MesiState s)
 
 CacheArray::CacheArray(unsigned sets, unsigned ways, unsigned index_div)
     : sets_(sets), ways_(ways), indexDiv_(index_div),
-      slots_(static_cast<std::size_t>(sets) * ways)
+      slots_(static_cast<std::size_t>(sets) * ways),
+      tags_(static_cast<std::size_t>(sets) * ways, noTag)
 {
     panic_if(sets == 0 || ways == 0, "degenerate cache geometry");
     panic_if((sets & (sets - 1)) != 0, "set count must be a power of two");
 }
 
 CacheLine *
-CacheArray::find(Addr line_addr)
-{
-    const unsigned set = setIndex(line_addr);
-    for (unsigned w = 0; w < ways_; ++w) {
-        CacheLine &cl = slots_[static_cast<std::size_t>(set) * ways_ + w];
-        if (cl.valid && cl.line == line_addr)
-            return &cl;
-    }
-    return nullptr;
-}
-
-const CacheLine *
-CacheArray::find(Addr line_addr) const
-{
-    return const_cast<CacheArray *>(this)->find(line_addr);
-}
-
-CacheLine *
 CacheArray::victimFor(Addr line_addr)
 {
-    const unsigned set = setIndex(line_addr);
+    const std::size_t base =
+        static_cast<std::size_t>(setIndex(line_addr)) * ways_;
     CacheLine *lru = nullptr;
     for (unsigned w = 0; w < ways_; ++w) {
-        CacheLine &cl = slots_[static_cast<std::size_t>(set) * ways_ + w];
-        if (!cl.valid)
-            return &cl;
+        if (tags_[base + w] == noTag)
+            return &slots_[base + w];
+        CacheLine &cl = slots_[base + w];
         if (cl.busy)
             continue;
         if (!lru || cl.lastUse < lru->lastUse)

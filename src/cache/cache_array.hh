@@ -114,11 +114,38 @@ class CacheArray
     CacheArray(unsigned sets, unsigned ways, unsigned index_div = 1);
 
     /** Find the line, or nullptr. Does not touch LRU. */
-    CacheLine *find(Addr line_addr);
-    const CacheLine *find(Addr line_addr) const;
+    CacheLine *
+    find(Addr line_addr)
+    {
+        const std::size_t base =
+            static_cast<std::size_t>(setIndex(line_addr)) * ways_;
+        for (unsigned w = 0; w < ways_; ++w)
+            if (tags_[base + w] == line_addr)
+                return &slots_[base + w];
+        return nullptr;
+    }
+
+    const CacheLine *
+    find(Addr line_addr) const
+    {
+        return const_cast<CacheArray *>(this)->find(line_addr);
+    }
 
     /** Mark the line most-recently used. */
     void touch(CacheLine &cl) { cl.lastUse = ++useClock_; }
+
+    /**
+     * Re-initialize @p cl for @p line_addr (after the caller finished
+     * evicting any victim), keeping the packed tag array in sync.
+     * Always use this for slots owned by the array; the raw
+     * CacheLine::resetTo is only for detached copies (evict buffers).
+     */
+    void
+    resetTo(CacheLine &cl, Addr line_addr)
+    {
+        cl.resetTo(line_addr);
+        tags_[slotIndex(cl)] = line_addr;
+    }
 
     /**
      * Choose the slot a fill of @p line_addr should use: an invalid
@@ -136,6 +163,7 @@ class CacheArray
     {
         cl.valid = false;
         cl.busy = false;
+        tags_[slotIndex(cl)] = noTag;
     }
 
     unsigned sets() const { return sets_; }
@@ -160,9 +188,25 @@ class CacheArray
     }
 
   private:
+    /** Tag slot of invalid ways (never a real line address). */
+    static constexpr Addr noTag = ~Addr(0);
+
+    std::size_t
+    slotIndex(const CacheLine &cl) const
+    {
+        return static_cast<std::size_t>(&cl - slots_.data());
+    }
+
     unsigned sets_, ways_, indexDiv_;
     std::uint64_t useClock_ = 0;
     std::vector<CacheLine> slots_;
+    /**
+     * Packed tag array mirroring slots_ (noTag = invalid way).  A
+     * CacheLine is ~260 bytes, so a ways-wide lookup over the slots
+     * touches one cache line per way; scanning the packed tags
+     * touches one or two for the whole set.
+     */
+    std::vector<Addr> tags_;
 };
 
 } // namespace wastesim

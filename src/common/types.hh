@@ -31,8 +31,13 @@ using CoreId = std::uint32_t;
 /** Identifier of a software-visible data region (DeNovo regions). */
 using RegionId = std::uint32_t;
 
-/** Unique identifier of a profiled word instance. */
-using InstId = std::uint64_t;
+/**
+ * Unique identifier of a profiled word instance.  32 bits: instance
+ * records are the dominant per-word metadata (cache lines and message
+ * chunks carry one per word), and no single run creates anywhere near
+ * 2^32 instances — the profilers panic loudly if one ever does.
+ */
+using InstId = std::uint32_t;
 
 /** Sentinel for "no instance attached". */
 constexpr InstId invalidInst = std::numeric_limits<InstId>::max();

@@ -19,6 +19,7 @@ DramChannel::enqueue(DramRequest req)
         ++writes_;
     else
         ++reads_;
+    req.bankIdx = static_cast<unsigned>(map_.bankOf(req.line));
     queue_.push_back(std::move(req));
     trySchedule();
 }
@@ -30,21 +31,26 @@ DramChannel::trySchedule()
         const Tick now = eq_.now();
 
         // First-ready: oldest request hitting an open row on a ready
-        // bank.  Fallback: oldest request whose bank is ready.
-        auto ready = [&](const DramRequest &r) {
-            return banks_[map_.bankOf(r.line)].readyAt <= now;
-        };
-        auto row_hit = [&](const DramRequest &r) {
-            const Bank &b = banks_[map_.bankOf(r.line)];
-            return b.rowOpen && b.openRow == map_.rowOf(r.line);
-        };
+        // bank.  Fallback: oldest request whose bank is ready.  One
+        // pass finds both candidates.
+        const std::size_t none = ~std::size_t(0);
+        std::size_t pick = none, fallback = none;
+        for (std::size_t i = 0; i < queue_.size(); ++i) {
+            const DramRequest &r = queue_[i];
+            const Bank &b = banks_[r.bankIdx];
+            if (b.readyAt > now)
+                continue;
+            if (b.rowOpen && b.openRow == map_.rowOf(r.line)) {
+                pick = i;
+                break;
+            }
+            if (fallback == none)
+                fallback = i;
+        }
+        if (pick == none)
+            pick = fallback;
 
-        auto it = std::find_if(queue_.begin(), queue_.end(),
-                               [&](const DramRequest &r) {
-                                   return ready(r) && row_hit(r);
-                               });
-        if (it == queue_.end())
-            it = std::find_if(queue_.begin(), queue_.end(), ready);
+        auto it = pick == none ? queue_.end() : queue_.begin() + pick;
 
         if (it == queue_.end()) {
             // No targeted bank is ready: wake when the earliest bank
@@ -52,8 +58,8 @@ DramChannel::trySchedule()
             if (!wakeupPending_) {
                 Tick earliest = ~Tick(0);
                 for (const auto &r : queue_) {
-                    earliest = std::min(
-                        earliest, banks_[map_.bankOf(r.line)].readyAt);
+                    earliest =
+                        std::min(earliest, banks_[r.bankIdx].readyAt);
                 }
                 panic_if(earliest <= now, "bank ready but not found");
                 wakeupPending_ = true;
@@ -72,10 +78,10 @@ DramChannel::trySchedule()
 }
 
 void
-DramChannel::issue(const DramRequest &req)
+DramChannel::issue(DramRequest &req)
 {
     const Tick now = eq_.now();
-    Bank &bank = banks_[map_.bankOf(req.line)];
+    Bank &bank = banks_[req.bankIdx];
     const Addr row = map_.rowOf(req.line);
     const DramTiming &t = map_.timing;
 
@@ -106,7 +112,8 @@ DramChannel::issue(const DramRequest &req)
     bank.readyAt = done;
 
     if (req.onDone) {
-        eq_.scheduleAt(done, [cb = req.onDone, done] { cb(done); });
+        eq_.scheduleAt(done,
+                       [cb = std::move(req.onDone), done] { cb(done); });
     }
 }
 

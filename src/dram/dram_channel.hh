@@ -12,13 +12,12 @@
 #define WASTESIM_DRAM_DRAM_CHANNEL_HH
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <vector>
 
 #include "common/types.hh"
 #include "dram/dram_timing.hh"
 #include "sim/event_queue.hh"
+#include "sim/inline_callback.hh"
 
 namespace wastesim
 {
@@ -26,12 +25,19 @@ namespace wastesim
 /** A single line-granularity DRAM access. */
 struct DramRequest
 {
+    /** Completion callback; captures are small (a controller pointer
+     *  plus a pooled transaction index), so they stay inline. */
+    using DoneFn = InlineFunction<void(Tick done), 32>;
+
     Addr line = 0;
     bool isWrite = false;
     /** Words actually transferred (partial-read extension); a full
      *  line unless the timing model enables partialReads. */
     unsigned words = wordsPerLine;
-    std::function<void(Tick done)> onDone; //!< may be empty for writes
+    DoneFn onDone; //!< may be empty for writes
+    /** Bank index of @p line, computed once at enqueue so the FR-FCFS
+     *  scans do not re-derive it per candidate per pass. */
+    unsigned bankIdx = 0;
 };
 
 /** Event-driven FR-FCFS DRAM channel model. */
@@ -66,13 +72,15 @@ class DramChannel
     /** Try to issue the best request; reschedule if none ready. */
     void trySchedule();
 
-    /** Issue @p req on its bank starting no earlier than now. */
-    void issue(const DramRequest &req);
+    /** Issue @p req on its bank starting no earlier than now (the
+     *  completion callback is moved out of @p req). */
+    void issue(DramRequest &req);
 
     EventQueue &eq_;
     DramMap map_;
     std::vector<Bank> banks_;
-    std::deque<DramRequest> queue_;
+    /** Pending requests, oldest first (FR-FCFS ages by position). */
+    std::vector<DramRequest> queue_;
     Tick busReadyAt_ = 0;
     bool wakeupPending_ = false;
 

@@ -56,29 +56,66 @@ MemoryController::handleRead(Message msg)
     panic_if(msg.chunks.empty(), "MemRead with no chunks");
 
     // One line-granularity DRAM access per chunk; respond when the
-    // last one completes.
-    auto remaining = std::make_shared<unsigned>(
-        static_cast<unsigned>(msg.chunks.size()));
-    auto latest = std::make_shared<Tick>(0);
-    auto req = std::make_shared<Message>(std::move(msg));
+    // last one completes.  The request is parked in the transaction
+    // pool; each access callback joins on it by index.
+    const std::uint32_t txn = txnAcquire(std::move(msg), arrive);
+    txns_[txn].remaining =
+        static_cast<unsigned>(txns_[txn].req.chunks.size());
 
     const bool partial = dram_.map().timing.partialReads;
-    for (const auto &c : req->chunks) {
+    const unsigned aux = txns_[txn].req.aux;
+    for (unsigned i = 0; i < txns_[txn].req.chunks.size(); ++i) {
+        // Note: no reference into txns_ is held across enqueue() —
+        // a nested read could grow the pool.
+        const LineChunk &c = txns_[txn].req.chunks[i];
         panic_if(net_.topology().memChannel(c.line) != channel_,
                  "line routed to wrong memory channel");
         // With the partial-read extension (Yoon et al. [31]) a Flex
         // request fetches only the wanted words from the array.
-        const unsigned words =
-            partial && (req->aux & McFlag::flex) ? c.want.count()
-                                                 : wordsPerLine;
+        const unsigned words = partial && (aux & McFlag::flex)
+                                   ? c.want.count()
+                                   : wordsPerLine;
         dram_.enqueue(DramRequest{
             c.line, false, words,
-            [this, remaining, latest, req, arrive](Tick done) {
-                *latest = std::max(*latest, done);
-                if (--*remaining == 0)
-                    finishRead(*req, arrive, *latest);
-            }});
+            [this, txn](Tick done) { chunkDone(txn, done); }});
     }
+}
+
+void
+MemoryController::chunkDone(std::uint32_t txn, Tick done)
+{
+    ReadTxn &t = txns_[txn];
+    t.latest = std::max(t.latest, done);
+    if (--t.remaining > 0)
+        return;
+    finishRead(t.req, t.arrive, t.latest);
+    txnRelease(txn);
+}
+
+std::uint32_t
+MemoryController::txnAcquire(Message &&msg, Tick arrive)
+{
+    std::uint32_t idx;
+    if (txnFree_ != ~std::uint32_t(0)) {
+        idx = txnFree_;
+        txnFree_ = txns_[idx].nextFree;
+    } else {
+        txns_.emplace_back();
+        idx = static_cast<std::uint32_t>(txns_.size() - 1);
+    }
+    ReadTxn &t = txns_[idx];
+    t.req = std::move(msg);
+    t.arrive = arrive;
+    t.latest = 0;
+    t.remaining = 0;
+    return idx;
+}
+
+void
+MemoryController::txnRelease(std::uint32_t idx)
+{
+    txns_[idx].nextFree = txnFree_;
+    txnFree_ = idx;
 }
 
 void
@@ -89,7 +126,7 @@ MemoryController::finishRead(const Message &req, Tick arrive,
     const bool bypass = req.aux & McFlag::bypassL2;
     const bool to_l1 = (req.aux & McFlag::toL1) || bypass;
 
-    std::vector<LineChunk> out;
+    ChunkVec out;
     for (const auto &c : req.chunks) {
         // chunk.want  = words wanted
         // chunk.dirty = words dirty on-chip; never return from memory

@@ -62,11 +62,33 @@ class MemoryController : public MessageHandler
     std::uint64_t droppedChunks() const { return droppedChunks_; }
 
   private:
+    /**
+     * An in-flight multi-chunk read: the request message plus the
+     * join counter for its per-chunk DRAM accesses.  Transactions
+     * live in a free-list-recycled pool and are referenced by index,
+     * so issuing a read allocates nothing in steady state (this
+     * replaced three shared_ptr allocations per MemRead).
+     */
+    struct ReadTxn
+    {
+        Message req;
+        Tick arrive = 0;
+        Tick latest = 0;
+        unsigned remaining = 0;
+        std::uint32_t nextFree = 0;
+    };
+
     void handleRead(Message msg);
     void handleWrite(const Message &msg);
 
+    /** One of a read's DRAM accesses finished at @p done. */
+    void chunkDone(std::uint32_t txn, Tick done);
+
     /** All DRAM accesses for a read finished; build the response(s). */
     void finishRead(const Message &req, Tick arrive, Tick mem_done);
+
+    std::uint32_t txnAcquire(Message &&msg, Tick arrive);
+    void txnRelease(std::uint32_t idx);
 
     unsigned channel_;
     EventQueue &eq_;
@@ -74,6 +96,9 @@ class MemoryController : public MessageHandler
     DramChannel &dram_;
     MemProfiler &prof_;
     PresenceFn presentInL2_;
+
+    std::vector<ReadTxn> txns_;
+    std::uint32_t txnFree_ = ~std::uint32_t(0);
 
     std::uint64_t wordsSent_ = 0;
     std::uint64_t wordsWritten_ = 0;

@@ -6,18 +6,12 @@ namespace wastesim
 std::vector<NodeId>
 Mesh::xyRoute(NodeId a, NodeId b) const
 {
-    std::vector<NodeId> route;
-    unsigned x = xOf(a), y = yOf(a);
-    route.push_back(tileAt(x, y));
-    while (x != xOf(b)) {
-        x = x < xOf(b) ? x + 1 : x - 1;
-        route.push_back(tileAt(x, y));
-    }
-    while (y != yOf(b)) {
-        y = y < yOf(b) ? y + 1 : y - 1;
-        route.push_back(tileAt(x, y));
-    }
-    return route;
+    std::vector<NodeId> out;
+    RouteWalker w = route(a, b);
+    out.push_back(w.current());
+    while (w.advance())
+        out.push_back(w.current());
+    return out;
 }
 
 } // namespace wastesim

@@ -75,8 +75,62 @@ class Mesh
     }
 
     /**
+     * Step iterator over the XY (dimension-order) route from a source
+     * to a destination tile, inclusive of both endpoints.
+     *
+     * Walking the route in place lets the network charge per-link
+     * counters without materializing a vector, and the number of
+     * advance() steps plus the ejection link IS the hop count — one
+     * walk yields both, so geometry and accounting cannot disagree.
+     */
+    class RouteWalker
+    {
+      public:
+        RouteWalker(const Mesh &m, NodeId a, NodeId b)
+            : mesh_(m), x_(m.xOf(a)), y_(m.yOf(a)), dstX_(m.xOf(b)),
+              dstY_(m.yOf(b))
+        {
+        }
+
+        /** Tile the walk currently stands on. */
+        NodeId current() const { return mesh_.tileAt(x_, y_); }
+
+        /** True when the walk has reached the destination tile. */
+        bool atEnd() const { return x_ == dstX_ && y_ == dstY_; }
+
+        /**
+         * Step one link toward the destination (X first, then Y).
+         * @return false (without moving) once at the destination.
+         */
+        bool
+        advance()
+        {
+            if (x_ != dstX_)
+                x_ = x_ < dstX_ ? x_ + 1 : x_ - 1;
+            else if (y_ != dstY_)
+                y_ = y_ < dstY_ ? y_ + 1 : y_ - 1;
+            else
+                return false;
+            return true;
+        }
+
+      private:
+        const Mesh &mesh_;
+        unsigned x_, y_;
+        unsigned dstX_, dstY_;
+    };
+
+    /** Start a route walk from @p a to @p b. */
+    RouteWalker route(NodeId a, NodeId b) const
+    {
+        return RouteWalker(*this, a, b);
+    }
+
+    /**
      * Enumerate the tiles visited by XY (dimension-order) routing from
-     * @p a to @p b, inclusive of both endpoints.
+     * @p a to @p b, inclusive of both endpoints.  Convenience wrapper
+     * over RouteWalker for tests and offline analysis; the simulation
+     * hot path walks the route in place instead.
      */
     std::vector<NodeId> xyRoute(NodeId a, NodeId b) const;
 

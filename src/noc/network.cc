@@ -21,16 +21,68 @@ Network::totalLinkFlits() const
                            std::uint64_t{0});
 }
 
+std::uint32_t
+Network::poolAcquire(Message &&msg)
+{
+    if (!msgFree_.empty()) {
+        const std::uint32_t idx = msgFree_.back();
+        msgFree_.pop_back();
+        msgPool_[idx] = std::move(msg);
+        return idx;
+    }
+    msgPool_.push_back(std::move(msg));
+    return static_cast<std::uint32_t>(msgPool_.size() - 1);
+}
+
+Message
+Network::poolRelease(std::uint32_t idx)
+{
+    Message m = std::move(msgPool_[idx]);
+    msgFree_.push_back(idx);
+    return m;
+}
+
+MessageHandler *
+Network::handlerFor(const Message &msg) const
+{
+    MessageHandler *h = handlers_[msg.dst.flatId(topo_)];
+    panic_if(!h, "no handler attached for endpoint flatId %u",
+             msg.dst.flatId(topo_));
+    return h;
+}
+
 void
 Network::send(Message msg)
 {
-    msg.hops = mesh_.hops(msg.src.tile(topo_), msg.dst.tile(topo_));
     msg.sentAt = eq_.now();
     ++msgsSent_;
 
     const unsigned words = msg.words();
     const unsigned data_flits = msg.dataFlits();
     const unsigned total_flits = 1 + data_flits;
+
+    // Walk the XY route once: charge each traversed link and derive
+    // the hop count from the same walk (plus the ejection link), so
+    // per-link accounting and the latency/flit-hop geometry can never
+    // disagree.
+    {
+        const unsigned tiles = topo_.numTiles();
+        Mesh::RouteWalker walk =
+            mesh_.route(msg.src.tile(topo_), msg.dst.tile(topo_));
+        unsigned hops = 0;
+        NodeId prev = walk.current();
+        while (walk.advance()) {
+            const NodeId cur = walk.current();
+            linkFlits_[static_cast<std::size_t>(prev) * tiles + cur] +=
+                total_flits;
+            prev = cur;
+            ++hops;
+        }
+        // The ejection link into the destination tile.
+        linkFlits_[static_cast<std::size_t>(prev) * tiles + prev] +=
+            total_flits;
+        msg.hops = hops + 1;
+    }
 
     traffic_.addRaw(static_cast<double>(total_flits) * msg.hops);
 
@@ -65,28 +117,31 @@ Network::send(Message msg)
         traffic_.wbData(to_mem, dirty, clean, msg.hops);
     }
 
-    // Per-link utilization along the XY route (+ the ejection link).
-    {
-        const unsigned tiles = topo_.numTiles();
-        const auto route = mesh_.xyRoute(msg.src.tile(topo_),
-                                         msg.dst.tile(topo_));
-        for (std::size_t i = 1; i < route.size(); ++i)
-            linkFlits_[static_cast<std::size_t>(route[i - 1]) * tiles +
-                       route[i]] += total_flits;
-        linkFlits_[static_cast<std::size_t>(route.back()) * tiles +
-                   route.back()] += total_flits;
-    }
-
-    MessageHandler *h = handlers_[msg.dst.flatId(topo_)];
-    panic_if(!h, "no handler attached for endpoint flatId %u",
-             msg.dst.flatId(topo_));
+    MessageHandler *h = handlerFor(msg);
 
     // Head flit arrives after the link latency of each hop; the tail
     // follows one cycle per additional flit (wormhole serialization).
-    const Tick delay =
-        linkLatency_ * msg.hops + (total_flits - 1);
-    eq_.schedule(delay, [h, m = std::move(msg)]() mutable {
-        h->handle(std::move(m));
+    const Tick delay = linkLatency_ * msg.hops + (total_flits - 1);
+    const std::uint32_t idx = poolAcquire(std::move(msg));
+    eq_.schedule(delay, [this, h, idx] {
+        h->handle(poolRelease(idx));
+    });
+}
+
+void
+Network::sendAfter(Tick delay, Message msg)
+{
+    const std::uint32_t idx = poolAcquire(std::move(msg));
+    eq_.schedule(delay, [this, idx] { send(poolRelease(idx)); });
+}
+
+void
+Network::deliverAfter(Tick delay, Message msg)
+{
+    MessageHandler *h = handlerFor(msg);
+    const std::uint32_t idx = poolAcquire(std::move(msg));
+    eq_.schedule(delay, [this, h, idx] {
+        h->handle(poolRelease(idx));
     });
 }
 

@@ -55,6 +55,22 @@ class Network
      */
     void send(Message msg);
 
+    /**
+     * Send @p msg after @p delay ticks of local processing (e.g. the
+     * L2 access latency).  Traffic is charged at send time, exactly
+     * as if the caller had scheduled its own event calling send();
+     * the message waits in the network's pool, not in a heap-
+     * allocated closure.
+     */
+    void sendAfter(Tick delay, Message msg);
+
+    /**
+     * Re-deliver @p msg to its destination handler after @p delay
+     * ticks without charging any traffic (the packet already
+     * arrived; the receiver is retrying local processing).
+     */
+    void deliverAfter(Tick delay, Message msg);
+
     /** Per-word data flit-hop share for a delivered message. */
     static double
     perWordFlitHops(const Message &msg)
@@ -93,6 +109,15 @@ class Network
     std::uint64_t totalLinkFlits() const;
 
   private:
+    /** Park @p msg in the free-list-recycled pool. @return its slot. */
+    std::uint32_t poolAcquire(Message &&msg);
+
+    /** Move the message out of @p idx and recycle the slot. */
+    Message poolRelease(std::uint32_t idx);
+
+    /** Handler registered for @p msg's destination (panics if none). */
+    MessageHandler *handlerFor(const Message &msg) const;
+
     EventQueue &eq_;
     TrafficRecorder &traffic_;
     Tick linkLatency_;
@@ -102,6 +127,11 @@ class Network
     std::vector<MessageHandler *> handlers_;
     /** Directed per-link flit counters, indexed a*numTiles+b. */
     std::vector<std::uint64_t> linkFlits_;
+
+    /** In-flight message pool: slots recycled through a free list so
+     *  steady-state sends perform no allocation. */
+    std::vector<Message> msgPool_;
+    std::vector<std::uint32_t> msgFree_;
 };
 
 } // namespace wastesim

@@ -1,7 +1,5 @@
 #include "profile/mem_profiler.hh"
 
-#include <algorithm>
-
 #include "common/log.hh"
 
 namespace wastesim
@@ -10,22 +8,24 @@ namespace wastesim
 InstId
 MemProfiler::create(Addr word_num, bool present_in_l2)
 {
-    InstId id = recs_.size();
-    recs_.push_back(Rec{WasteCat::Unclassified, 0, word_num});
+    panic_if(recs_.size() >= invalidInst, "instance id space exhausted");
+    InstId id = static_cast<InstId>(recs_.size());
+    recs_.push_back(Rec{WasteCat::Unclassified, 0, word_num,
+                        invalidInst, invalidInst});
     if (present_in_l2) {
         // Fig. 4.3: memory sends (A, I) while A is present in the L2.
         recs_[id].cat = WasteCat::Fetch;
     }
-    byAddr_[word_num].push_back(id);
+    // Push onto the word's live-instance list.
+    InstId &head =
+        byAddr_.getOrDefault(word_num / wordsPerLine)
+            .head[word_num % wordsPerLine];
+    if (head != invalidInst) {
+        recs_[id].nextSame = head;
+        recs_[head].prevSame = id;
+    }
+    head = id;
     return id;
-}
-
-void
-MemProfiler::addRef(InstId id)
-{
-    if (id == invalidInst)
-        return;
-    ++recs_[id].refs;
 }
 
 void
@@ -37,32 +37,19 @@ MemProfiler::dropRef(InstId id, bool invalidated)
     panic_if(r.refs == 0, "dropRef on instance with zero refs");
     if (--r.refs == 0) {
         classify(id, invalidated ? WasteCat::Invalidate : WasteCat::Evict);
-        auto it = byAddr_.find(r.wordNum);
-        if (it != byAddr_.end()) {
-            auto &v = it->second;
-            v.erase(std::remove(v.begin(), v.end(), id), v.end());
-            if (v.empty())
-                byAddr_.erase(it);
+        // Unlink from the word's live-instance list.
+        if (r.nextSame != invalidInst)
+            recs_[r.nextSame].prevSame = r.prevSame;
+        if (r.prevSame != invalidInst) {
+            recs_[r.prevSame].nextSame = r.nextSame;
+        } else if (LineHeads *lh =
+                       byAddr_.find(r.wordNum / wordsPerLine)) {
+            InstId &head = lh->head[r.wordNum % wordsPerLine];
+            if (head == id)
+                head = r.nextSame;
         }
+        r.prevSame = r.nextSame = invalidInst;
     }
-}
-
-void
-MemProfiler::used(InstId id)
-{
-    if (id == invalidInst)
-        return;
-    classify(id, WasteCat::Used);
-}
-
-void
-MemProfiler::storeAddr(Addr word_num)
-{
-    auto it = byAddr_.find(word_num);
-    if (it == byAddr_.end())
-        return;
-    for (InstId id : it->second)
-        classify(id, WasteCat::Write);
 }
 
 WasteCounts

@@ -21,10 +21,11 @@
 #ifndef WASTESIM_PROFILE_MEM_PROFILER_HH
 #define WASTESIM_PROFILE_MEM_PROFILER_HH
 
+#include <array>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "common/types.hh"
 #include "profile/waste.hh"
 
@@ -47,7 +48,13 @@ class MemProfiler
     InstId create(Addr word_num, bool present_in_l2);
 
     /** A cache installed a copy of instance @p id. */
-    void addRef(InstId id);
+    void
+    addRef(InstId id)
+    {
+        if (id == invalidInst)
+            return;
+        ++recs_[id].refs;
+    }
 
     /**
      * A cache copy of instance @p id died.
@@ -58,13 +65,28 @@ class MemProfiler
     void dropRef(InstId id, bool invalidated);
 
     /** A core read a copy of instance @p id. */
-    void used(InstId id);
+    void
+    used(InstId id)
+    {
+        if (id == invalidInst)
+            return;
+        classify(id, WasteCat::Used);
+    }
 
     /**
      * An L1 issued a write to @p word_num: all open instances of the
      * address become Write waste.
      */
-    void storeAddr(Addr word_num);
+    void
+    storeAddr(Addr word_num)
+    {
+        const LineHeads *lh = byAddr_.find(word_num / wordsPerLine);
+        if (!lh)
+            return;
+        for (InstId id = lh->head[word_num % wordsPerLine];
+             id != invalidInst; id = recs_[id].nextSame)
+            classify(id, WasteCat::Write);
+    }
 
     /** @p nwords were read from DRAM and dropped at the MC. */
     void excess(unsigned nwords) { excess_ += nwords; }
@@ -95,6 +117,10 @@ class MemProfiler
         WasteCat cat = WasteCat::Unclassified;
         unsigned refs = 0;
         Addr wordNum = 0;
+        /** Intrusive doubly-linked list of live instances of the same
+         *  word, anchored in byAddr_ — no per-word heap vector. */
+        InstId prevSame = invalidInst;
+        InstId nextSame = invalidInst;
     };
 
     void
@@ -104,10 +130,18 @@ class MemProfiler
             recs_[id].cat = cat;
     }
 
+    /** Per-word live-instance list heads for one cache line (one
+     *  probe covers a whole line's worth of creates/drops). */
+    struct LineHeads
+    {
+        LineHeads() { head.fill(invalidInst); }
+        std::array<InstId, wordsPerLine> head;
+    };
+
     std::vector<Rec> recs_;
     std::size_t epochStart_ = 0;
-    /** word number -> instance ids with live on-chip copies. */
-    std::unordered_map<Addr, std::vector<InstId>> byAddr_;
+    /** line number -> per-word instance list heads. */
+    FlatMap<LineHeads> byAddr_;
     double excess_ = 0;
     double excessAtEpoch_ = 0;
     bool finalized_ = false;

@@ -8,121 +8,107 @@ namespace wastesim
 InstId
 WordProfiler::arrive(Addr word_num, TrafficClass cls)
 {
-    InstId id = recs_.size();
+    panic_if(recs_.size() >= invalidInst, "instance id space exhausted");
+    InstId id = static_cast<InstId>(recs_.size());
     recs_.push_back(Rec{WasteCat::Unclassified, cls, 0});
 
-    auto it = present_.find(word_num);
-    if (it != present_.end()) {
+    LineSlot &ls = present_.getOrDefault(lineKey(word_num));
+    const unsigned w = widx(word_num);
+    if (ls.mask & (1u << w)) {
         // Word already present: the arriving copy is Fetch waste
         // (Fig. 4.1/4.2, "word present in cache? yes -> Fetch").
         recs_[id].cat = WasteCat::Fetch;
         return id;
     }
-    present_.emplace(word_num, id);
+    ls.mask |= 1u << w;
+    ls.inst[w] = id;
     return id;
 }
 
 void
 WordProfiler::arriveUntracked(Addr word_num)
 {
-    present_.emplace(word_num, invalidInst);
-}
-
-void
-WordProfiler::load(Addr word_num)
-{
-    auto it = present_.find(word_num);
-    panic_if(it == present_.end(),
-             "L1 load hit on word %llu the profiler believes absent",
-             static_cast<unsigned long long>(word_num));
-    classify(it->second, WasteCat::Used);
-}
-
-void
-WordProfiler::store(Addr word_num)
-{
-    auto it = present_.find(word_num);
-    if (it == present_.end()) {
-        // Write-validate allocation: present from now on, untracked.
-        present_.emplace(word_num, invalidInst);
-        return;
+    LineSlot &ls = present_.getOrDefault(lineKey(word_num));
+    const unsigned w = widx(word_num);
+    if (!(ls.mask & (1u << w))) {
+        ls.mask |= 1u << w;
+        ls.inst[w] = invalidInst;
     }
-    classify(it->second, WasteCat::Write);
 }
 
 InstId
 WordProfiler::arriveReplace(Addr word_num, TrafficClass cls)
 {
-    auto it = present_.find(word_num);
-    if (it != present_.end()) {
-        classify(it->second, WasteCat::Write);
-        present_.erase(it);
+    LineSlot &ls = present_.getOrDefault(lineKey(word_num));
+    const unsigned w = widx(word_num);
+    if (ls.mask & (1u << w)) {
+        classify(ls.inst[w], WasteCat::Write);
+        ls.mask &= static_cast<std::uint16_t>(~(1u << w));
     }
-    return arrive(word_num, cls);
+
+    panic_if(recs_.size() >= invalidInst, "instance id space exhausted");
+    InstId id = static_cast<InstId>(recs_.size());
+    recs_.push_back(Rec{WasteCat::Unclassified, cls, 0});
+    ls.mask |= 1u << w;
+    ls.inst[w] = id;
+    return id;
 }
 
 void
 WordProfiler::writeKill(Addr word_num)
 {
-    auto it = present_.find(word_num);
-    if (it == present_.end())
+    LineSlot *ls = present_.find(lineKey(word_num));
+    const unsigned w = widx(word_num);
+    if (!ls || !(ls->mask & (1u << w)))
         return;
-    classify(it->second, WasteCat::Write);
-    present_.erase(it);
+    classify(ls->inst[w], WasteCat::Write);
+    ls->mask &= static_cast<std::uint16_t>(~(1u << w));
 }
 
 void
 WordProfiler::respUsed(Addr word_num)
 {
-    auto it = present_.find(word_num);
-    if (it != present_.end())
-        classify(it->second, WasteCat::Used);
+    LineSlot *ls = present_.find(lineKey(word_num));
+    const unsigned w = widx(word_num);
+    if (ls && (ls->mask & (1u << w)))
+        classify(ls->inst[w], WasteCat::Used);
 }
 
 void
 WordProfiler::overwrite(Addr word_num)
 {
-    auto it = present_.find(word_num);
-    if (it == present_.end()) {
-        present_.emplace(word_num, invalidInst);
-        return;
+    LineSlot &ls = present_.getOrDefault(lineKey(word_num));
+    const unsigned w = widx(word_num);
+    if (ls.mask & (1u << w)) {
+        classify(ls.inst[w], WasteCat::Write);
+    } else {
+        ls.mask |= 1u << w;
+        ls.inst[w] = invalidInst;
     }
-    classify(it->second, WasteCat::Write);
 }
 
 void
 WordProfiler::evict(Addr word_num)
 {
-    auto it = present_.find(word_num);
-    if (it == present_.end())
+    LineSlot *ls = present_.find(lineKey(word_num));
+    const unsigned w = widx(word_num);
+    if (!ls || !(ls->mask & (1u << w)))
         return;
-    classify(it->second, WasteCat::Evict);
-    present_.erase(it);
+    classify(ls->inst[w], WasteCat::Evict);
+    ls->mask &= static_cast<std::uint16_t>(~(1u << w));
 }
 
 void
 WordProfiler::invalidate(Addr word_num)
 {
-    auto it = present_.find(word_num);
-    if (it == present_.end())
+    LineSlot *ls = present_.find(lineKey(word_num));
+    const unsigned w = widx(word_num);
+    if (!ls || !(ls->mask & (1u << w)))
         return;
-    classify(it->second,
-             level_ == Level::L1 ? WasteCat::Invalidate : WasteCat::Evict);
-    present_.erase(it);
-}
-
-bool
-WordProfiler::present(Addr word_num) const
-{
-    return present_.find(word_num) != present_.end();
-}
-
-void
-WordProfiler::addTraffic(InstId id, double flit_hops)
-{
-    panic_if(id == invalidInst || id >= recs_.size(),
-             "traffic banked against invalid instance");
-    recs_[id].flitHops += flit_hops;
+    classify(ls->inst[w], level_ == Level::L1
+                                     ? WasteCat::Invalidate
+                                     : WasteCat::Evict);
+    ls->mask &= static_cast<std::uint16_t>(~(1u << w));
 }
 
 WasteCounts

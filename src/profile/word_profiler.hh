@@ -21,10 +21,12 @@
 #ifndef WASTESIM_PROFILE_WORD_PROFILER_HH
 #define WASTESIM_PROFILE_WORD_PROFILER_HH
 
+#include <array>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
+#include "common/log.hh"
 #include "common/types.hh"
 #include "profile/waste.hh"
 
@@ -58,14 +60,35 @@ class WordProfiler
     void arriveUntracked(Addr word_num);
 
     /** The core reads the word (L1) — classifies Used. */
-    void load(Addr word_num);
+    void
+    load(Addr word_num)
+    {
+        LineSlot *ls = present_.find(lineKey(word_num));
+        const unsigned w = widx(word_num);
+        panic_if(!ls || !(ls->mask & (1u << w)),
+                 "L1 load hit on word %llu the profiler believes absent",
+                 static_cast<unsigned long long>(word_num));
+        classify(ls->inst[w], WasteCat::Used);
+    }
 
     /**
      * The core writes the word (L1).  An open record is classified
      * Write (overwritten before use); an absent word becomes present
      * untracked (write-validate allocation).
      */
-    void store(Addr word_num);
+    void
+    store(Addr word_num)
+    {
+        LineSlot &ls = present_.getOrDefault(lineKey(word_num));
+        const unsigned w = widx(word_num);
+        if (ls.mask & (1u << w)) {
+            classify(ls.inst[w], WasteCat::Write);
+        } else {
+            // Write-validate allocation: present, untracked.
+            ls.mask |= 1u << w;
+            ls.inst[w] = invalidInst;
+        }
+    }
 
     /**
      * The L2's resident copy of this word satisfied a request (an L2
@@ -101,10 +124,21 @@ class WordProfiler
     void invalidate(Addr word_num);
 
     /** True if the profiler believes the word is present. */
-    bool present(Addr word_num) const;
+    bool
+    present(Addr word_num) const
+    {
+        const LineSlot *ls = present_.find(lineKey(word_num));
+        return ls && (ls->mask & (1u << widx(word_num)));
+    }
 
     /** Bank @p flit_hops of data traffic against instance @p id. */
-    void addTraffic(InstId id, double flit_hops);
+    void
+    addTraffic(InstId id, double flit_hops)
+    {
+        panic_if(id == invalidInst || id >= recs_.size(),
+                 "traffic banked against invalid instance");
+        recs_[id].flitHops += flit_hops;
+    }
 
     /**
      * Begin the measurement window: records created earlier (cache
@@ -133,6 +167,19 @@ class WordProfiler
         double flitHops = 0;
     };
 
+    /**
+     * Presence state of one cache line's words: a present mask plus
+     * the resident instance per word (invalidInst = present but
+     * untracked).  Grouping by line means a fill/evict/load burst
+     * over a line costs one hash probe, not sixteen, and the 32-bit
+     * InstId keeps a LineSlot at two cache lines.
+     */
+    struct LineSlot
+    {
+        std::uint16_t mask = 0;
+        std::array<InstId, wordsPerLine> inst;
+    };
+
     /** Classify record @p id as @p cat if still open. */
     void
     classify(InstId id, WasteCat cat)
@@ -143,12 +190,17 @@ class WordProfiler
         }
     }
 
+    static Addr lineKey(Addr word_num) { return word_num / wordsPerLine; }
+    static unsigned widx(Addr word_num)
+    {
+        return static_cast<unsigned>(word_num % wordsPerLine);
+    }
+
     Level level_;
     std::size_t epochStart_ = 0;
     std::vector<Rec> recs_;
-    /** word number -> instance currently resident (invalidInst if the
-     *  word is present but untracked). */
-    std::unordered_map<Addr, InstId> present_;
+    /** line number -> per-word presence/instance state. */
+    FlatMap<LineSlot> present_;
     bool finalized_ = false;
 };
 

@@ -1,7 +1,6 @@
 #include "protocol/denovo/denovo_l1.hh"
 
 #include <algorithm>
-#include <map>
 #include <unordered_set>
 
 #include "common/log.hh"
@@ -9,6 +8,37 @@
 
 namespace wastesim
 {
+
+namespace
+{
+
+/**
+ * Partition @p wanted by @p key and hand each group to @p emit in
+ * ascending key order — the same order the previous std::map-based
+ * grouping produced, but on the stack (the chunk count is bounded by
+ * the packet format, so quadratic collection is trivially cheap).
+ */
+template <typename KeyFn, typename EmitFn>
+void
+groupChunksBy(const ChunkVec &wanted, KeyFn key, EmitFn emit)
+{
+    InlineVec<unsigned, ChunkVec::capacity()> keys;
+    for (const auto &c : wanted) {
+        const unsigned k = key(c);
+        if (std::find(keys.begin(), keys.end(), k) == keys.end())
+            keys.push_back(k);
+    }
+    std::sort(keys.begin(), keys.end());
+    for (unsigned k : keys) {
+        ChunkVec group;
+        for (const auto &c : wanted)
+            if (key(c) == k)
+                group.push_back(c);
+        emit(k, std::move(group));
+    }
+}
+
+} // namespace
 
 DenovoL1::DenovoL1(CoreId id, const ProtocolConfig &cfg,
                    const SimParams &params, EventQueue &eq, Network &net,
@@ -73,11 +103,11 @@ DenovoL1::missLoad(Addr a, LoadCallback done)
     sendLoadRequest(a, composeWanted(a));
 }
 
-std::vector<LineChunk>
+ChunkVec
 DenovoL1::composeWanted(Addr a)
 {
     const Addr la = lineAddr(a);
-    std::vector<LineChunk> chunks;
+    ChunkVec chunks;
 
     auto readable_at = [this](Addr line, unsigned w) {
         const CacheLine *cl = array_.find(line);
@@ -94,7 +124,8 @@ DenovoL1::composeWanted(Addr a)
         auto fw = regions_.flexWords(a);
         if (!fw.empty()) {
             // The communication region's words, minus what we hold.
-            std::vector<std::pair<Addr, WordMask>> masks;
+            InlineVec<std::pair<Addr, WordMask>,
+                      ChunkVec::capacity()> masks;
             auto add = [&](Addr line, unsigned w) {
                 if (readable_at(line, w))
                     return;
@@ -147,7 +178,7 @@ DenovoL1::requestBloomCopy(Addr line_addr)
 }
 
 void
-DenovoL1::sendLoadRequest(Addr critical, std::vector<LineChunk> wanted)
+DenovoL1::sendLoadRequest(Addr critical, const ChunkVec &wanted)
 {
     const Addr cla = lineAddr(critical);
     const bool bypass = cfg_.respBypass && regions_.isBypass(critical);
@@ -167,53 +198,57 @@ DenovoL1::sendLoadRequest(Addr critical, std::vector<LineChunk> wanted)
         if (all_safe) {
             ++bypassDirect_;
             // Group by memory channel: one MemRead per controller.
-            std::map<unsigned, std::vector<LineChunk>> byChannel;
-            for (const auto &c : wanted)
-                byChannel[params_.topo.memChannel(c.line)].push_back(c);
-            for (auto &[ch, group] : byChannel) {
-                Message rd;
-                rd.kind = MsgKind::MemRead;
-                rd.src = l1Ep(id_);
-                rd.dst = mcEp(ch);
-                // Primary = critical line when in this group.
-                rd.line = group.front().line;
-                for (const auto &c : group)
-                    if (c.line == cla)
-                        rd.line = cla;
-                rd.requester = id_;
-                rd.cls = TrafficClass::Load;
-                rd.ctl = CtlType::ReqCtl;
-                rd.aux = McFlag::bypassL2 |
-                         (cfg_.flexL2 ? McFlag::flex : 0);
-                rd.chunks = std::move(group);
-                net_.send(std::move(rd));
-            }
+            groupChunksBy(
+                wanted,
+                [&](const LineChunk &c) {
+                    return params_.topo.memChannel(c.line);
+                },
+                [&](unsigned ch, ChunkVec group) {
+                    Message rd;
+                    rd.kind = MsgKind::MemRead;
+                    rd.src = l1Ep(id_);
+                    rd.dst = mcEp(ch);
+                    // Primary = critical line when in this group.
+                    rd.line = group.front().line;
+                    for (const auto &c : group)
+                        if (c.line == cla)
+                            rd.line = cla;
+                    rd.requester = id_;
+                    rd.cls = TrafficClass::Load;
+                    rd.ctl = CtlType::ReqCtl;
+                    rd.aux = McFlag::bypassL2 |
+                             (cfg_.flexL2 ? McFlag::flex : 0);
+                    rd.chunks = std::move(group);
+                    net_.send(std::move(rd));
+                });
             return;
         }
         ++bypassViaL2_;
     }
 
     // Route through the home L2 slice(s).
-    std::map<NodeId, std::vector<LineChunk>> bySlice;
-    for (const auto &c : wanted)
-        bySlice[params_.topo.homeSlice(c.line)].push_back(c);
-    for (auto &[slice, group] : bySlice) {
-        Message req;
-        req.kind = MsgKind::DnLoadReq;
-        req.src = l1Ep(id_);
-        req.dst = l2Ep(slice);
-        req.line = group.front().line;
-        for (const auto &c : group)
-            if (c.line == cla)
-                req.line = cla;
-        req.mask = group.front().want;
-        req.requester = id_;
-        req.cls = TrafficClass::Load;
-        req.ctl = CtlType::ReqCtl;
-        req.flag = bypass;
-        req.chunks = std::move(group);
-        net_.send(std::move(req));
-    }
+    groupChunksBy(
+        wanted,
+        [&](const LineChunk &c) {
+            return params_.topo.homeSlice(c.line);
+        },
+        [&](unsigned slice, ChunkVec group) {
+            Message req;
+            req.kind = MsgKind::DnLoadReq;
+            req.src = l1Ep(id_);
+            req.dst = l2Ep(slice);
+            req.line = group.front().line;
+            for (const auto &c : group)
+                if (c.line == cla)
+                    req.line = cla;
+            req.mask = group.front().want;
+            req.requester = id_;
+            req.cls = TrafficClass::Load;
+            req.ctl = CtlType::ReqCtl;
+            req.flag = bypass;
+            req.chunks = std::move(group);
+            net_.send(std::move(req));
+        });
 }
 
 CacheLine &
@@ -225,7 +260,7 @@ DenovoL1::ensureSlot(Addr line_addr)
     panic_if(!slot, "DeNovo L1 has no victim candidate");
     if (slot->valid)
         evictLine(*slot);
-    slot->resetTo(line_addr);
+    array_.resetTo(*slot, line_addr);
     array_.touch(*slot);
     return *slot;
 }
@@ -418,7 +453,7 @@ DenovoL1::installResponse(Message &msg)
     }
 
     // Complete whatever waiters this response satisfied.
-    std::vector<Addr> lines;
+    InlineVec<Addr, ChunkVec::capacity() + 1> lines;
     for (const auto &chunk : msg.chunks)
         lines.push_back(chunk.line);
     lines.push_back(msg.line);
@@ -504,8 +539,10 @@ DenovoL1::scheduleRetry(Addr line_addr)
         }
         LineChunk chunk(line_addr);
         chunk.want = need;
+        ChunkVec wanted;
+        wanted.push_back(chunk);
         const Addr first_word = m.waiters.front().first * bytesPerWord;
-        sendLoadRequest(first_word, {chunk});
+        sendLoadRequest(first_word, wanted);
         scheduleRetry(line_addr);
     });
 }

@@ -33,8 +33,8 @@ DenovoL2::nack(Endpoint to, MsgKind orig, Addr line_addr, WordMask mask)
 }
 
 void
-DenovoL2::sendLoadResp(CoreId to, std::vector<LineChunk> chunks,
-                       Tick t_mc, Tick t_mem)
+DenovoL2::sendLoadResp(CoreId to, ChunkVec chunks, Tick t_mc,
+                       Tick t_mem)
 {
     Message resp;
     resp.kind = MsgKind::DnLoadResp;
@@ -47,9 +47,7 @@ DenovoL2::sendLoadResp(CoreId to, std::vector<LineChunk> chunks,
     resp.tMcArrive = t_mc;
     resp.tMemDone = t_mem;
     resp.chunks = std::move(chunks);
-    eq_.schedule(params_.l2Latency, [this, r = std::move(resp)]() mutable {
-        net_.send(std::move(r));
-    });
+    net_.sendAfter(params_.l2Latency, std::move(resp));
 }
 
 void
@@ -92,7 +90,7 @@ DenovoL2::handleLoadReq(Message &msg)
     const CoreId requester = msg.requester;
     const bool bypass = msg.flag;
 
-    std::vector<LineChunk> resp_chunks;
+    ChunkVec resp_chunks;
     std::unordered_map<NodeId, std::vector<std::pair<Addr, WordMask>>>
         forwards;
 
@@ -230,7 +228,7 @@ DenovoL2::startMemFetch(Addr line_addr, WordMask missing, CoreId requester,
                          });
             return;
         }
-        slot->resetTo(line_addr);
+        array_.resetTo(*slot, line_addr);
         array_.touch(*slot);
         cl = slot;
     }
@@ -304,7 +302,7 @@ DenovoL2::handleMemData(Message &msg)
             if (waiter.core == mshr.directTo)
                 continue; // the MC already delivered to this L1
             const WordMask serve = waiter.want & cl->validWords;
-            std::vector<LineChunk> cs;
+            ChunkVec cs;
             LineChunk rc(la, serve);
             for (unsigned w = 0; w < wordsPerLine; ++w)
                 if (serve.test(w))
@@ -400,7 +398,7 @@ DenovoL2::handleReg(Message &msg)
                 });
                 return;
             }
-            slot->resetTo(la);
+            array_.resetTo(*slot, la);
             array_.touch(*slot);
             slot->busy = true;
 
@@ -435,7 +433,7 @@ DenovoL2::handleReg(Message &msg)
             recallVictim(*slot, [this, copy]() mutable { handle(copy); });
             return;
         }
-        slot->resetTo(la);
+        array_.resetTo(*slot, la);
         array_.touch(*slot);
         cl = slot;
     }
@@ -520,7 +518,7 @@ DenovoL2::handleWb(Message &msg)
             net_.send(std::move(ack));
             return;
         }
-        slot->resetTo(la);
+        array_.resetTo(*slot, la);
         array_.touch(*slot);
         cl = slot;
     }

@@ -106,8 +106,8 @@ class DenovoL2 : public MessageHandler
     void progressRecall(Addr victim_line);
     void finishVictim(Addr victim_line);
 
-    void sendLoadResp(CoreId to, std::vector<LineChunk> chunks,
-                      Tick t_mc = 0, Tick t_mem = 0);
+    void sendLoadResp(CoreId to, ChunkVec chunks, Tick t_mc = 0,
+                      Tick t_mem = 0);
     void sendRegInvs(Addr line_addr,
                      const std::unordered_map<NodeId, WordMask> &invs);
     void nack(Endpoint to, MsgKind orig, Addr line_addr, WordMask mask);

@@ -53,9 +53,7 @@ MesiDir::sendDataFromL2(const CacheLine &cl, CoreId requester,
     chunk.memRef = cl.memRef;
     resp.chunks.push_back(chunk);
 
-    eq_.schedule(params_.l2Latency, [this, r = std::move(resp)]() mutable {
-        net_.send(std::move(r));
-    });
+    net_.sendAfter(params_.l2Latency, std::move(resp));
 }
 
 void
@@ -506,7 +504,7 @@ MesiDir::startFetch(const Message &msg)
         return;
     }
 
-    slot->resetTo(la);
+    array_.resetTo(*slot, la);
     slot->busy = true;
     array_.touch(*slot);
 

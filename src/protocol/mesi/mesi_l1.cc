@@ -186,7 +186,7 @@ MesiL1::ensureSlot(Addr line_addr)
     panic_if(!slot, "L1 has no victim candidate");
     if (slot->valid)
         evictLine(*slot);
-    slot->resetTo(line_addr);
+    array_.resetTo(*slot, line_addr);
     array_.touch(*slot);
     return *slot;
 }
@@ -361,8 +361,8 @@ MesiL1::maybeComplete(Addr line_addr)
     // Retire: complete loads, replay stores, free the slot.
     auto load_waiters = std::move(m.loadWaiters);
     auto store_replays = std::move(m.storeReplays);
-    const Mshr done_mshr = m;
-    const bool was_store = m.isStore;
+    const Mshr done_mshr = std::move(m);
+    const bool was_store = done_mshr.isStore;
     mshrs_.erase(it);
 
     for (auto &[a, cb] : load_waiters)
@@ -599,8 +599,7 @@ MesiL1::handle(Message msg)
         if (!array_.find(msg.line) && !array_.victimFor(msg.line)) {
             // Every way of the set is pinned by a completing
             // transaction; retry once one of them retires.
-            eq_.schedule(params_.nackRetryDelay,
-                         [this, msg] { handle(msg); });
+            net_.deliverAfter(params_.nackRetryDelay, std::move(msg));
             return;
         }
         Mshr &m = it->second;

@@ -15,8 +15,8 @@
 
 #include <array>
 #include <cstdint>
-#include <vector>
 
+#include "common/inline_vec.hh"
 #include "common/topology.hh"
 #include "common/types.hh"
 #include "common/word_mask.hh"
@@ -147,6 +147,18 @@ struct LineChunk
     }
 };
 
+/**
+ * Payload chunk list, stored inline.  A packet carries at most
+ * maxWordsPerMsg payload words (four 16-byte data flits, Section
+ * 4.2), and every chunk names at least one word — either payload
+ * (mask) or request-side selection (want) — so the chunk count is
+ * bounded by the same constant and never needs heap storage.
+ */
+using ChunkVec = InlineVec<LineChunk, maxWordsPerMsg>;
+
+/** Opaque payload blob (Bloom filter images; 64 bytes). */
+using BlobVec = InlineVec<std::uint64_t, 8>;
+
 /** One network packet. */
 struct Message
 {
@@ -154,13 +166,12 @@ struct Message
     Endpoint src, dst;
     Addr line = 0;              //!< primary line address
     WordMask mask;              //!< request / ack word mask
-    std::vector<LineChunk> chunks;  //!< data payload (empty = control)
+    ChunkVec chunks;            //!< data payload (empty = control)
 
     CoreId requester = 0;       //!< original requester (for forwards)
     TrafficClass cls = TrafficClass::Overhead;
     CtlType ctl = CtlType::OhNack;
-    /** Opaque payload blob (Bloom filter images). */
-    std::vector<std::uint64_t> blob;
+    BlobVec blob;               //!< opaque raw payload (Bloom images)
     bool flag = false;          //!< protocol-specific (e.g. bypass)
     unsigned aux = 0;           //!< protocol-specific small payload
     std::uint64_t txnId = 0;    //!< transaction id for matching

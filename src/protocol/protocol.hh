@@ -8,11 +8,11 @@
 #ifndef WASTESIM_PROTOCOL_PROTOCOL_HH
 #define WASTESIM_PROTOCOL_PROTOCOL_HH
 
-#include <functional>
 #include <vector>
 
 #include "common/types.hh"
 #include "protocol/message.hh"
+#include "sim/inline_callback.hh"
 
 namespace wastesim
 {
@@ -32,8 +32,15 @@ struct MemTiming
 class L1Cache : public MessageHandler
 {
   public:
-    using LoadCallback = std::function<void(const MemTiming &)>;
-    using PlainCallback = std::function<void()>;
+    /**
+     * Completion callbacks are move-only inline callables: the
+     * simulator's captures (`this`, a timestamp, a barrier index)
+     * stay within the inline budget, so issuing a load or store
+     * never heap-allocates; larger captures (tests) fall back to the
+     * heap transparently.
+     */
+    using LoadCallback = InlineFunction<void(const MemTiming &), 24>;
+    using PlainCallback = InlineFunction<void(), 24>;
 
     /**
      * Issue a load of the word at @p a.  The callback fires

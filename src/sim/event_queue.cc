@@ -1,53 +1,210 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+#include <bit>
+
 #include "common/log.hh"
 
 namespace wastesim
 {
 
+std::uint32_t
+EventQueue::allocEntry()
+{
+    if (freeHead_ != nil) {
+        const std::uint32_t idx = freeHead_;
+        freeHead_ = pool_[idx].next;
+        return idx;
+    }
+    pool_.emplace_back();
+    return static_cast<std::uint32_t>(pool_.size() - 1);
+}
+
 void
-EventQueue::scheduleAt(Tick when, Callback cb)
+EventQueue::recycle(std::uint32_t idx)
+{
+    Entry &e = pool_[idx];
+    e.cb.reset();
+    e.next = freeHead_;
+    freeHead_ = idx;
+}
+
+std::uint32_t
+EventQueue::prepareEntry(Tick when)
 {
     panic_if(when < now_, "scheduling event in the past (%llu < %llu)",
              static_cast<unsigned long long>(when),
              static_cast<unsigned long long>(now_));
-    queue_.push(Entry{when, nextSeq_++, std::move(cb)});
+
+    const std::uint32_t idx = allocEntry();
+    Entry &e = pool_[idx];
+    e.when = when;
+    e.seq = nextSeq_++;
+    e.next = nil;
+    return idx;
+}
+
+void
+EventQueue::commitEntry(std::uint32_t idx, Tick when)
+{
+    if (when - now_ < wheelSize) {
+        const std::size_t slot = when & wheelMask;
+        Bucket &b = wheel_[slot];
+        if (b.head == nil) {
+            b.head = b.tail = idx;
+            occupied_[slot >> 6] |= std::uint64_t(1) << (slot & 63);
+        } else {
+            pool_[b.tail].next = idx;
+            b.tail = idx;
+        }
+        if (wheelPending_ == 0 || when < wheelHint_)
+            wheelHint_ = when;
+        ++wheelPending_;
+    } else {
+        overflow_.push_back(OverflowRef{when, pool_[idx].seq, idx});
+        std::push_heap(overflow_.begin(), overflow_.end(),
+                       OverflowLater{});
+    }
+    ++pending_;
+}
+
+std::uint32_t
+EventQueue::firstOccupiedSlot() const
+{
+    if (wheelPending_ == 0)
+        return nil;
+    // Wheel entries all have when in [now, now + wheelSize), so the
+    // first occupied slot walking circularly forward from now's slot
+    // holds the earliest wheel tick; wheelHint_ is a tighter lower
+    // bound that lets the scan skip slots already known empty.
+    const std::size_t start =
+        (wheelHint_ > now_ ? wheelHint_ : now_) & wheelMask;
+    std::size_t word = start >> 6;
+    std::uint64_t bits = occupied_[word] & (~std::uint64_t(0)
+                                            << (start & 63));
+    for (std::size_t n = 0; n <= bitmapWords; ++n) {
+        if (bits)
+            return static_cast<std::uint32_t>(
+                (word << 6) + std::countr_zero(bits));
+        word = (word + 1) & (bitmapWords - 1);
+        bits = occupied_[word];
+    }
+    panic("wheelPending_ > 0 but no occupied slot");
+    return nil;
+}
+
+int
+EventQueue::stepBounded(Tick limit)
+{
+    if (pending_ == 0)
+        return 1;
+
+    const std::uint32_t slot = firstOccupiedSlot();
+    const Tick wheel_when =
+        slot != nil ? pool_[wheel_[slot].head].when : ~Tick(0);
+
+    // On a tick tie the overflow entry always has the smaller
+    // sequence number: it was scheduled while the tick was still
+    // beyond the horizon, hence strictly earlier.
+    const bool from_overflow =
+        !overflow_.empty() &&
+        (slot == nil || overflow_.front().when <= wheel_when);
+
+    const Tick when =
+        from_overflow ? overflow_.front().when : wheel_when;
+    if (when > limit)
+        return 2;
+
+    std::uint32_t idx;
+    if (from_overflow) {
+        idx = overflow_.front().idx;
+        std::pop_heap(overflow_.begin(), overflow_.end(),
+                      OverflowLater{});
+        overflow_.pop_back();
+    } else {
+        Bucket &b = wheel_[slot];
+        idx = b.head;
+        b.head = pool_[idx].next;
+        if (b.head == nil) {
+            b.tail = nil;
+            occupied_[slot >> 6] &=
+                ~(std::uint64_t(1) << (slot & 63));
+        }
+        --wheelPending_;
+        wheelHint_ = when;
+    }
+
+    // Move the callback out and recycle the record before invoking:
+    // the callback may schedule (growing the arena), so no Entry
+    // reference survives past this point.
+    Callback cb = std::move(pool_[idx].cb);
+    recycle(idx);
+    --pending_;
+    now_ = when;
+    ++executed_;
+    cb();
+    return 0;
 }
 
 bool
 EventQueue::step()
 {
-    if (queue_.empty())
-        return false;
-    // priority_queue::top returns const&; move out via const_cast as the
-    // entry is popped immediately after.
-    Entry e = std::move(const_cast<Entry &>(queue_.top()));
-    queue_.pop();
-    now_ = e.when;
-    e.cb();
-    return true;
+    return stepBounded(~Tick(0)) == 0;
 }
 
 bool
 EventQueue::run(Tick limit)
 {
-    while (!queue_.empty()) {
-        if (queue_.top().when > limit) {
+    for (;;) {
+        switch (stepBounded(limit)) {
+          case 0:
+            break;
+          case 1:
+            return true;
+          case 2:
             now_ = limit;
             return false;
         }
-        step();
     }
-    return true;
 }
 
 void
 EventQueue::reset()
 {
+    for (std::size_t slot = 0; wheelPending_ > 0 && slot < wheelSize;
+         ++slot) {
+        Bucket &b = wheel_[slot];
+        for (std::uint32_t idx = b.head; idx != nil;) {
+            const std::uint32_t next = pool_[idx].next;
+            recycle(idx);
+            --wheelPending_;
+            --pending_;
+            idx = next;
+        }
+        b.head = b.tail = nil;
+    }
+    for (const OverflowRef &r : overflow_) {
+        recycle(r.idx);
+        --pending_;
+    }
+    overflow_.clear();
+    occupied_.fill(0);
+    panic_if(pending_ != 0 || wheelPending_ != 0,
+             "reset() lost track of pending events");
     now_ = 0;
     nextSeq_ = 0;
-    while (!queue_.empty())
-        queue_.pop();
+    executed_ = 0;
+    wheelHint_ = 0;
+}
+
+std::size_t
+EventQueue::freeEntries() const
+{
+    std::size_t n = 0;
+    for (std::uint32_t idx = freeHead_; idx != nil;
+         idx = pool_[idx].next)
+        ++n;
+    return n;
 }
 
 } // namespace wastesim

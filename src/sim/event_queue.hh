@@ -2,20 +2,43 @@
  * @file
  * Discrete-event simulation engine.
  *
- * A single global-order priority queue of (tick, sequence) events.
- * Events scheduled for the same tick execute in scheduling order,
- * which keeps protocol handlers deterministic.
+ * Events execute in strict (tick, scheduling sequence) order, which
+ * keeps protocol handlers deterministic: two events at the same tick
+ * run in the order they were scheduled, exactly as the original
+ * global priority queue executed them.
+ *
+ * The kernel is allocation-free in steady state.  Event records live
+ * in a free-list-recycled arena and are indexed, never pointed to, so
+ * the arena can grow without invalidating anything.  Scheduled events
+ * land in one of two places:
+ *
+ *  - a timing wheel of `wheelSize` one-tick buckets covering
+ *    [now, now + wheelSize): each bucket is a FIFO chain of entries
+ *    for exactly one tick (two ticks can only collide in a slot if
+ *    they are a full wheel apart, and the earlier one has always
+ *    drained by the time the later is scheduled), with an occupancy
+ *    bitmap for O(1)-ish next-event scans;
+ *
+ *  - an overflow binary min-heap on (tick, seq) for events beyond the
+ *    horizon.  Because the horizon only ever shrinks as time
+ *    advances, every overflow entry for a tick predates (in sequence)
+ *    every wheel entry for that tick, so popping overflow-first on
+ *    ties preserves global FIFO order.
+ *
+ * Callbacks are stored in a 64-byte small-buffer InlineFunction, so
+ * the common captures (`this` + an address + a word mask, or a pooled
+ * message index) never touch the heap.
  */
 
 #ifndef WASTESIM_SIM_EVENT_QUEUE_HH
 #define WASTESIM_SIM_EVENT_QUEUE_HH
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/types.hh"
+#include "sim/inline_callback.hh"
 
 namespace wastesim
 {
@@ -24,23 +47,40 @@ namespace wastesim
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    /** Inline capture budget for scheduled callbacks (bytes). */
+    static constexpr std::size_t callbackCapture = 64;
+
+    using Callback = InlineFunction<void(), callbackCapture>;
 
     /** Current simulated time. */
     Tick now() const { return now_; }
 
     /** Schedule @p cb to run @p delay ticks from now. */
+    template <typename F>
     void
-    schedule(Tick delay, Callback cb)
+    schedule(Tick delay, F &&cb)
     {
-        scheduleAt(now_ + delay, std::move(cb));
+        scheduleAt(now_ + delay, std::forward<F>(cb));
     }
 
-    /** Schedule @p cb at absolute tick @p when (must be >= now). */
-    void scheduleAt(Tick when, Callback cb);
+    /**
+     * Schedule @p cb at absolute tick @p when (must be >= now).  The
+     * callable is constructed directly into the pooled event record.
+     */
+    template <typename F>
+    void
+    scheduleAt(Tick when, F &&cb)
+    {
+        const std::uint32_t idx = prepareEntry(when);
+        pool_[idx].cb = std::forward<F>(cb);
+        commitEntry(idx, when);
+    }
 
     /** Number of pending events. */
-    std::size_t pending() const { return queue_.size(); }
+    std::size_t pending() const { return pending_; }
+
+    /** Events executed since construction (or the last reset()). */
+    std::uint64_t executed() const { return executed_; }
 
     /**
      * Run events until the queue drains or @p limit ticks have been
@@ -53,21 +93,50 @@ class EventQueue
     /** Execute at most one event. @return false if queue empty. */
     bool step();
 
-    /** Drop all pending events and reset time to zero. */
+    /** Drop all pending events and reset time to zero.  Pooled event
+     *  records are recycled onto the free list, not released. */
     void reset();
 
+    /** Event records ever allocated (arena size; testing hook). */
+    std::size_t pooledEntries() const { return pool_.size(); }
+
+    /** Event records currently on the free list (testing hook). */
+    std::size_t freeEntries() const;
+
   private:
+    static constexpr std::uint32_t nil = ~std::uint32_t(0);
+
+    /** One-tick buckets covering [now, now + wheelSize). */
+    static constexpr std::size_t wheelSize = 16384;
+    static constexpr std::size_t wheelMask = wheelSize - 1;
+    static constexpr std::size_t bitmapWords = wheelSize / 64;
+
     struct Entry
     {
-        Tick when;
-        std::uint64_t seq;
+        Tick when = 0;
+        std::uint64_t seq = 0;
+        std::uint32_t next = nil; //!< bucket FIFO / free-list link
         Callback cb;
     };
 
-    struct Later
+    struct Bucket
+    {
+        std::uint32_t head = nil;
+        std::uint32_t tail = nil;
+    };
+
+    /** Far-future reference; the entry itself lives in the arena. */
+    struct OverflowRef
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::uint32_t idx;
+    };
+
+    struct OverflowLater
     {
         bool
-        operator()(const Entry &a, const Entry &b) const
+        operator()(const OverflowRef &a, const OverflowRef &b) const
         {
             if (a.when != b.when)
                 return a.when > b.when;
@@ -75,9 +144,37 @@ class EventQueue
         }
     };
 
+    std::uint32_t allocEntry();
+    void recycle(std::uint32_t idx);
+
+    /** Validate @p when, pull a record, stamp (when, seq, next). */
+    std::uint32_t prepareEntry(Tick when);
+
+    /** File the prepared record into the wheel or the overflow heap. */
+    void commitEntry(std::uint32_t idx, Tick when);
+
+    /** First occupied wheel slot at or (circularly) after now.
+     *  @return nil when the wheel holds nothing. */
+    std::uint32_t firstOccupiedSlot() const;
+
+    /** Execute the earliest event if its tick is <= @p limit.
+     *  @return 0 executed, 1 queue empty, 2 event beyond limit. */
+    int stepBounded(Tick limit);
+
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
-    std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+    std::uint64_t executed_ = 0;
+    std::size_t pending_ = 0;
+    std::size_t wheelPending_ = 0;
+    /** Lower bound on the earliest wheel tick: bitmap scans start
+     *  here instead of at now_, skipping known-empty slots. */
+    Tick wheelHint_ = 0;
+
+    std::vector<Entry> pool_;
+    std::uint32_t freeHead_ = nil;
+    std::array<Bucket, wheelSize> wheel_{};
+    std::array<std::uint64_t, bitmapWords> occupied_{};
+    std::vector<OverflowRef> overflow_;
 };
 
 } // namespace wastesim

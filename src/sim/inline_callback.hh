@@ -1,0 +1,175 @@
+/**
+ * @file
+ * InlineFunction: a move-only type-erased callable with small-buffer
+ * storage sized for the simulator's hot-path captures.
+ *
+ * std::function heap-allocates any capture larger than two pointers,
+ * which put an allocation on essentially every scheduled event.  The
+ * kernel's common closures (`this` + an Addr + a WordMask, or a
+ * handler pointer + a pooled message index) are all well under 64
+ * bytes, so InlineFunction stores them in place; larger captures fall
+ * back to the heap rather than failing to compile, keeping cold paths
+ * (tests, rare recall continuations) unrestricted.
+ */
+
+#ifndef WASTESIM_SIM_INLINE_CALLBACK_HH
+#define WASTESIM_SIM_INLINE_CALLBACK_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace wastesim
+{
+
+template <typename Sig, std::size_t Cap>
+class InlineFunction;
+
+/**
+ * Move-only callable wrapper with @p Cap bytes of inline capture
+ * storage.
+ */
+template <typename R, typename... Args, std::size_t Cap>
+class InlineFunction<R(Args...), Cap>
+{
+  public:
+    InlineFunction() = default;
+    InlineFunction(std::nullptr_t) {}
+
+    template <typename F,
+              typename = std::enable_if_t<!std::is_same_v<
+                  std::decay_t<F>, InlineFunction>>>
+    InlineFunction(F &&f)
+    {
+        emplace(std::forward<F>(f));
+    }
+
+    InlineFunction(InlineFunction &&o) noexcept { moveFrom(o); }
+
+    InlineFunction &
+    operator=(InlineFunction &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    template <typename F,
+              typename = std::enable_if_t<!std::is_same_v<
+                  std::decay_t<F>, InlineFunction>>>
+    InlineFunction &
+    operator=(F &&f)
+    {
+        reset();
+        emplace(std::forward<F>(f));
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    R
+    operator()(Args... args) const
+    {
+        return invoke_(target(), std::forward<Args>(args)...);
+    }
+
+    /** Destroy the held callable (if any) and become empty. */
+    void
+    reset()
+    {
+        if (ops_) {
+            ops_->destroy(target());
+            ops_ = nullptr;
+        }
+    }
+
+    /** True when the held callable lives in the inline buffer. */
+    bool heldInline() const { return ops_ && ops_->inlineStored; }
+
+  private:
+    struct Ops
+    {
+        void (*destroy)(void *);
+        /** Move-construct into @p dst from @p src (inline only). */
+        void (*relocate)(void *dst, void *src);
+        bool inlineStored;
+    };
+
+    template <typename F>
+    static constexpr bool fitsInline =
+        sizeof(F) <= Cap && alignof(F) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<F>;
+
+    template <typename F>
+    void
+    emplace(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        invoke_ = [](void *t, Args... as) -> R {
+            return (*static_cast<Fn *>(t))(std::forward<Args>(as)...);
+        };
+        if constexpr (fitsInline<Fn>) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
+            static constexpr Ops ops = {
+                [](void *t) { static_cast<Fn *>(t)->~Fn(); },
+                [](void *dst, void *src) {
+                    ::new (dst) Fn(std::move(*static_cast<Fn *>(src)));
+                },
+                true,
+            };
+            ops_ = &ops;
+        } else {
+            heap_ = new Fn(std::forward<F>(f));
+            static constexpr Ops ops = {
+                [](void *t) { delete static_cast<Fn *>(t); },
+                nullptr,
+                false,
+            };
+            ops_ = &ops;
+        }
+    }
+
+    void *
+    target() const
+    {
+        return ops_->inlineStored
+                   ? static_cast<void *>(const_cast<unsigned char *>(buf_))
+                   : heap_;
+    }
+
+    void
+    moveFrom(InlineFunction &o) noexcept
+    {
+        ops_ = o.ops_;
+        invoke_ = o.invoke_;
+        if (!ops_)
+            return;
+        if (ops_->inlineStored) {
+            ops_->relocate(buf_, o.buf_);
+            ops_->destroy(o.buf_);
+        } else {
+            heap_ = o.heap_;
+        }
+        o.ops_ = nullptr;
+    }
+
+    union
+    {
+        alignas(std::max_align_t) unsigned char buf_[Cap];
+        void *heap_;
+    };
+    R (*invoke_)(void *, Args...) = nullptr;
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace wastesim
+
+#endif // WASTESIM_SIM_INLINE_CALLBACK_HH

@@ -118,7 +118,13 @@ runOne(ProtocolName protocol, BenchmarkName bench, unsigned scale,
 namespace
 {
 
-/** Simulation thread count: $WASTESIM_JOBS, else all hardware threads. */
+/** Programmatic jobs override (0 = none); see setSweepJobs(). */
+unsigned sweepJobsOverride = 0;
+
+/**
+ * Simulation thread count: the setSweepJobs() override, else
+ * $WASTESIM_JOBS, else all hardware threads.
+ */
 unsigned
 sweepJobs(std::size_t num_tasks)
 {
@@ -133,11 +139,19 @@ sweepJobs(std::size_t num_tasks)
         else
             warn("ignoring invalid WASTESIM_JOBS='%s'", env);
     }
+    if (sweepJobsOverride > 0)
+        jobs = sweepJobsOverride;
     return static_cast<unsigned>(
         std::min<std::size_t>(jobs, std::max<std::size_t>(1, num_tasks)));
 }
 
 } // namespace
+
+void
+setSweepJobs(unsigned jobs)
+{
+    sweepJobsOverride = jobs;
+}
 
 Sweep
 runSweep(const std::vector<const Workload *> &workloads,

@@ -32,6 +32,13 @@ struct Sweep
     std::string configTag;
 };
 
+/**
+ * Override the sweep thread count programmatically (the `--jobs` CLI
+ * flag).  Takes precedence over $WASTESIM_JOBS; 0 restores the
+ * default (env var, else all hardware threads).
+ */
+void setSweepJobs(unsigned jobs);
+
 /** Run one protocol on one benchmark. */
 RunResult runOne(ProtocolName protocol, BenchmarkName bench,
                  unsigned scale = 1, SimParams params = SimParams{});

@@ -181,6 +181,7 @@ System::run(Tick max_ticks)
     r.cycles = lastDone_ - epochStart_;
 
     r.messages = net_->messagesSent() - msgsAtEpoch_;
+    r.eventsExecuted = eq_.executed();
     for (const auto &d : drams_) {
         r.dramReads += d->reads();
         r.dramWrites += d->writes();

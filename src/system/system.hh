@@ -58,6 +58,13 @@ struct RunResult
     std::uint64_t selfInvalidations = 0;
     std::uint64_t wordsFromMemory = 0;
     std::uint64_t maxLinkFlits = 0; //!< NoC hotspot load
+
+    /** Kernel events executed over the WHOLE run, warmup included —
+     *  deliberately not an epoch delta like the stats above, because
+     *  bench_kernel divides it by wall time, which also covers
+     *  warmup.  Not figure data; not serialized into the sweep
+     *  cache. */
+    std::uint64_t eventsExecuted = 0;
 };
 
 /** One protocol x workload simulation instance. */

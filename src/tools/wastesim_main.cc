@@ -64,10 +64,12 @@ usage(const char *prog)
         "          [--out FILE | --protocol P ... | --full-size]\n"
         "          generate a synthetic scenario; save or simulate it\n"
         "  sweep   [--scale N] [--report NAME ...] [--mesh WxH]\n"
-        "          [--mcs N] [--full-size]\n"
+        "          [--mcs N] [--jobs N] [--full-size]\n"
         "          full 9-protocol x 6-benchmark grid (disk-cached;\n"
         "          reports: fig5.1a b c d, fig5.2, fig5.3a b c,\n"
-        "          overhead, headline; default: fig5.1a + headline)\n"
+        "          overhead, headline; default: fig5.1a + headline;\n"
+        "          --jobs N sizes the simulation thread pool,\n"
+        "          overriding $WASTESIM_JOBS)\n"
         "  info    --trace FILE\n"
         "          describe a trace file\n"
         "\n"
@@ -412,7 +414,12 @@ cmdSweep(Args args)
             topo.parseMesh(a, args.value(a));
         else if (a == "--mcs")
             topo.mcs = args.u32value(a);
-        else if (a == "--full-size")
+        else if (a == "--jobs") {
+            const unsigned jobs = args.u32value(a);
+            fatal_if(jobs < 1 || jobs > 1024,
+                     "sweep: --jobs needs a value in [1, 1024]");
+            setSweepJobs(jobs);
+        } else if (a == "--full-size")
             params = SimParams{};
         else
             fatal("sweep: unknown option '%s'", a.c_str());

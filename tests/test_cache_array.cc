@@ -25,7 +25,7 @@ TEST(CacheArray, FindAfterFill)
     EXPECT_EQ(a.find(la), nullptr);
     CacheLine *slot = a.victimFor(la);
     ASSERT_NE(slot, nullptr);
-    slot->resetTo(la);
+    a.resetTo(*slot, la);
     EXPECT_EQ(a.find(la), slot);
 }
 
@@ -53,7 +53,7 @@ TEST(CacheArray, LruVictimSelection)
         const Addr la = lineAt(0, t, 1);
         lines.push_back(la);
         CacheLine *s = a.victimFor(la);
-        s->resetTo(la);
+        a.resetTo(*s, la);
         a.touch(*s);
     }
     // Touch line 0 so line 1 becomes LRU.
@@ -68,7 +68,7 @@ TEST(CacheArray, InvalidSlotPreferred)
     CacheArray a(1, 4);
     for (unsigned t = 0; t < 3; ++t) {
         CacheLine *s = a.victimFor(lineAt(0, t, 1));
-        s->resetTo(lineAt(0, t, 1));
+        a.resetTo(*s, lineAt(0, t, 1));
         a.touch(*s);
     }
     CacheLine *victim = a.victimFor(lineAt(0, 9, 1));
@@ -80,10 +80,10 @@ TEST(CacheArray, BusyLinesNotVictimized)
 {
     CacheArray a(1, 2);
     CacheLine *s0 = a.victimFor(lineAt(0, 0, 1));
-    s0->resetTo(lineAt(0, 0, 1));
+    a.resetTo(*s0, lineAt(0, 0, 1));
     s0->busy = true;
     CacheLine *s1 = a.victimFor(lineAt(0, 1, 1));
-    s1->resetTo(lineAt(0, 1, 1));
+    a.resetTo(*s1, lineAt(0, 1, 1));
 
     CacheLine *victim = a.victimFor(lineAt(0, 9, 1));
     ASSERT_NE(victim, nullptr);
@@ -97,7 +97,7 @@ TEST(CacheArray, InvalidateFreesSlot)
 {
     CacheArray a(1, 1);
     CacheLine *s = a.victimFor(lineAt(0, 0, 1));
-    s->resetTo(lineAt(0, 0, 1));
+    a.resetTo(*s, lineAt(0, 0, 1));
     a.invalidate(*s);
     EXPECT_EQ(a.find(lineAt(0, 0, 1)), nullptr);
     EXPECT_FALSE(s->busy);
@@ -108,7 +108,7 @@ TEST(CacheArray, ForEachValidVisitsAll)
     CacheArray a(4, 2);
     for (unsigned i = 0; i < 5; ++i) {
         const Addr la = lineAt(i % 4, i / 4, 4);
-        a.victimFor(la)->resetTo(la);
+        a.resetTo(*a.victimFor(la), la);
     }
     unsigned n = 0;
     a.forEachValid([&](CacheLine &) { ++n; });

@@ -1,7 +1,11 @@
-/** Unit tests: address math, word masks, RNG, text tables. */
+/** Unit tests: address math, word masks, RNG, flat map, text tables. */
 
 #include <gtest/gtest.h>
 
+#include <random>
+#include <unordered_map>
+
+#include "common/flat_map.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/topology.hh"
@@ -158,6 +162,141 @@ TEST(Stats, Formatting)
     EXPECT_EQ(fixed(1.5, 1), "1.5");
     EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
     EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(FlatMap, InsertFindEmplace)
+{
+    FlatMap<int> m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.find(7), nullptr);
+
+    auto [p, inserted] = m.emplace(7, 70);
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(*p, 70);
+
+    // unordered_map emplace semantics: the existing value is kept.
+    auto [p2, inserted2] = m.emplace(7, 99);
+    EXPECT_FALSE(inserted2);
+    EXPECT_EQ(*p2, 70);
+    EXPECT_EQ(*m.insert(7, 99), 70);
+
+    EXPECT_EQ(m.size(), 1u);
+    EXPECT_TRUE(m.contains(7));
+    ASSERT_NE(m.find(7), nullptr);
+    EXPECT_EQ(*m.find(7), 70);
+}
+
+TEST(FlatMap, GetOrDefault)
+{
+    FlatMap<int> m;
+    int &v = m.getOrDefault(3);
+    EXPECT_EQ(v, 0);
+    v = 42;
+    EXPECT_EQ(m.getOrDefault(3), 42);
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, EraseAndTake)
+{
+    FlatMap<int> m;
+    for (Addr k = 0; k < 100; ++k)
+        m.insert(k, static_cast<int>(k * 10));
+    EXPECT_EQ(m.size(), 100u);
+
+    EXPECT_TRUE(m.erase(50));
+    EXPECT_FALSE(m.erase(50));
+    EXPECT_FALSE(m.contains(50));
+    EXPECT_EQ(m.size(), 99u);
+
+    int out = -1;
+    EXPECT_TRUE(m.take(51, out));
+    EXPECT_EQ(out, 510);
+    EXPECT_FALSE(m.take(51, out));
+    EXPECT_EQ(m.size(), 98u);
+
+    // Every untouched key is still reachable after the deletions.
+    for (Addr k = 0; k < 100; ++k) {
+        if (k == 50 || k == 51)
+            continue;
+        ASSERT_NE(m.find(k), nullptr) << "lost key " << k;
+        EXPECT_EQ(*m.find(k), static_cast<int>(k * 10));
+    }
+}
+
+TEST(FlatMap, Clear)
+{
+    FlatMap<int> m;
+    for (Addr k = 0; k < 10; ++k)
+        m.insert(k, 1);
+    m.clear();
+    EXPECT_TRUE(m.empty());
+    for (Addr k = 0; k < 10; ++k)
+        EXPECT_FALSE(m.contains(k));
+    m.insert(3, 5);
+    EXPECT_EQ(*m.find(3), 5);
+}
+
+// Randomized shadow test: a long interleaving of inserts, erases,
+// takes and rehash-triggering growth must match std::unordered_map
+// exactly.  This is the only exerciser of the backward-shift deletion
+// over colliding probe chains, so it runs enough operations to wrap
+// the table many times.
+TEST(FlatMap, RandomizedShadowEquivalence)
+{
+    std::mt19937_64 rng(12345);
+    FlatMap<std::uint64_t> m;
+    std::unordered_map<Addr, std::uint64_t> ref;
+
+    // Key universe deliberately small so probe chains collide and
+    // deletions regularly shift later entries.
+    std::uniform_int_distribution<Addr> key(0, 400);
+    std::uniform_int_distribution<int> op(0, 9);
+
+    for (int i = 0; i < 200'000; ++i) {
+        const Addr k = key(rng);
+        switch (op(rng)) {
+          case 0:
+          case 1:
+          case 2:
+          case 3: { // emplace
+            const std::uint64_t v = rng();
+            auto [p, ins] = m.emplace(k, v);
+            auto [it, rins] = ref.emplace(k, v);
+            ASSERT_EQ(ins, rins);
+            ASSERT_EQ(*p, it->second);
+            break;
+          }
+          case 4:
+          case 5: { // erase
+            ASSERT_EQ(m.erase(k), ref.erase(k) > 0);
+            break;
+          }
+          case 6: { // take
+            std::uint64_t out = 0;
+            auto it = ref.find(k);
+            if (it != ref.end()) {
+                ASSERT_TRUE(m.take(k, out));
+                ASSERT_EQ(out, it->second);
+                ref.erase(it);
+            } else {
+                ASSERT_FALSE(m.take(k, out));
+            }
+            break;
+          }
+          default: { // find
+            auto it = ref.find(k);
+            const std::uint64_t *p = m.find(k);
+            if (it == ref.end()) {
+                ASSERT_EQ(p, nullptr);
+            } else {
+                ASSERT_NE(p, nullptr);
+                ASSERT_EQ(*p, it->second);
+            }
+            break;
+          }
+        }
+        ASSERT_EQ(m.size(), ref.size());
+    }
 }
 
 } // namespace wastesim

@@ -30,7 +30,7 @@ class FakeL1 : public L1Cache
             return;
         }
         const Tick issued = eq_.now();
-        eq_.schedule(loadDelay, [this, issued, done] {
+        eq_.schedule(loadDelay, [this, issued, done = std::move(done)] {
             MemTiming t;
             t.usedMemory = memory;
             t.issued = issued;
@@ -48,7 +48,7 @@ class FakeL1 : public L1Cache
         if (storeDelay == 0)
             accepted();
         else
-            eq_.schedule(storeDelay, accepted);
+            eq_.schedule(storeDelay, std::move(accepted));
     }
 
     void
