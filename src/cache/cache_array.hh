@@ -12,10 +12,10 @@
 #define WASTESIM_CACHE_CACHE_ARRAY_HH
 
 #include <array>
-#include <bitset>
 #include <cstdint>
 #include <vector>
 
+#include "common/sharer_mask.hh"
 #include "common/types.hh"
 #include "common/word_mask.hh"
 
@@ -24,9 +24,6 @@ namespace wastesim
 
 /** MESI line states (used by the L1; the directory tracks its own). */
 enum class MesiState : unsigned char { I, S, E, M };
-
-/** Directory sharer bit vector, wide enough for any topology. */
-using SharerMask = std::bitset<maxTiles>;
 
 /** Printable name of a MESI state. */
 const char *mesiStateName(MesiState s);

@@ -13,8 +13,7 @@ namespace wastesim
 namespace
 {
 
-/** Keep linkFlits_ (numTiles^2 counters) and sharer vectors sane. */
-constexpr unsigned maxMeshDim = 64;
+constexpr unsigned maxMeshDim = Topology::maxDim;
 
 /**
  * Default controller placement: the mesh corners (the paper's layout)
@@ -123,6 +122,54 @@ Topology::describe() const
         os << "+" << numMemCtrls() << "mc";
     }
     return os.str();
+}
+
+bool
+Topology::parseMeshList(const std::string &s,
+                        std::vector<std::pair<unsigned, unsigned>> &out)
+{
+    out.clear();
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        const std::size_t comma = s.find(',', pos);
+        const std::string tok = s.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        unsigned x = 0, y = 0;
+        if (!parseMesh(tok, x, y))
+            return false;
+        out.emplace_back(x, y);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return !out.empty();
+}
+
+bool
+Topology::parseTileList(const std::string &s, std::vector<NodeId> &out)
+{
+    out.clear();
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        const std::size_t comma = s.find(',', pos);
+        const std::string tok = s.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        if (tok.empty())
+            return false;
+        for (char c : tok)
+            if (!std::isdigit(static_cast<unsigned char>(c)))
+                return false;
+        const unsigned long t = std::strtoul(tok.c_str(), nullptr, 10);
+        if (t >= maxTiles)
+            return false;
+        out.push_back(static_cast<NodeId>(t));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return !out.empty();
 }
 
 bool

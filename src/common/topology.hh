@@ -17,6 +17,7 @@
 #define WASTESIM_COMMON_TOPOLOGY_HH
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.hh"
@@ -28,6 +29,11 @@ namespace wastesim
 class Topology
 {
   public:
+    /** Mesh dimension cap: keeps linkFlits_ (numTiles^2 counters) and
+     *  sharer vectors sane.  Public so file loaders can reject
+     *  out-of-range geometry with an error instead of a fatal(). */
+    static constexpr unsigned maxDim = 64;
+
     /** The paper's system: 4x4 mesh, MCs on the four corner tiles. */
     Topology() : Topology(meshDim, meshDim) {}
 
@@ -95,6 +101,23 @@ class Topology
 
     /** Parse a "WxH" mesh spec; false on malformed input. */
     static bool parseMesh(const std::string &s, unsigned &x, unsigned &y);
+
+    /**
+     * Parse a comma-separated mesh list ("2x2,4x4,16x16") into (x, y)
+     * dim pairs; false on malformed input.  Shared by every CLI that
+     * accepts --mesh-list (the callers attach their own MC policy).
+     */
+    static bool
+    parseMeshList(const std::string &s,
+                  std::vector<std::pair<unsigned, unsigned>> &out);
+
+    /**
+     * Parse a comma-separated tile-id list ("0,5,10,15"); false on
+     * malformed input (empty tokens, non-digits, ids >= maxTiles).
+     * Shared by every CLI that accepts --mc-tiles.
+     */
+    static bool parseTileList(const std::string &s,
+                              std::vector<NodeId> &out);
 
     bool operator==(const Topology &) const = default;
 

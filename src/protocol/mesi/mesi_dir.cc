@@ -192,9 +192,7 @@ MesiDir::handleGetX(const Message &msg)
 
     SharerMask invs = cl->sharers;
     invs.reset(msg.requester);
-    for (CoreId c = 0; c < params_.topo.numTiles(); ++c) {
-        if (!invs.test(c))
-            continue;
+    invs.forEachSet(params_.topo.numTiles(), [&](CoreId c) {
         Message inv;
         inv.kind = MsgKind::Inv;
         inv.src = l2Ep(slice_);
@@ -205,7 +203,7 @@ MesiDir::handleGetX(const Message &msg)
         inv.ctl = CtlType::OhInv;
         inv.aux = 0; // ack goes to the requester
         net_.send(std::move(inv));
-    }
+    });
 
     txns_[la] = t;
     // The store fetch returns data Used only if reused later; the
@@ -235,9 +233,7 @@ MesiDir::handleUpgrade(const Message &msg)
 
     SharerMask invs = cl->sharers;
     invs.reset(msg.requester);
-    for (CoreId c = 0; c < params_.topo.numTiles(); ++c) {
-        if (!invs.test(c))
-            continue;
+    invs.forEachSet(params_.topo.numTiles(), [&](CoreId c) {
         Message inv;
         inv.kind = MsgKind::Inv;
         inv.src = l2Ep(slice_);
@@ -248,7 +244,7 @@ MesiDir::handleUpgrade(const Message &msg)
         inv.ctl = CtlType::OhInv;
         inv.aux = 0;
         net_.send(std::move(inv));
-    }
+    });
 
     Txn t;
     t.req = MsgKind::Upgrade;
@@ -469,9 +465,7 @@ MesiDir::recallVictim(CacheLine &victim, std::function<void()> cont)
     if (victim.owner != invalidNode) {
         send_inv(victim.owner);
     } else {
-        for (CoreId c = 0; c < params_.topo.numTiles(); ++c)
-            if (victim.sharers.test(c))
-                send_inv(c);
+        victim.sharers.forEachSet(params_.topo.numTiles(), send_inv);
     }
 
     if (expected == 0) {

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "common/log.hh"
+#include "system/sweep_engine.hh"
 
 namespace wastesim
 {
@@ -18,13 +19,10 @@ namespace
 
 constexpr const char *cacheMagic = "wastesim-sweep-v3";
 
-/**
- * Configuration fingerprint for the sweep cache: every SimParams
- * field that influences results, spelled out (not hashed), so any
- * parameter change — and only a parameter change — misses the cache.
- */
+} // namespace
+
 std::string
-configTagFor(unsigned scale, const SimParams &p)
+sweepConfigTag(unsigned scale, const SimParams &p)
 {
     std::ostringstream os;
     // describe() spells out any non-default MC placement, so the
@@ -44,7 +42,7 @@ configTagFor(unsigned scale, const SimParams &p)
 }
 
 void
-writeResult(std::ostream &os, const RunResult &r)
+writeRunResult(std::ostream &os, const RunResult &r)
 {
     os << r.protocol << ' ' << r.benchmark << '\n';
     const TrafficStats &t = r.traffic;
@@ -74,7 +72,7 @@ writeResult(std::ostream &os, const RunResult &r)
 }
 
 bool
-readResult(std::istream &is, RunResult &r)
+readRunResult(std::istream &is, RunResult &r)
 {
     if (!(is >> r.protocol >> r.benchmark))
         return false;
@@ -98,8 +96,6 @@ readResult(std::istream &is, RunResult &r)
     return static_cast<bool>(is);
 }
 
-} // namespace
-
 RunResult
 runOne(ProtocolName protocol, const Workload &wl, SimParams params)
 {
@@ -121,12 +117,10 @@ namespace
 /** Programmatic jobs override (0 = none); see setSweepJobs(). */
 unsigned sweepJobsOverride = 0;
 
-/**
- * Simulation thread count: the setSweepJobs() override, else
- * $WASTESIM_JOBS, else all hardware threads.
- */
+} // namespace
+
 unsigned
-sweepJobs(std::size_t num_tasks)
+effectiveSweepJobs(std::size_t num_tasks)
 {
     unsigned jobs = std::max(1u, std::thread::hardware_concurrency());
     if (const char *env = std::getenv("WASTESIM_JOBS")) {
@@ -144,8 +138,6 @@ sweepJobs(std::size_t num_tasks)
     return static_cast<unsigned>(
         std::min<std::size_t>(jobs, std::max<std::size_t>(1, num_tasks)));
 }
-
-} // namespace
 
 void
 setSweepJobs(unsigned jobs)
@@ -173,7 +165,7 @@ runSweep(const std::vector<const Workload *> &workloads,
     if (num_tasks == 0)
         return sweep;
 
-    const unsigned jobs = sweepJobs(num_tasks);
+    const unsigned jobs = effectiveSweepJobs(num_tasks);
     std::atomic<std::size_t> next{0};
 
     auto worker = [&]() {
@@ -210,7 +202,7 @@ runSweep(const std::vector<BenchmarkName> &benches,
     // Single-job sweeps stream one workload at a time (the old
     // serial behavior) so peak memory stays at one trace; parallel
     // sweeps materialize everything so rows can run concurrently.
-    if (sweepJobs(benches.size() * protocols.size()) <= 1) {
+    if (effectiveSweepJobs(benches.size() * protocols.size()) <= 1) {
         Sweep sweep;
         for (ProtocolName p : protocols)
             sweep.protoNames.emplace_back(protocolName(p));
@@ -260,7 +252,7 @@ saveSweep(const Sweep &s, const std::string &path)
         os << p << '\n';
     for (const auto &row : s.results)
         for (const auto &r : row)
-            writeResult(os, r);
+            writeRunResult(os, r);
     return static_cast<bool>(os);
 }
 
@@ -299,7 +291,7 @@ loadSweep(Sweep &s, const std::string &path)
     s.results.assign(nb, std::vector<RunResult>(np));
     for (std::size_t b = 0; b < nb; ++b)
         for (std::size_t p = 0; p < np; ++p)
-            if (!readResult(is, s.results[b][p]))
+            if (!readRunResult(is, s.results[b][p]))
                 return false;
     return true;
 }
@@ -313,23 +305,50 @@ cachedFullSweep(unsigned scale, SimParams params,
         path = env;
     const bool no_cache = std::getenv("WASTESIM_NO_CACHE") != nullptr;
 
-    // A cache entry only counts as a hit when it was produced under
-    // the same configuration: a `--scale 4` or full-size sweep must
-    // not be served scale-1 figures recorded earlier.
-    const std::string tag = configTagFor(scale, params);
+    // The cache is per-cell (sweep_engine.hh): each (benchmark,
+    // protocol) result is keyed by the full configuration
+    // fingerprint, so a `--scale 4` or `--mesh 8x8` sweep misses on
+    // its own cells without invalidating anything else in the file.
+    const SweepSpec spec = SweepSpec::fullGrid(scale, params);
+    CellCache cache;
+    if (!no_cache)
+        cache.load(path);
 
-    Sweep s;
-    if (!no_cache && loadSweep(s, path) && s.configTag == tag &&
-        s.benchNames.size() == numBenchmarks &&
-        s.protoNames.size() == numProtocols) {
-        return s;
+    if (compute) {
+        // Injected whole-sweep producer (tests): cache hits only when
+        // every cell of this configuration is present.
+        bool all_hit = !no_cache;
+        for (std::size_t i = 0; all_hit && i < spec.numCells(); ++i)
+            all_hit = cache.has(spec.cellKey(spec.cellAt(i)));
+        if (!all_hit) {
+            Sweep s = compute(scale, params);
+            s.configTag = sweepConfigTag(scale, params);
+            if (s.results.size() == spec.benches.size() &&
+                !s.results.empty() &&
+                s.results[0].size() == spec.protocols.size()) {
+                for (std::size_t i = 0; i < spec.numCells(); ++i) {
+                    const SweepCell c = spec.cellAt(i);
+                    cache.put(spec.cellKey(c),
+                              s.results[c.benchIdx][c.protoIdx]);
+                }
+                if (!no_cache && !cache.save(path))
+                    warn("could not write sweep cache to %s",
+                         path.c_str());
+            } else {
+                warn("sweep producer returned a %zux%zu grid; "
+                     "expected %zux%zu — not caching it",
+                     s.results.size(),
+                     s.results.empty() ? 0 : s.results[0].size(),
+                     spec.benches.size(), spec.protocols.size());
+            }
+            return s;
+        }
+        // Fall through: every cell is cached, assemble from disk.
     }
 
-    if (!compute)
-        compute = runFullSweep;
-    s = compute(scale, params);
-    s.configTag = tag;
-    if (!no_cache && !saveSweep(s, path))
+    SweepEngine engine(spec);
+    Sweep s = std::move(engine.run(cache).at(0));
+    if (!no_cache && engine.cellsComputed() > 0 && !cache.save(path))
         warn("could not write sweep cache to %s", path.c_str());
     return s;
 }

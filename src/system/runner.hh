@@ -8,6 +8,7 @@
 #define WASTESIM_SYSTEM_RUNNER_HH
 
 #include <functional>
+#include <iosfwd>
 #include <vector>
 
 #include "system/config.hh"
@@ -38,6 +39,30 @@ struct Sweep
  * default (env var, else all hardware threads).
  */
 void setSweepJobs(unsigned jobs);
+
+/**
+ * Thread count a sweep of @p num_tasks simulations uses: the
+ * setSweepJobs() override, else $WASTESIM_JOBS, else all hardware
+ * threads, capped at the task count.  Shared by runSweep and the
+ * SweepEngine work queue.
+ */
+unsigned effectiveSweepJobs(std::size_t num_tasks);
+
+/**
+ * Configuration fingerprint of (scale, SimParams): every field that
+ * influences results, spelled out (not hashed), so any parameter
+ * change — and only a parameter change — misses the sweep caches.
+ * The topology token covers mesh dims and MC placement.
+ */
+std::string sweepConfigTag(unsigned scale, const SimParams &p);
+
+/**
+ * Serialize one RunResult as the sweep-cache text block (the caller
+ * sets the stream precision; the caches use 17 so doubles
+ * round-trip).  readRunResult() parses it back.
+ */
+void writeRunResult(std::ostream &os, const RunResult &r);
+bool readRunResult(std::istream &is, RunResult &r);
 
 /** Run one protocol on one benchmark. */
 RunResult runOne(ProtocolName protocol, BenchmarkName bench,
@@ -88,8 +113,14 @@ bool loadSweep(Sweep &s, const std::string &path);
  * Cache path from $WASTESIM_CACHE (default "wastesim_sweep.cache");
  * set $WASTESIM_NO_CACHE to force re-simulation.
  *
- * @param compute sweep producer invoked on a cache miss; defaults to
- *        runFullSweep (overridable so tests can exercise the cache
+ * The cache is the per-cell CellCache (sweep_engine.hh): every
+ * (benchmark, protocol) result is stored under its own configuration
+ * fingerprint, so changing the topology or scale computes only the
+ * missing cells and never evicts other configurations.
+ *
+ * @param compute sweep producer invoked when any cell of this
+ *        configuration is missing; defaults to per-cell simulation on
+ *        the SweepEngine (overridable so tests can exercise the cache
  *        logic without paying for 54 simulations).
  */
 Sweep cachedFullSweep(unsigned scale = 1,

@@ -1,0 +1,319 @@
+#include "system/sweep_engine.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "common/log.hh"
+
+namespace wastesim
+{
+
+namespace
+{
+
+constexpr const char *cellCacheMagic = "wastesim-cells-v1";
+
+/** Canonical text form of one cell result (cache value). */
+std::string
+serializeResult(const RunResult &r)
+{
+    std::ostringstream os;
+    os.precision(17);
+    writeRunResult(os, r);
+    return os.str();
+}
+
+} // namespace
+
+// --- SweepSpec --------------------------------------------------------------
+
+SweepSpec
+SweepSpec::fullGrid(unsigned scale, SimParams params)
+{
+    SweepSpec spec;
+    spec.topologies = {params.topo};
+    spec.benches.assign(allBenchmarks, allBenchmarks + numBenchmarks);
+    spec.protocols.assign(allProtocols, allProtocols + numProtocols);
+    spec.scale = scale;
+    spec.params = std::move(params);
+    return spec;
+}
+
+SweepCell
+SweepSpec::cellAt(std::size_t flat) const
+{
+    SweepCell c;
+    c.protoIdx = static_cast<unsigned>(flat % protocols.size());
+    flat /= protocols.size();
+    c.benchIdx = static_cast<unsigned>(flat % benches.size());
+    c.topoIdx = static_cast<unsigned>(flat / benches.size());
+    return c;
+}
+
+SimParams
+SweepSpec::paramsFor(unsigned topo_idx) const
+{
+    SimParams p = params;
+    p.topo = topologies.at(topo_idx);
+    return p;
+}
+
+std::string
+SweepSpec::cellKey(const SweepCell &c) const
+{
+    return sweepConfigTag(scale, paramsFor(c.topoIdx)) + ",bench=" +
+           benchmarkName(benches.at(c.benchIdx)) + ",proto=" +
+           protocolName(protocols.at(c.protoIdx));
+}
+
+// --- CellCache --------------------------------------------------------------
+
+bool
+CellCache::load(const std::string &path)
+{
+    cells_.clear();
+    std::ifstream is(path);
+    if (!is)
+        return false;
+    std::string magic;
+    std::getline(is, magic);
+    if (magic != cellCacheMagic)
+        return false;
+    std::size_t n = 0;
+    is >> n;
+    is.ignore();
+    // Corrupt counts must fail the load, not drive the loop below; a
+    // real cache holds at most a few thousand cells.
+    if (!is || n > (1u << 20))
+        return false;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::string key;
+        std::getline(is, key);
+        if (!is || key.empty()) {
+            cells_.clear();
+            return false;
+        }
+        // A cell block is parsed (not copied by line count) so a
+        // malformed block fails the load instead of shifting every
+        // subsequent cell.
+        RunResult r;
+        if (!readRunResult(is, r)) {
+            cells_.clear();
+            return false;
+        }
+        is.ignore(); // trailing newline of the block
+        cells_[key] = serializeResult(r);
+    }
+    return true;
+}
+
+bool
+CellCache::save(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    os << cellCacheMagic << '\n' << cells_.size() << '\n';
+    // std::map iterates in key order: the file is canonical, so any
+    // two caches holding the same cells are byte-identical.
+    for (const auto &[key, block] : cells_)
+        os << key << '\n' << block;
+    return static_cast<bool>(os);
+}
+
+bool
+CellCache::has(const std::string &key) const
+{
+    return cells_.count(key) != 0;
+}
+
+bool
+CellCache::get(const std::string &key, RunResult &out) const
+{
+    auto it = cells_.find(key);
+    if (it == cells_.end())
+        return false;
+    std::istringstream is(it->second);
+    return readRunResult(is, out);
+}
+
+void
+CellCache::put(const std::string &key, const RunResult &r)
+{
+    cells_[key] = serializeResult(r);
+}
+
+bool
+CellCache::merge(const CellCache &other, std::string *err)
+{
+    for (const auto &[key, block] : other.cells_) {
+        auto it = cells_.find(key);
+        if (it != cells_.end() && it->second != block) {
+            if (err)
+                *err = "conflicting results for cell '" + key + "'";
+            return false;
+        }
+    }
+    cells_.insert(other.cells_.begin(), other.cells_.end());
+    return true;
+}
+
+// --- SweepEngine ------------------------------------------------------------
+
+SweepEngine::SweepEngine(SweepSpec spec) : spec_(std::move(spec))
+{
+    fatal_if(spec_.topologies.empty(),
+             "sweep engine: at least one topology is required");
+    fatal_if(spec_.benches.empty() || spec_.protocols.empty(),
+             "sweep engine: empty benchmark or protocol list");
+}
+
+void
+SweepEngine::setShard(unsigned shard, unsigned num_shards)
+{
+    fatal_if(num_shards == 0 || shard >= num_shards,
+             "sweep engine: shard %u/%u is not a valid slice", shard,
+             num_shards);
+    shard_ = shard;
+    numShards_ = num_shards;
+}
+
+std::vector<std::size_t>
+SweepEngine::shardCellIndices() const
+{
+    std::vector<std::size_t> idx;
+    const std::size_t n = spec_.numCells();
+    idx.reserve(n / numShards_ + 1);
+    // Stride the flat (figure-order) index space so every shard gets
+    // an even mix of topologies and protocols: slicing contiguous
+    // ranges would hand one shard all the 16x16 cells.
+    for (std::size_t i = shard_; i < n; i += numShards_)
+        idx.push_back(i);
+    return idx;
+}
+
+std::vector<Sweep>
+SweepEngine::run(CellCache &cache)
+{
+    const std::size_t num_topos = spec_.topologies.size();
+    const std::size_t num_benches = spec_.benches.size();
+    const std::size_t num_protos = spec_.protocols.size();
+
+    std::vector<Sweep> sweeps(num_topos);
+    for (std::size_t t = 0; t < num_topos; ++t) {
+        Sweep &s = sweeps[t];
+        for (BenchmarkName b : spec_.benches)
+            s.benchNames.emplace_back(benchmarkName(b));
+        for (ProtocolName p : spec_.protocols)
+            s.protoNames.emplace_back(protocolName(p));
+        s.results.assign(num_benches,
+                         std::vector<RunResult>(num_protos));
+        s.configTag = sweepConfigTag(
+            spec_.scale, spec_.paramsFor(static_cast<unsigned>(t)));
+    }
+
+    // Serve hits, queue misses.
+    const std::vector<std::size_t> owned = shardCellIndices();
+    statTotal_ = owned.size();
+    statHit_ = statComputed_ = 0;
+
+    std::vector<std::size_t> pending;
+    for (std::size_t flat : owned) {
+        const SweepCell c = spec_.cellAt(flat);
+        RunResult &slot =
+            sweeps[c.topoIdx].results[c.benchIdx][c.protoIdx];
+        if (cache.get(spec_.cellKey(c), slot))
+            ++statHit_;
+        else
+            pending.push_back(flat);
+    }
+    if (pending.empty())
+        return sweeps;
+
+    // Biggest meshes first: a 16x16 cell can cost orders of magnitude
+    // more than a 2x2 one, so it must not start last.  Stable order
+    // (tile count, then flat index) keeps the queue deterministic.
+    std::stable_sort(pending.begin(), pending.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         const unsigned ta =
+                             spec_.topologies[spec_.cellAt(a).topoIdx]
+                                 .numTiles();
+                         const unsigned tb =
+                             spec_.topologies[spec_.cellAt(b).topoIdx]
+                                 .numTiles();
+                         return ta > tb;
+                     });
+
+    // Workloads are materialized once per (topology, benchmark) and
+    // released as soon as their last pending cell completes, bounding
+    // peak memory at large meshes.
+    const std::size_t num_slots = num_topos * num_benches;
+    std::vector<std::shared_ptr<const Workload>> workloads(num_slots);
+    std::vector<std::unique_ptr<std::once_flag>> built(num_slots);
+    std::vector<std::atomic<std::size_t>> remaining(num_slots);
+    for (auto &f : built)
+        f = std::make_unique<std::once_flag>();
+    for (std::size_t flat : pending) {
+        const SweepCell c = spec_.cellAt(flat);
+        ++remaining[c.topoIdx * num_benches + c.benchIdx];
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex cacheMutex;
+
+    auto run_cell = [&](std::size_t flat) {
+        const SweepCell c = spec_.cellAt(flat);
+        inform("running %s on %s (%s)",
+               protocolName(spec_.protocols[c.protoIdx]),
+               benchmarkName(spec_.benches[c.benchIdx]),
+               spec_.topologies[c.topoIdx].describe().c_str());
+
+        RunResult r;
+        if (compute_) {
+            r = compute_(spec_, c);
+        } else {
+            const std::size_t slot =
+                c.topoIdx * num_benches + c.benchIdx;
+            std::call_once(*built[slot], [&] {
+                workloads[slot] = makeBenchmark(
+                    spec_.benches[c.benchIdx], spec_.scale,
+                    spec_.topologies[c.topoIdx]);
+            });
+            r = runOne(spec_.protocols[c.protoIdx], *workloads[slot],
+                       spec_.paramsFor(c.topoIdx));
+            if (--remaining[slot] == 0)
+                workloads[slot].reset();
+        }
+
+        sweeps[c.topoIdx].results[c.benchIdx][c.protoIdx] = r;
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        cache.put(spec_.cellKey(c), r);
+    };
+
+    auto worker = [&]() {
+        for (std::size_t i = next.fetch_add(1); i < pending.size();
+             i = next.fetch_add(1))
+            run_cell(pending[i]);
+    };
+
+    const unsigned jobs = effectiveSweepJobs(pending.size());
+    if (jobs <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned t = 0; t < jobs; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+    statComputed_ = pending.size();
+    return sweeps;
+}
+
+} // namespace wastesim

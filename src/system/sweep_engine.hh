@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Scale-out sweep engine: the (topology x benchmark x protocol) grid
+ * as a flat cell list with an incremental per-cell result cache and
+ * process-level sharding.
+ *
+ * runSweep() parallelizes one grid over one machine's threads with an
+ * all-or-nothing disk cache; at 8x8 and 16x16 meshes the grid costs
+ * orders of magnitude more than the paper's 4x4, so this engine
+ * treats every (topology, benchmark, protocol) combination as an
+ * independently cached, independently schedulable cell:
+ *
+ *  - **Incremental cache** (CellCache): each cell is keyed by the
+ *    full configuration fingerprint (sweepConfigTag + bench +
+ *    protocol), so growing `--mesh-list` — or changing nothing —
+ *    recomputes only the missing cells instead of invalidating the
+ *    whole sweep.
+ *
+ *  - **Dynamic work queue**: pending cells are ordered biggest-mesh
+ *    first and pulled by a pool of worker threads (effectiveSweepJobs)
+ *    from an atomic cursor, so a straggling 16x16 cell starts early
+ *    instead of serializing the sweep tail.
+ *
+ *  - **Sharding**: `setShard(i, N)` restricts the engine to the
+ *    deterministic slice {cells | flat index % N == i}.  Each shard
+ *    (separate process or host) writes a partial CellCache;
+ *    CellCache::merge() combines partials, and the merged file is
+ *    byte-identical to a single-process sweep's cache because cells
+ *    are serialized in canonical key order.
+ */
+
+#ifndef WASTESIM_SYSTEM_SWEEP_ENGINE_HH
+#define WASTESIM_SYSTEM_SWEEP_ENGINE_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "system/runner.hh"
+
+namespace wastesim
+{
+
+/** One point of the sweep grid (indexes into a SweepSpec). */
+struct SweepCell
+{
+    unsigned topoIdx = 0;
+    unsigned benchIdx = 0;
+    unsigned protoIdx = 0;
+};
+
+/** The grid a SweepEngine runs. */
+struct SweepSpec
+{
+    /** Topologies to sweep (the `--mesh-list` axis); at least one. */
+    std::vector<Topology> topologies{Topology{}};
+    std::vector<BenchmarkName> benches;   //!< figure order
+    std::vector<ProtocolName> protocols;  //!< figure order
+    unsigned scale = 1;
+    /** Base parameters; params.topo is replaced per topology. */
+    SimParams params = SimParams::scaled();
+
+    /** The paper's full 9-protocol x 6-benchmark grid on params.topo. */
+    static SweepSpec fullGrid(unsigned scale, SimParams params);
+
+    std::size_t
+    numCells() const
+    {
+        return topologies.size() * benches.size() * protocols.size();
+    }
+
+    /** Cell at @p flat in figure order (topology-major, then
+     *  benchmark, then protocol). */
+    SweepCell cellAt(std::size_t flat) const;
+
+    /** Base parameters with topology @p topo_idx installed. */
+    SimParams paramsFor(unsigned topo_idx) const;
+
+    /**
+     * Cache key of one cell: the full configuration fingerprint plus
+     * the cell coordinates.  Two cells share a key iff they describe
+     * the same simulation.
+     */
+    std::string cellKey(const SweepCell &c) const;
+};
+
+/**
+ * Per-cell sweep result store, on disk as a text file in canonical
+ * (key-sorted) order: equal cell sets always serialize to identical
+ * bytes, which is what makes sharded-and-merged caches comparable to
+ * single-process ones with cmp(1).
+ */
+class CellCache
+{
+  public:
+    /** Load from @p path; false (and empty cache) when the file is
+     *  missing, a legacy-format cache, or corrupt. */
+    bool load(const std::string &path);
+
+    /** Write all cells in canonical order; false on I/O error. */
+    bool save(const std::string &path) const;
+
+    bool has(const std::string &key) const;
+
+    /** Fetch and deserialize; false when absent. */
+    bool get(const std::string &key, RunResult &out) const;
+
+    void put(const std::string &key, const RunResult &r);
+
+    /**
+     * Absorb every cell of @p other.  A key present on both sides
+     * must carry an identical result (the cells are deterministic
+     * simulations of the same configuration); a contradiction leaves
+     * this cache unchanged and reports the offending key via @p err.
+     */
+    bool merge(const CellCache &other, std::string *err = nullptr);
+
+    std::size_t size() const { return cells_.size(); }
+
+  private:
+    /** key -> serialized RunResult block (precision-17 text). */
+    std::map<std::string, std::string> cells_;
+};
+
+/**
+ * Runs (a shard of) a SweepSpec against a CellCache: cached cells are
+ * served, missing cells are computed on a worker pool and inserted.
+ */
+class SweepEngine
+{
+  public:
+    /** Computes one cell; injectable so tests can count/spoof cell
+     *  computations without paying for simulations. */
+    using CellFn =
+        std::function<RunResult(const SweepSpec &, const SweepCell &)>;
+
+    explicit SweepEngine(SweepSpec spec);
+
+    /** Restrict to shard @p shard of @p num_shards (fatal on
+     *  shard >= num_shards or num_shards == 0). */
+    void setShard(unsigned shard, unsigned num_shards);
+
+    void setCompute(CellFn fn) { compute_ = std::move(fn); }
+
+    const SweepSpec &spec() const { return spec_; }
+
+    /** Flat indices of this shard's cells, in figure order. */
+    std::vector<std::size_t> shardCellIndices() const;
+
+    /**
+     * Run this shard's slice.  Returns one figure-ordered Sweep per
+     * topology; with an active shard only the cells this slice owns
+     * are filled in (the partial cache, not the Sweeps, is the
+     * product of a sharded run).
+     */
+    std::vector<Sweep> run(CellCache &cache);
+
+    /** Cells in this shard's slice (after the last run()). */
+    std::size_t cellsTotal() const { return statTotal_; }
+    /** ...of which were served from the cache. */
+    std::size_t cellsHit() const { return statHit_; }
+    /** ...of which were simulated. */
+    std::size_t cellsComputed() const { return statComputed_; }
+
+  private:
+    SweepSpec spec_;
+    unsigned shard_ = 0;
+    unsigned numShards_ = 1;
+    CellFn compute_;
+
+    std::size_t statTotal_ = 0;
+    std::size_t statHit_ = 0;
+    std::size_t statComputed_ = 0;
+};
+
+} // namespace wastesim
+
+#endif // WASTESIM_SYSTEM_SWEEP_ENGINE_HH

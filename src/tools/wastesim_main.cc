@@ -6,10 +6,13 @@
  *       build a Table-4.2 benchmark and serialize it as a trace file
  *   wastesim replay  --trace FILE [--protocol P ...]
  *       replay a trace through protocol variants and print results
- *   wastesim synth   [--seed N --pattern P ...] [--out FILE]
+ *   wastesim synth   [--preset NAME | --seed N --pattern P ...]
  *       generate a synthetic scenario; run it, or save it as a trace
  *   wastesim sweep   [--scale N] [--report NAME ...]
- *       run the full 9x6 paper grid (disk-cached) and print reports
+ *       run the full 9-protocol grid (per-cell disk cache) over one
+ *       mesh or a --mesh-list, optionally as one shard of N processes
+ *   wastesim merge   --out FILE CACHE...
+ *       combine partial (sharded) sweep caches into one
  *   wastesim info    --trace FILE
  *       print a trace file's header, regions and op counts
  *
@@ -18,6 +21,7 @@
  * --full-size is given.
  */
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
@@ -31,6 +35,7 @@
 #include "common/topology.hh"
 #include "system/report.hh"
 #include "system/runner.hh"
+#include "system/sweep_engine.hh"
 #include "trace/synthetic.hh"
 #include "trace/trace_workload.hh"
 #include "workload/workload.hh"
@@ -49,32 +54,47 @@ usage(const char *prog)
         "\n"
         "commands:\n"
         "  record  --bench NAME [--scale N] [--mesh WxH] [--mcs N]\n"
-        "          --out FILE\n"
+        "          [--mc-tiles T,T,...] --out FILE\n"
         "          serialize a Table-4.2 benchmark to a trace file\n"
         "  replay  --trace FILE [--protocol P ...] [--mesh WxH]\n"
-        "          [--mcs N] [--full-size]\n"
+        "          [--mcs N] [--mc-tiles T,T,...] [--full-size]\n"
         "          replay a trace through protocols (default: all 9)\n"
-        "  synth   [--seed N] [--pattern stride|random|hotset]\n"
+        "          on the trace's recorded topology (v2 traces;\n"
+        "          topology flags override, and must then match)\n"
+        "  synth   [--preset hotset64|all2all|mc-corner]\n"
+        "          [--seed N] [--pattern stride|random|hotset]\n"
         "          [--ops N] [--phases N] [--regions N]\n"
         "          [--region-bytes N] [--private-bytes N]\n"
         "          [--sharing-degree N] [--read-frac F]\n"
         "          [--shared-frac F] [--stride W] [--hot-frac F]\n"
         "          [--hot-prob F] [--work N] [--bypass]\n"
-        "          [--mesh WxH] [--mcs N]\n"
+        "          [--mesh WxH] [--mcs N] [--mc-tiles T,T,...]\n"
         "          [--out FILE | --protocol P ... | --full-size]\n"
         "          generate a synthetic scenario; save or simulate it\n"
-        "  sweep   [--scale N] [--report NAME ...] [--mesh WxH]\n"
-        "          [--mcs N] [--jobs N] [--full-size]\n"
-        "          full 9-protocol x 6-benchmark grid (disk-cached;\n"
-        "          reports: fig5.1a b c d, fig5.2, fig5.3a b c,\n"
-        "          overhead, headline; default: fig5.1a + headline;\n"
-        "          --jobs N sizes the simulation thread pool,\n"
-        "          overriding $WASTESIM_JOBS)\n"
+        "          (--preset first; later flags refine the preset)\n"
+        "  sweep   [--scale N] [--report NAME ...] [--mesh WxH |\n"
+        "          --mesh-list WxH,WxH,...] [--mcs N]\n"
+        "          [--mc-tiles T,T,...] [--shard I/N] [--cache FILE]\n"
+        "          [--jobs N] [--full-size]\n"
+        "          full 9-protocol x 6-benchmark grid over every\n"
+        "          listed mesh, against a per-cell disk cache that\n"
+        "          only computes missing cells (reports: fig5.1a b c\n"
+        "          d, fig5.2, fig5.3a b c, overhead, headline;\n"
+        "          default: fig5.1a + headline; --shard I/N runs the\n"
+        "          deterministic 1/N grid slice and writes a partial\n"
+        "          cache for `merge`; --jobs N sizes the simulation\n"
+        "          thread pool, overriding $WASTESIM_JOBS)\n"
+        "  merge   --out FILE CACHE...\n"
+        "          combine partial sweep caches (from --shard runs)\n"
+        "          into one; the result is byte-identical to an\n"
+        "          unsharded sweep's cache\n"
         "  info    --trace FILE\n"
         "          describe a trace file\n"
         "\n"
         "topology: --mesh WxH sets the mesh (default 4x4); --mcs N\n"
-        "the memory-controller count (default: one per corner)\n"
+        "the memory-controller count (default: one per corner);\n"
+        "--mc-tiles T,T,... places controllers on explicit tiles\n"
+        "(edge vs center vs diagonal placement studies)\n"
         "\n"
         "benchmarks:",
         prog);
@@ -203,16 +223,29 @@ defaultProtocols()
     return {allProtocols, allProtocols + numProtocols};
 }
 
+/** Parse a comma-separated tile-id list ("0,5,10,15"); fatal on
+ *  malformed input. */
+std::vector<NodeId>
+parseTileList(const std::string &flag, const std::string &v)
+{
+    std::vector<NodeId> tiles;
+    fatal_if(!Topology::parseTileList(v, tiles),
+             "%s needs comma-separated tile ids below %u, got '%s'",
+             flag.c_str(), maxTiles, v.c_str());
+    return tiles;
+}
+
 /**
- * Deferred --mesh / --mcs parsing: flags are collected while walking
- * the argument list and applied once at the end, so their position
- * relative to --full-size (which replaces the whole SimParams) does
- * not matter.
+ * Deferred --mesh / --mcs / --mc-tiles parsing: flags are collected
+ * while walking the argument list and applied once at the end, so
+ * their position relative to --full-size (which replaces the whole
+ * SimParams) does not matter.
  */
 struct TopoArgs
 {
-    unsigned meshX = 0, meshY = 0; //!< 0 = not given
-    unsigned mcs = 0;              //!< 0 = default placement
+    unsigned meshX = 0, meshY = 0;  //!< 0 = not given
+    unsigned mcs = 0;               //!< 0 = default placement
+    std::vector<NodeId> mcTiles;    //!< explicit placement (--mc-tiles)
 
     void
     parseMesh(const std::string &flag, const std::string &v)
@@ -222,13 +255,26 @@ struct TopoArgs
                  flag.c_str(), v.c_str());
     }
 
+    /** True when any topology flag was given. */
+    bool
+    given() const
+    {
+        return meshX != 0 || mcs != 0 || !mcTiles.empty();
+    }
+
     /** The requested topology (paper default when nothing given). */
     Topology
     make() const
     {
-        if (meshX == 0)
-            return mcs == 0 ? Topology{} : Topology(meshDim, meshDim, mcs);
-        return Topology(meshX, meshY, mcs);
+        fatal_if(mcs != 0 && !mcTiles.empty(),
+                 "--mcs and --mc-tiles are mutually exclusive");
+        const unsigned x = meshX == 0 ? meshDim : meshX;
+        const unsigned y = meshX == 0 ? meshDim : meshY;
+        if (!mcTiles.empty())
+            return Topology(x, y, mcTiles);
+        if (meshX == 0 && mcs == 0)
+            return Topology{};
+        return Topology(x, y, mcs);
     }
 
     /** Install into @p params (after all flags are parsed). */
@@ -251,6 +297,8 @@ cmdRecord(Args args)
             topo.parseMesh(a, args.value(a));
         else if (a == "--mcs")
             topo.mcs = args.u32value(a);
+        else if (a == "--mc-tiles")
+            topo.mcTiles = parseTileList(a, args.value(a));
         else if (a == "--out" || a == "-o")
             out = args.value(a);
         else
@@ -291,6 +339,8 @@ cmdReplay(Args args)
             topo.parseMesh(a, args.value(a));
         else if (a == "--mcs")
             topo.mcs = args.u32value(a);
+        else if (a == "--mc-tiles")
+            topo.mcTiles = parseTileList(a, args.value(a));
         else if (a == "--full-size")
             params = SimParams{};
         else
@@ -299,10 +349,36 @@ cmdReplay(Args args)
     fatal_if(trace_path.empty(), "replay: --trace is required");
     if (protocols.empty())
         protocols = defaultProtocols();
-    topo.apply(params);
 
+    // v2 traces are self-describing: without explicit topology flags
+    // the replay runs on the recorded geometry instead of forcing the
+    // user to re-type what the header already knows.  Flags (or a v1
+    // trace) fall back to the old default-topology behavior.
     std::string err;
-    auto wl = TraceWorkload::load(trace_path, params.topo, &err);
+    std::unique_ptr<TraceWorkload> wl;
+    if (topo.given()) {
+        topo.apply(params);
+        wl = TraceWorkload::load(trace_path, params.topo, &err);
+    } else {
+        wl = TraceWorkload::loadAnyTopology(trace_path, &err);
+        if (wl) {
+            if (wl->hasRecordedTopology()) {
+                // The loader already installed the recorded topology.
+                params.topo = wl->topo();
+            } else {
+                // v1 trace: only its core count can gate the default.
+                params.topo = Topology{};
+                fatal_if(
+                    wl->numCores() != params.topo.numTiles(),
+                    "replay: %s: trace was recorded for %u cores; "
+                    "the default topology %s has %u (pass a matching "
+                    "--mesh)",
+                    trace_path.c_str(), wl->numCores(),
+                    params.topo.describe().c_str(),
+                    params.topo.numTiles());
+            }
+        }
+    }
     fatal_if(!wl, "replay: %s", err.c_str());
     std::printf("loaded %s: %zu ops, %zu regions, %zu barriers\n",
                 trace_path.c_str(), wl->totalOps(),
@@ -321,10 +397,18 @@ cmdSynth(Args args)
     std::vector<ProtocolName> protocols;
     SimParams params = SimParams::scaled();
     TopoArgs topo;
-    bool full_size = false;
+    Topology presetTopo;
+    bool full_size = false, have_preset = false;
     while (!args.done()) {
         const std::string a = args.next();
-        if (a == "--seed")
+        if (a == "--preset") {
+            const std::string v = args.value(a);
+            fatal_if(!synthPresetFromName(v, sp, presetTopo),
+                     "synth: unknown preset '%s' (hotset64, all2all, "
+                     "mc-corner)",
+                     v.c_str());
+            have_preset = true;
+        } else if (a == "--seed")
             sp.seed = args.uvalue(a);
         else if (a == "--pattern") {
             const std::string v = args.value(a);
@@ -362,6 +446,8 @@ cmdSynth(Args args)
             topo.parseMesh(a, args.value(a));
         else if (a == "--mcs")
             topo.mcs = args.u32value(a);
+        else if (a == "--mc-tiles")
+            topo.mcTiles = parseTileList(a, args.value(a));
         else if (a == "--out" || a == "-o")
             out = args.value(a);
         else if (a == "--protocol")
@@ -377,7 +463,37 @@ cmdSynth(Args args)
              "synth: --out saves a trace without simulating; it "
              "cannot be combined with --protocol or --full-size "
              "(save the trace, then `replay` it)");
-    topo.apply(params);
+    // A preset carries its curated topology; explicit topology flags
+    // refine it rather than resetting to the 4x4 default: --mesh
+    // overrides the dims, --mcs/--mc-tiles the placement, and
+    // whatever was not overridden survives from the preset.
+    if (have_preset) {
+        const unsigned x =
+            topo.meshX != 0 ? topo.meshX : presetTopo.meshX();
+        const unsigned y =
+            topo.meshX != 0 ? topo.meshY : presetTopo.meshY();
+        fatal_if(topo.mcs != 0 && !topo.mcTiles.empty(),
+                 "--mcs and --mc-tiles are mutually exclusive");
+        if (!topo.mcTiles.empty()) {
+            params.topo = Topology(x, y, topo.mcTiles);
+        } else if (topo.mcs != 0) {
+            params.topo = Topology(x, y, topo.mcs);
+        } else if (topo.meshX == 0) {
+            params.topo = presetTopo;
+        } else {
+            // Mesh overridden, placement not: keep the preset's
+            // placement when its tiles fit the new mesh (mc-corner's
+            // tile 0 stays the story at any size), else default.
+            std::vector<NodeId> mcs = presetTopo.memCtrlTiles();
+            const bool fits =
+                std::all_of(mcs.begin(), mcs.end(),
+                            [&](NodeId t) { return t < x * y; });
+            params.topo = fits ? Topology(x, y, std::move(mcs))
+                               : Topology(x, y);
+        }
+    } else {
+        topo.apply(params);
+    }
 
     auto wl = makeSynthetic(sp, params.topo);
     std::printf("generated %s (%s): %zu ops\n", wl->name().c_str(),
@@ -397,6 +513,34 @@ cmdSynth(Args args)
     return 0;
 }
 
+/** Render one named report of @p s (fatal on unknown names). */
+std::string
+renderReport(const std::string &r, const Sweep &s)
+{
+    if (r == "fig5.1a")
+        return renderFig51a(s);
+    if (r == "fig5.1b")
+        return renderFig51b(s);
+    if (r == "fig5.1c")
+        return renderFig51c(s);
+    if (r == "fig5.1d")
+        return renderFig51d(s);
+    if (r == "fig5.2")
+        return renderFig52(s);
+    if (r == "fig5.3a")
+        return renderFig53(s, WasteLevel::L1);
+    if (r == "fig5.3b")
+        return renderFig53(s, WasteLevel::L2);
+    if (r == "fig5.3c")
+        return renderFig53(s, WasteLevel::Memory);
+    if (r == "overhead")
+        return renderOverheadComposition(s);
+    if (r == "headline")
+        return renderHeadline(s);
+    fatal("sweep: unknown report '%s'", r.c_str());
+    return {};
+}
+
 int
 cmdSweep(Args args)
 {
@@ -404,6 +548,8 @@ cmdSweep(Args args)
     SimParams params = SimParams::scaled();
     std::vector<std::string> reports;
     TopoArgs topo;
+    std::string meshListSpec, cachePath;
+    unsigned shard = 0, numShards = 1;
     while (!args.done()) {
         const std::string a = args.next();
         if (a == "--scale")
@@ -412,8 +558,34 @@ cmdSweep(Args args)
             reports.push_back(args.value(a));
         else if (a == "--mesh")
             topo.parseMesh(a, args.value(a));
+        else if (a == "--mesh-list")
+            meshListSpec = args.value(a);
         else if (a == "--mcs")
             topo.mcs = args.u32value(a);
+        else if (a == "--mc-tiles")
+            topo.mcTiles = parseTileList(a, args.value(a));
+        else if (a == "--shard") {
+            const std::string v = args.value(a);
+            const std::size_t slash = v.find('/');
+            char *end = nullptr;
+            unsigned long i = 0, n = 0;
+            if (slash != std::string::npos && slash > 0) {
+                i = std::strtoul(v.c_str(), &end, 10);
+                const bool i_ok = end == v.c_str() + slash;
+                n = std::strtoul(v.c_str() + slash + 1, &end, 10);
+                fatal_if(!i_ok || end != v.c_str() + v.size() ||
+                             n == 0 || i >= n || n > 4096,
+                         "sweep: --shard needs I/N with I < N, got "
+                         "'%s'",
+                         v.c_str());
+            } else {
+                fatal("sweep: --shard needs I/N (e.g. 0/4), got '%s'",
+                      v.c_str());
+            }
+            shard = static_cast<unsigned>(i);
+            numShards = static_cast<unsigned>(n);
+        } else if (a == "--cache")
+            cachePath = args.value(a);
         else if (a == "--jobs") {
             const unsigned jobs = args.u32value(a);
             fatal_if(jobs < 1 || jobs > 1024,
@@ -428,33 +600,110 @@ cmdSweep(Args args)
         reports = {"fig5.1a", "headline"};
     topo.apply(params);
 
-    const Sweep s = cachedFullSweep(scale, params);
-    for (const std::string &r : reports) {
-        std::string text;
-        if (r == "fig5.1a")
-            text = renderFig51a(s);
-        else if (r == "fig5.1b")
-            text = renderFig51b(s);
-        else if (r == "fig5.1c")
-            text = renderFig51c(s);
-        else if (r == "fig5.1d")
-            text = renderFig51d(s);
-        else if (r == "fig5.2")
-            text = renderFig52(s);
-        else if (r == "fig5.3a")
-            text = renderFig53(s, WasteLevel::L1);
-        else if (r == "fig5.3b")
-            text = renderFig53(s, WasteLevel::L2);
-        else if (r == "fig5.3c")
-            text = renderFig53(s, WasteLevel::Memory);
-        else if (r == "overhead")
-            text = renderOverheadComposition(s);
-        else if (r == "headline")
-            text = renderHeadline(s);
-        else
-            fatal("sweep: unknown report '%s'", r.c_str());
-        std::printf("%s\n", text.c_str());
+    // The topology axis: one mesh, or the --mesh-list sequence.
+    std::vector<Topology> topologies;
+    if (meshListSpec.empty()) {
+        topologies = {params.topo};
+    } else {
+        fatal_if(topo.meshX != 0,
+                 "sweep: --mesh and --mesh-list are mutually "
+                 "exclusive");
+        fatal_if(!topo.mcTiles.empty(),
+                 "sweep: --mc-tiles needs a single --mesh (explicit "
+                 "tile ids do not transfer across mesh sizes)");
+        std::vector<std::pair<unsigned, unsigned>> dims;
+        fatal_if(!Topology::parseMeshList(meshListSpec, dims),
+                 "sweep: --mesh-list needs comma-separated WxH "
+                 "specs, got '%s'",
+                 meshListSpec.c_str());
+        for (const auto &[x, y] : dims)
+            topologies.emplace_back(x, y, topo.mcs);
     }
+
+    std::string path = "wastesim_sweep.cache";
+    if (const char *env = std::getenv("WASTESIM_CACHE"))
+        path = env;
+    if (!cachePath.empty())
+        path = cachePath;
+    const bool no_cache = std::getenv("WASTESIM_NO_CACHE") != nullptr;
+    // A shard's only product is its partial cache file; running one
+    // with the cache disabled would discard every result.
+    fatal_if(numShards > 1 && no_cache,
+             "sweep: --shard writes a partial cache; unset "
+             "WASTESIM_NO_CACHE to run sharded");
+
+    SweepSpec spec = SweepSpec::fullGrid(scale, params);
+    spec.topologies = std::move(topologies);
+
+    CellCache cache;
+    if (!no_cache)
+        cache.load(path);
+
+    SweepEngine engine(spec);
+    if (numShards > 1)
+        engine.setShard(shard, numShards);
+    const std::vector<Sweep> sweeps = engine.run(cache);
+
+    if (!no_cache && engine.cellsComputed() > 0 &&
+        !cache.save(path))
+        warn("could not write sweep cache to %s", path.c_str());
+
+    std::printf("sweep: %zu cells (%zu cached, %zu computed)%s\n",
+                engine.cellsTotal(), engine.cellsHit(),
+                engine.cellsComputed(),
+                no_cache ? " [cache disabled]" : "");
+
+    if (numShards > 1) {
+        // A shard owns a grid slice, so its Sweeps are partial; the
+        // cache file is the product.  Reports come after `merge`.
+        std::printf("shard %u/%u: partial cache written to %s; run "
+                    "`wastesim merge` over all shards, then `sweep "
+                    "--cache MERGED` for reports\n",
+                    shard, numShards, path.c_str());
+        return 0;
+    }
+
+    for (std::size_t t = 0; t < sweeps.size(); ++t) {
+        if (sweeps.size() > 1)
+            std::printf("==== mesh %s ====\n",
+                        spec.topologies[t].describe().c_str());
+        for (const std::string &r : reports)
+            std::printf("%s\n", renderReport(r, sweeps[t]).c_str());
+    }
+    return 0;
+}
+
+int
+cmdMerge(Args args)
+{
+    std::string out;
+    std::vector<std::string> inputs;
+    while (!args.done()) {
+        const std::string a = args.next();
+        if (a == "--out" || a == "-o")
+            out = args.value(a);
+        else if (!a.empty() && a[0] == '-')
+            fatal("merge: unknown option '%s'", a.c_str());
+        else
+            inputs.push_back(a);
+    }
+    fatal_if(out.empty(), "merge: --out is required");
+    fatal_if(inputs.empty(), "merge: no input caches given");
+
+    CellCache merged;
+    for (const std::string &in : inputs) {
+        CellCache part;
+        fatal_if(!part.load(in),
+                 "merge: cannot read sweep cache '%s'", in.c_str());
+        std::string err;
+        fatal_if(!merged.merge(part, &err), "merge: %s in '%s'",
+                 err.c_str(), in.c_str());
+        std::printf("merged %s (%zu cells)\n", in.c_str(),
+                    part.size());
+    }
+    fatal_if(!merged.save(out), "merge: cannot write '%s'",
+             out.c_str());
+    std::printf("wrote %zu cells to %s\n", merged.size(), out.c_str());
     return 0;
 }
 
@@ -478,6 +727,12 @@ cmdInfo(Args args)
     std::printf("trace:     %s\n", trace_path.c_str());
     std::printf("workload:  %s\n", wl->name().c_str());
     std::printf("input:     %s\n", wl->inputDesc().c_str());
+    if (wl->hasRecordedTopology())
+        std::printf("topology:  %s (%u MCs)\n",
+                    wl->topo().describe().c_str(),
+                    wl->topo().numMemCtrls());
+    else
+        std::printf("topology:  unknown (v1 trace; core count only)\n");
     std::printf("ops:       %zu across %u cores\n", wl->totalOps(),
                 wl->numCores());
     std::printf("barriers:  %zu\n", wl->barriers().size());
@@ -515,6 +770,8 @@ main(int argc, char **argv)
         return cmdSynth(rest);
     if (cmd == "sweep")
         return cmdSweep(rest);
+    if (cmd == "merge")
+        return cmdMerge(rest);
     if (cmd == "info")
         return cmdInfo(rest);
     if (cmd == "help" || cmd == "--help" || cmd == "-h") {

@@ -254,4 +254,72 @@ makeSynthetic(const SynthParams &p, Topology topo)
     return std::make_unique<SyntheticWorkload>(p, std::move(topo));
 }
 
+bool
+synthPresetFromName(const std::string &name, SynthParams &sp,
+                    Topology &topo)
+{
+    if (name == "hotset64") {
+        // 64 cores skew 95% of their shared traffic onto 5% of a
+        // globally shared working set: wide sharer lists, constant
+        // invalidation rounds.
+        SynthParams p;
+        p.seed = 64;
+        p.pattern = SynthParams::Pattern::HotSet;
+        p.opsPerCore = 8192;
+        p.sharedRegions = 4;
+        p.regionBytes = 32 * 1024;
+        p.sharingDegree = 64; // one cluster: everybody shares
+        p.sharedFraction = 0.8;
+        p.readFraction = 0.75;
+        p.hotFraction = 0.05;
+        p.hotProbability = 0.95;
+        sp = p;
+        topo = Topology(8, 8);
+        return true;
+    }
+    if (name == "all2all") {
+        // Every core touches every shared region with a write-heavy
+        // mix: the densest producer/consumer crossbar the generator
+        // can express on the paper's 4x4 system.
+        SynthParams p;
+        p.seed = 22;
+        p.pattern = SynthParams::Pattern::Random;
+        p.opsPerCore = 8192;
+        p.sharedRegions = 16;
+        p.regionBytes = 8 * 1024;
+        p.sharingDegree = 16;
+        p.sharedFraction = 0.9;
+        p.readFraction = 0.5;
+        sp = p;
+        topo = Topology(4, 4);
+        return true;
+    }
+    if (name == "mc-corner") {
+        // One memory controller on corner tile 0 and a working set
+        // far beyond the L2: every miss converges on one corner of
+        // the mesh, the worst case for maxLinkFlits.
+        SynthParams p;
+        p.seed = 7;
+        p.pattern = SynthParams::Pattern::Random;
+        p.opsPerCore = 4096;
+        p.sharedRegions = 8;
+        p.regionBytes = 128 * 1024;
+        p.sharingDegree = 4;
+        p.sharedFraction = 0.85;
+        p.readFraction = 0.7;
+        sp = p;
+        topo = Topology(4, 4, std::vector<NodeId>{0});
+        return true;
+    }
+    return false;
+}
+
+const std::vector<std::string> &
+synthPresetNames()
+{
+    static const std::vector<std::string> names{"hotset64", "all2all",
+                                                "mc-corner"};
+    return names;
+}
+
 } // namespace wastesim

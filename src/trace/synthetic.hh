@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "workload/workload.hh"
 
@@ -91,6 +92,32 @@ class SyntheticWorkload : public Workload
 /** Convenience factory mirroring makeBenchmark(). */
 std::unique_ptr<Workload> makeSynthetic(const SynthParams &p = {},
                                         Topology topo = Topology{});
+
+/**
+ * Curated pressure scenarios (the ROADMAP "synthetic scenario
+ * library"), selectable as `wastesim synth --preset NAME`:
+ *
+ *  - "hotset64":  64 cores (8x8 mesh) hammering a small hot subset of
+ *    globally shared data — the sharer-list stress that exposed the
+ *    16-bit sharer-vector wraparound and now drives the SharerMask
+ *    word-scan path.
+ *  - "all2all":   every core reads and writes every shared region
+ *    (sharing degree = core count) — maximum invalidation and
+ *    self-invalidation pressure.
+ *  - "mc-corner": a single memory controller on corner tile 0 with a
+ *    memory-resident working set — the NoC hotspot scenario for MC
+ *    placement studies (maxLinkFlits).
+ *
+ * On a hit, @p sp receives the preset's parameters and @p topo the
+ * topology the scenario is curated for (callers may override the
+ * topology afterwards, e.g. via --mesh).  Returns false for unknown
+ * names.
+ */
+bool synthPresetFromName(const std::string &name, SynthParams &sp,
+                         Topology &topo);
+
+/** All preset names, for usage text and tests. */
+const std::vector<std::string> &synthPresetNames();
 
 } // namespace wastesim
 

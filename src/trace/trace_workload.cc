@@ -20,6 +20,10 @@ TraceRecorder::record(const Workload &wl)
 
     TraceHeader h;
     h.numCores = wl.numCores();
+    h.meshX = wl.topo().meshX();
+    h.meshY = wl.topo().meshY();
+    h.mcTiles.assign(wl.topo().memCtrlTiles().begin(),
+                     wl.topo().memCtrlTiles().end());
     h.name = wl.name();
     h.inputDesc = wl.inputDesc();
     h.numRegions = wl.regions().numRegions();
@@ -72,6 +76,19 @@ TraceWorkload::load(const std::string &path, Topology topo,
                      " (re-record the trace or pass a matching "
                      "--mesh)");
     }
+    // v2 traces are self-describing: the full recorded geometry —
+    // mesh shape and MC placement, not just the core count — must
+    // match, or the replay would route traffic over a different NoC
+    // and memory system than the capture.  v1 traces never recorded
+    // geometry, so the core-count check above is all they can offer.
+    if (wl->hasRecordedTopology() && wl->topo() != topo) {
+        return loadError(
+            err, path + ": trace was recorded on " +
+                     wl->topo().describe() +
+                     "; the active topology is " + topo.describe() +
+                     " (re-record the trace or pass a matching "
+                     "--mesh/--mc-tiles)");
+    }
     wl->topo_ = std::move(topo);
     return wl;
 }
@@ -102,6 +119,13 @@ TraceWorkload::loadAnyTopology(const std::string &path,
     wl->name_ = h.name;
     wl->inputDesc_ = h.inputDesc;
     wl->path_ = path;
+    if (h.hasTopology()) {
+        // v2: rebuild the recorded geometry (the reader validated
+        // dims and MC tiles, so construction cannot fatal).
+        std::vector<NodeId> mcs(h.mcTiles.begin(), h.mcTiles.end());
+        wl->topo_ = Topology(h.meshX, h.meshY, std::move(mcs));
+        wl->hasRecordedTopo_ = true;
+    }
 
     for (std::uint64_t i = 0; i < h.numRegions; ++i) {
         Region reg;

@@ -47,9 +47,11 @@ class TraceWorkload : public Workload
     /**
      * Load a trace file for replay on @p topo.  A trace records the
      * per-core streams of the topology it was captured on; replaying
-     * it on a system with a different core count is rejected with a
-     * clear error rather than producing out-of-bounds or truncated
-     * streams.
+     * it on a mismatched system is rejected with a clear error rather
+     * than producing out-of-bounds or mis-routed streams.  Format v2
+     * traces validate the full geometry (mesh dims + MC placement);
+     * v1 traces never recorded geometry, so only their core count can
+     * be checked.
      *
      * @return the workload, or nullptr with @p err set (when given).
      */
@@ -79,12 +81,20 @@ class TraceWorkload : public Workload
     /** Path the trace was loaded from. */
     const std::string &path() const { return path_; }
 
+    /**
+     * True when the file carried its full recorded geometry (format
+     * v2+); topo() is then the capture topology until load() installs
+     * the caller's.  v1 traces only recorded a core count.
+     */
+    bool hasRecordedTopology() const { return hasRecordedTopo_; }
+
   private:
     explicit TraceWorkload(Topology topo) : Workload(std::move(topo)) {}
 
     std::string name_;
     std::string inputDesc_;
     std::string path_;
+    bool hasRecordedTopo_ = false;
 };
 
 } // namespace wastesim

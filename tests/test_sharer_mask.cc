@@ -1,0 +1,105 @@
+/** Unit tests: the word-scan directory sharer bit vector. */
+
+#include <gtest/gtest.h>
+
+#include <bitset>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/sharer_mask.hh"
+
+namespace wastesim
+{
+
+namespace
+{
+
+/** Collect forEachSet output into a vector. */
+std::vector<CoreId>
+scan(const SharerMask &m, unsigned limit)
+{
+    std::vector<CoreId> out;
+    m.forEachSet(limit, [&](CoreId c) { out.push_back(c); });
+    return out;
+}
+
+} // namespace
+
+TEST(SharerMask, BasicBitOps)
+{
+    SharerMask m;
+    EXPECT_TRUE(m.none());
+    EXPECT_FALSE(m.any());
+    EXPECT_EQ(m.count(), 0u);
+
+    m.set(0);
+    m.set(63);
+    m.set(64);
+    m.set(255);
+    EXPECT_TRUE(m.test(0));
+    EXPECT_TRUE(m.test(63));
+    EXPECT_TRUE(m.test(64));
+    EXPECT_TRUE(m.test(255));
+    EXPECT_FALSE(m.test(1));
+    EXPECT_FALSE(m.test(128));
+    EXPECT_EQ(m.count(), 4u);
+    EXPECT_TRUE(m.any());
+
+    m.reset(63);
+    EXPECT_FALSE(m.test(63));
+    EXPECT_EQ(m.count(), 3u);
+
+    m.reset();
+    EXPECT_TRUE(m.none());
+}
+
+TEST(SharerMask, RawConstructorMatchesLowBits)
+{
+    const SharerMask m(0xffULL);
+    EXPECT_EQ(m.count(), 8u);
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_TRUE(m.test(i));
+    EXPECT_FALSE(m.test(8));
+}
+
+TEST(SharerMask, ForEachSetAscendingAndBounded)
+{
+    SharerMask m;
+    for (unsigned b : {0u, 3u, 15u, 16u, 63u, 64u, 200u, 255u})
+        m.set(b);
+
+    EXPECT_EQ(scan(m, 256),
+              (std::vector<CoreId>{0, 3, 15, 16, 63, 64, 200, 255}));
+    // The limit is the live tile count: bits at/above it are invisible
+    // even when set (stale state from a wider config must not leak).
+    EXPECT_EQ(scan(m, 64), (std::vector<CoreId>{0, 3, 15, 16, 63}));
+    EXPECT_EQ(scan(m, 16), (std::vector<CoreId>{0, 3, 15}));
+    EXPECT_EQ(scan(m, 4), (std::vector<CoreId>{0, 3}));
+    EXPECT_TRUE(scan(m, 0).empty());
+}
+
+TEST(SharerMask, MatchesBitsetReference)
+{
+    // Randomized equivalence against std::bitset (the previous
+    // implementation) across every limit the topologies can use.
+    Rng rng(12345);
+    for (unsigned trial = 0; trial < 200; ++trial) {
+        SharerMask m;
+        std::bitset<maxTiles> ref;
+        const unsigned bits = 1 + rng.below(64);
+        for (unsigned i = 0; i < bits; ++i) {
+            const unsigned b = rng.below(maxTiles);
+            m.set(b);
+            ref.set(b);
+        }
+        ASSERT_EQ(m.count(), ref.count());
+        const unsigned limit = 1 + rng.below(maxTiles);
+        std::vector<CoreId> expect;
+        for (unsigned c = 0; c < limit; ++c)
+            if (ref.test(c))
+                expect.push_back(c);
+        ASSERT_EQ(scan(m, limit), expect) << "limit=" << limit;
+    }
+}
+
+} // namespace wastesim

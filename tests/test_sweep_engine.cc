@@ -1,0 +1,324 @@
+/** Unit tests: the sharded sweep engine and its per-cell cache. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "system/sweep_engine.hh"
+#include "trace/synthetic.hh"
+
+namespace wastesim
+{
+
+namespace
+{
+
+class TempPath
+{
+  public:
+    explicit TempPath(const std::string &p) : path_(p)
+    {
+        std::remove(path_.c_str());
+    }
+    ~TempPath() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+std::string
+fileBytes(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(is),
+                       std::istreambuf_iterator<char>());
+}
+
+/** A small two-topology grid for cache/shard logic tests. */
+SweepSpec
+smallSpec()
+{
+    SweepSpec spec;
+    spec.topologies = {Topology(2, 2), Topology(4, 2)};
+    spec.benches = {BenchmarkName::LU, BenchmarkName::FFT,
+                    BenchmarkName::Barnes};
+    spec.protocols = {ProtocolName::MESI, ProtocolName::DeNovo};
+    return spec;
+}
+
+/** Deterministic fake cell result derived from the coordinates. */
+RunResult
+fakeCell(const SweepSpec &spec, const SweepCell &c)
+{
+    RunResult r;
+    r.protocol = protocolName(spec.protocols[c.protoIdx]);
+    r.benchmark = benchmarkName(spec.benches[c.benchIdx]);
+    r.cycles = 1000 * (c.topoIdx + 1) + 10 * c.benchIdx + c.protoIdx;
+    r.traffic.ldReqCtl = 0.25 + c.benchIdx;
+    r.l1Waste.byCat[0] = 1.0 / 3.0 + c.protoIdx; // non-terminating
+    r.maxLinkFlits = 7 + c.topoIdx;
+    return r;
+}
+
+} // namespace
+
+TEST(SweepSpec, CellEnumerationIsFigureOrdered)
+{
+    const SweepSpec spec = smallSpec();
+    ASSERT_EQ(spec.numCells(), 12u);
+    // topology-major, then benchmark, then protocol.
+    EXPECT_EQ(spec.cellAt(0).topoIdx, 0u);
+    EXPECT_EQ(spec.cellAt(0).benchIdx, 0u);
+    EXPECT_EQ(spec.cellAt(0).protoIdx, 0u);
+    EXPECT_EQ(spec.cellAt(1).protoIdx, 1u);
+    EXPECT_EQ(spec.cellAt(2).benchIdx, 1u);
+    EXPECT_EQ(spec.cellAt(6).topoIdx, 1u);
+    EXPECT_EQ(spec.cellAt(11).topoIdx, 1u);
+    EXPECT_EQ(spec.cellAt(11).benchIdx, 2u);
+    EXPECT_EQ(spec.cellAt(11).protoIdx, 1u);
+}
+
+TEST(SweepSpec, CellKeysDistinguishEveryAxis)
+{
+    SweepSpec spec = smallSpec();
+    const std::string base = spec.cellKey({0, 0, 0});
+    EXPECT_NE(base, spec.cellKey({1, 0, 0})); // topology
+    EXPECT_NE(base, spec.cellKey({0, 1, 0})); // benchmark
+    EXPECT_NE(base, spec.cellKey({0, 0, 1})); // protocol
+
+    SweepSpec scaled = spec;
+    scaled.scale = 4;
+    EXPECT_NE(base, scaled.cellKey({0, 0, 0}));
+
+    SweepSpec full = spec;
+    full.params = SimParams{};
+    EXPECT_NE(base, full.cellKey({0, 0, 0}));
+}
+
+TEST(CellCache, SaveLoadRoundTrip)
+{
+    const SweepSpec spec = smallSpec();
+    CellCache cache;
+    for (std::size_t i = 0; i < spec.numCells(); ++i) {
+        const SweepCell c = spec.cellAt(i);
+        cache.put(spec.cellKey(c), fakeCell(spec, c));
+    }
+
+    TempPath tmp("cells_roundtrip.cache");
+    ASSERT_TRUE(cache.save(tmp.path()));
+
+    CellCache loaded;
+    ASSERT_TRUE(loaded.load(tmp.path()));
+    EXPECT_EQ(loaded.size(), spec.numCells());
+    for (std::size_t i = 0; i < spec.numCells(); ++i) {
+        const SweepCell c = spec.cellAt(i);
+        RunResult r;
+        ASSERT_TRUE(loaded.get(spec.cellKey(c), r));
+        const RunResult ref = fakeCell(spec, c);
+        EXPECT_EQ(r.protocol, ref.protocol);
+        EXPECT_EQ(r.cycles, ref.cycles);
+        EXPECT_EQ(r.l1Waste.byCat[0], ref.l1Waste.byCat[0]);
+        EXPECT_EQ(r.maxLinkFlits, ref.maxLinkFlits);
+    }
+
+    // Saving the loaded cache reproduces the file byte-for-byte
+    // (doubles round-trip at precision 17).
+    TempPath tmp2("cells_roundtrip2.cache");
+    ASSERT_TRUE(loaded.save(tmp2.path()));
+    EXPECT_EQ(fileBytes(tmp.path()), fileBytes(tmp2.path()));
+}
+
+TEST(CellCache, LoadRejectsLegacyAndCorrupt)
+{
+    CellCache cache;
+    EXPECT_FALSE(cache.load("no_such_cells.cache"));
+
+    TempPath tmp("cells_legacy.cache");
+    {
+        std::ofstream os(tmp.path());
+        os << "wastesim-sweep-v3\ntag\n1 1\n";
+    }
+    EXPECT_FALSE(cache.load(tmp.path()));
+    EXPECT_EQ(cache.size(), 0u);
+
+    {
+        std::ofstream os(tmp.path());
+        os << "wastesim-cells-v1\n3\nkey-without-a-body\n";
+    }
+    EXPECT_FALSE(cache.load(tmp.path()));
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(CellCache, MergeDetectsConflicts)
+{
+    const SweepSpec spec = smallSpec();
+    const SweepCell c0 = spec.cellAt(0), c1 = spec.cellAt(1);
+
+    CellCache a, b;
+    a.put(spec.cellKey(c0), fakeCell(spec, c0));
+    b.put(spec.cellKey(c1), fakeCell(spec, c1));
+    // Overlap with identical content is fine.
+    b.put(spec.cellKey(c0), fakeCell(spec, c0));
+
+    ASSERT_TRUE(a.merge(b));
+    EXPECT_EQ(a.size(), 2u);
+
+    // A contradicting result for an existing key must be refused.
+    CellCache evil;
+    RunResult wrong = fakeCell(spec, c0);
+    wrong.cycles += 1;
+    evil.put(spec.cellKey(c0), wrong);
+    std::string err;
+    EXPECT_FALSE(a.merge(evil, &err));
+    EXPECT_NE(err.find("conflicting"), std::string::npos);
+    // And the refused merge must not have modified the target.
+    RunResult still;
+    ASSERT_TRUE(a.get(spec.cellKey(c0), still));
+    EXPECT_EQ(still.cycles, fakeCell(spec, c0).cycles);
+}
+
+TEST(SweepEngine, ShardedAndMergedCacheIsByteIdentical)
+{
+    const SweepSpec spec = smallSpec();
+
+    // Unsharded reference.
+    TempPath whole("cells_whole.cache");
+    {
+        SweepEngine eng(spec);
+        eng.setCompute(fakeCell);
+        CellCache cache;
+        eng.run(cache);
+        EXPECT_EQ(eng.cellsComputed(), spec.numCells());
+        ASSERT_TRUE(cache.save(whole.path()));
+    }
+
+    for (unsigned nshards : {2u, 3u, 5u}) {
+        // Every shard runs in its own engine + cache, as separate
+        // processes would.
+        std::vector<CellCache> parts(nshards);
+        std::size_t total = 0;
+        for (unsigned s = 0; s < nshards; ++s) {
+            SweepEngine eng(spec);
+            eng.setShard(s, nshards);
+            eng.setCompute(fakeCell);
+            eng.run(parts[s]);
+            total += eng.cellsComputed();
+        }
+        EXPECT_EQ(total, spec.numCells()) << nshards << " shards";
+
+        CellCache merged;
+        for (const CellCache &p : parts)
+            ASSERT_TRUE(merged.merge(p));
+
+        TempPath mergedPath("cells_merged.cache");
+        ASSERT_TRUE(merged.save(mergedPath.path()));
+        EXPECT_EQ(fileBytes(whole.path()), fileBytes(mergedPath.path()))
+            << nshards << " shards";
+    }
+}
+
+TEST(SweepEngine, ShardSlicesPartitionTheGrid)
+{
+    const SweepSpec spec = smallSpec();
+    std::vector<bool> seen(spec.numCells(), false);
+    for (unsigned s = 0; s < 5; ++s) {
+        SweepEngine eng(spec);
+        eng.setShard(s, 5);
+        for (std::size_t flat : eng.shardCellIndices()) {
+            ASSERT_LT(flat, spec.numCells());
+            EXPECT_FALSE(seen[flat]);
+            seen[flat] = true;
+        }
+    }
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_TRUE(seen[i]) << "cell " << i << " unowned";
+}
+
+TEST(SweepEngine, IncrementalCacheComputesOnlyMissingCells)
+{
+    SweepSpec spec = smallSpec();
+    spec.topologies = {Topology(2, 2)};
+
+    int computed = 0;
+    auto counting = [&](const SweepSpec &s, const SweepCell &c) {
+        ++computed;
+        return fakeCell(s, c);
+    };
+
+    CellCache cache;
+    {
+        SweepEngine eng(spec);
+        eng.setCompute(counting);
+        eng.run(cache);
+        EXPECT_EQ(computed, 6);
+        EXPECT_EQ(eng.cellsHit(), 0u);
+    }
+
+    // Same grid again: all hits, nothing computed.
+    {
+        SweepEngine eng(spec);
+        eng.setCompute(counting);
+        const auto sweeps = eng.run(cache);
+        EXPECT_EQ(computed, 6);
+        EXPECT_EQ(eng.cellsHit(), 6u);
+        EXPECT_EQ(sweeps.at(0).results[1][1].cycles,
+                  fakeCell(spec, spec.cellAt(3)).cycles);
+    }
+
+    // Growing the mesh list computes only the new topology's cells;
+    // the 2x2 results are served from the incremental cache.
+    spec.topologies = {Topology(2, 2), Topology(4, 2)};
+    {
+        SweepEngine eng(spec);
+        eng.setCompute(counting);
+        const auto sweeps = eng.run(cache);
+        EXPECT_EQ(computed, 12);
+        EXPECT_EQ(eng.cellsHit(), 6u);
+        EXPECT_EQ(eng.cellsComputed(), 6u);
+        ASSERT_EQ(sweeps.size(), 2u);
+    }
+    EXPECT_EQ(cache.size(), 12u);
+}
+
+TEST(SweepEngine, RealCellsMatchRunOne)
+{
+    // Two real (tiny) simulations through the engine must equal the
+    // direct runOne results: the engine adds caching and scheduling,
+    // never different numbers.
+    SweepSpec spec;
+    spec.topologies = {Topology(2, 2)};
+    spec.benches = {BenchmarkName::LU};
+    spec.protocols = {ProtocolName::MESI, ProtocolName::DBypFull};
+
+    CellCache cache;
+    SweepEngine eng(spec);
+    const Sweep s = eng.run(cache).at(0);
+
+    const SimParams params = spec.paramsFor(0);
+    for (unsigned p = 0; p < 2; ++p) {
+        const RunResult ref =
+            runOne(spec.protocols[p], BenchmarkName::LU, 1, params);
+        EXPECT_EQ(s.results[0][p].cycles, ref.cycles);
+        EXPECT_EQ(s.results[0][p].traffic.total(),
+                  ref.traffic.total());
+        EXPECT_EQ(s.results[0][p].messages, ref.messages);
+        EXPECT_EQ(s.results[0][p].maxLinkFlits, ref.maxLinkFlits);
+    }
+
+    // And a second engine over the same cache serves them as hits,
+    // byte-identically through the serialization.
+    SweepEngine again(eng.spec());
+    const Sweep s2 = again.run(cache).at(0);
+    EXPECT_EQ(again.cellsHit(), 2u);
+    for (unsigned p = 0; p < 2; ++p) {
+        EXPECT_EQ(s2.results[0][p].cycles, s.results[0][p].cycles);
+        EXPECT_EQ(s2.results[0][p].traffic.total(),
+                  s.results[0][p].traffic.total());
+    }
+}
+
+} // namespace wastesim

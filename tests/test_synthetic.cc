@@ -5,6 +5,7 @@
 #include <set>
 #include <unordered_set>
 
+#include "system/runner.hh"
 #include "trace/synthetic.hh"
 
 namespace wastesim
@@ -18,7 +19,7 @@ tracesIdentical(const Workload &a, const Workload &b)
 {
     if (a.traces().size() != b.traces().size())
         return false;
-    for (CoreId c = 0; c < numTiles; ++c) {
+    for (CoreId c = 0; c < a.traces().size(); ++c) {
         const Trace &ta = a.traces()[c];
         const Trace &tb = b.traces()[c];
         if (ta.size() != tb.size())
@@ -241,6 +242,75 @@ TEST(Synthetic, PatternNamesRoundTrip)
     }
     SynthParams::Pattern dummy;
     EXPECT_FALSE(SynthParams::patternFromName("zipfian", dummy));
+}
+
+TEST(SynthPresets, EveryPresetBuildsDeterministically)
+{
+    for (const std::string &name : synthPresetNames()) {
+        SCOPED_TRACE(name);
+        SynthParams pa, pb;
+        Topology ta, tb;
+        ASSERT_TRUE(synthPresetFromName(name, pa, ta));
+        ASSERT_TRUE(synthPresetFromName(name, pb, tb));
+        EXPECT_EQ(ta, tb);
+
+        auto a = makeSynthetic(pa, ta);
+        auto b = makeSynthetic(pb, tb);
+        EXPECT_TRUE(tracesIdentical(*a, *b));
+        EXPECT_EQ(a->name(), b->name());
+        EXPECT_GT(a->totalOps(), 0u);
+        EXPECT_EQ(a->numCores(), ta.numTiles());
+    }
+}
+
+TEST(SynthPresets, CuratedShapesMatchTheirStories)
+{
+    SynthParams sp;
+    Topology topo;
+
+    // hotset64 targets 64 cores, all in one sharing cluster.
+    ASSERT_TRUE(synthPresetFromName("hotset64", sp, topo));
+    EXPECT_EQ(topo.numTiles(), 64u);
+    EXPECT_EQ(sp.sharingDegree, 64u);
+    EXPECT_EQ(static_cast<int>(sp.pattern),
+              static_cast<int>(SynthParams::Pattern::HotSet));
+
+    // all2all makes every core share every region.
+    ASSERT_TRUE(synthPresetFromName("all2all", sp, topo));
+    EXPECT_EQ(sp.sharingDegree, topo.numTiles());
+
+    // mc-corner funnels all memory traffic into corner tile 0.
+    ASSERT_TRUE(synthPresetFromName("mc-corner", sp, topo));
+    EXPECT_EQ(topo.numMemCtrls(), 1u);
+    EXPECT_EQ(topo.memCtrlTiles().front(), 0u);
+
+    EXPECT_FALSE(synthPresetFromName("no-such-preset", sp, topo));
+}
+
+TEST(SynthPresets, McCornerConcentratesLinkLoad)
+{
+    // The scenario exists to stress one corner of the mesh: compared
+    // to the same traffic spread over four controllers, the hottest
+    // link must carry measurably more flits.
+    SynthParams sp;
+    Topology corner;
+    ASSERT_TRUE(synthPresetFromName("mc-corner", sp, corner));
+    sp.opsPerCore = 1024; // trim for test time; shape is unchanged
+
+    SimParams params = SimParams::scaled();
+    params.topo = corner;
+    auto wl = makeSynthetic(sp, corner);
+    const RunResult one_mc =
+        runOne(ProtocolName::MESI, *wl, params);
+
+    const Topology spread(4, 4); // paper default: four corner MCs
+    SimParams params4 = SimParams::scaled();
+    params4.topo = spread;
+    auto wl4 = makeSynthetic(sp, spread);
+    const RunResult four_mc =
+        runOne(ProtocolName::MESI, *wl4, params4);
+
+    EXPECT_GT(one_mc.maxLinkFlits, four_mc.maxLinkFlits);
 }
 
 } // namespace wastesim

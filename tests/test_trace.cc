@@ -61,7 +61,7 @@ expectWorkloadsEqual(const Workload &a, const Workload &b)
 
     // Per-core op streams, bit-identical.
     ASSERT_EQ(a.traces().size(), b.traces().size());
-    for (CoreId c = 0; c < numTiles; ++c) {
+    for (CoreId c = 0; c < a.traces().size(); ++c) {
         const Trace &ta = a.traces()[c];
         const Trace &tb = b.traces()[c];
         ASSERT_EQ(ta.size(), tb.size()) << "core " << c;
@@ -211,6 +211,153 @@ TEST(TraceReplay, ReproducesRunResultExactly)
         SCOPED_TRACE(protocolName(p));
         expectResultsEqual(a, b);
     }
+}
+
+TEST(TraceIo, V2HeaderRoundTripsFullGeometry)
+{
+    // Record on a non-default topology: 4x2 mesh, MCs on tiles 1/6.
+    const Topology topo(4, 2, std::vector<NodeId>{1, 6});
+    SynthParams p;
+    p.seed = 17;
+    p.opsPerCore = 200;
+    p.sharingDegree = 2;
+    auto src = makeSynthetic(p, topo);
+
+    TempFile tmp("v2geom");
+    TraceRecorder rec(tmp.path());
+    ASSERT_TRUE(rec.record(*src)) << rec.error();
+
+    // The header itself carries the current version + geometry.
+    {
+        std::ifstream is(tmp.path(), std::ios::binary);
+        TraceReader r(is);
+        TraceHeader h;
+        ASSERT_TRUE(r.readHeader(h)) << r.error();
+        EXPECT_EQ(h.version, traceFormatVersion);
+        ASSERT_TRUE(h.hasTopology());
+        EXPECT_EQ(h.meshX, 4u);
+        EXPECT_EQ(h.meshY, 2u);
+        EXPECT_EQ(h.mcTiles, (std::vector<std::uint32_t>{1, 6}));
+    }
+
+    // Matching topology: loads, with the geometry visible pre-load.
+    std::string err;
+    auto any = TraceWorkload::loadAnyTopology(tmp.path(), &err);
+    ASSERT_NE(any, nullptr) << err;
+    EXPECT_TRUE(any->hasRecordedTopology());
+    EXPECT_EQ(any->topo(), topo);
+
+    auto loaded = TraceWorkload::load(tmp.path(), topo, &err);
+    ASSERT_NE(loaded, nullptr) << err;
+    expectWorkloadsEqual(*src, *loaded);
+
+    // Same core count, different mesh shape: rejected.
+    auto wrong_mesh =
+        TraceWorkload::load(tmp.path(), Topology(2, 4), &err);
+    EXPECT_EQ(wrong_mesh, nullptr);
+    EXPECT_NE(err.find("recorded on"), std::string::npos) << err;
+
+    // Same mesh, different MC placement: also rejected.
+    auto wrong_mcs = TraceWorkload::load(
+        tmp.path(), Topology(4, 2, std::vector<NodeId>{0, 7}), &err);
+    EXPECT_EQ(wrong_mcs, nullptr);
+    EXPECT_NE(err.find("recorded on"), std::string::npos) << err;
+}
+
+TEST(TraceIo, ReadsV1TracesByCoreCountOnly)
+{
+    // Write a v1 file through the versioned writer: same sections,
+    // but the header carries no geometry.  This is byte-identical to
+    // what the PR-1 recorder produced.
+    auto src = makeSynthetic([] {
+        SynthParams p;
+        p.seed = 23;
+        p.opsPerCore = 150;
+        return p;
+    }());
+
+    TempFile tmp("v1compat");
+    {
+        std::ofstream os(tmp.path(), std::ios::binary);
+        TraceWriter w(os);
+        TraceHeader h;
+        h.version = 1;
+        h.numCores = src->numCores();
+        h.name = src->name();
+        h.inputDesc = src->inputDesc();
+        h.numRegions = src->regions().numRegions();
+        h.numBarriers = src->barriers().size();
+        h.totalOps = src->totalOps();
+        w.writeHeader(h);
+        for (std::size_t i = 0; i < src->regions().numRegions(); ++i)
+            w.writeRegion(
+                src->regions().region(static_cast<RegionId>(i)));
+        for (const BarrierInfo &b : src->barriers())
+            w.writeBarrier(b);
+        for (const Trace &t : src->traces())
+            w.writeTrace(t);
+        w.writeTrailer();
+        ASSERT_TRUE(w.ok());
+    }
+
+    // A v1 trace has no geometry to validate: any topology with the
+    // right core count is accepted (the old behavior).
+    std::string err;
+    auto loaded = TraceWorkload::load(tmp.path(), Topology{}, &err);
+    ASSERT_NE(loaded, nullptr) << err;
+    EXPECT_FALSE(loaded->hasRecordedTopology());
+    expectWorkloadsEqual(*src, *loaded);
+
+    auto reshaped =
+        TraceWorkload::load(tmp.path(), Topology(8, 2), &err);
+    ASSERT_NE(reshaped, nullptr) << err;
+
+    // The core count still gates v1 loads.
+    auto too_small =
+        TraceWorkload::load(tmp.path(), Topology(2, 2), &err);
+    EXPECT_EQ(too_small, nullptr);
+    EXPECT_NE(err.find("cores"), std::string::npos) << err;
+}
+
+TEST(TraceIo, RejectsCorruptV2Geometry)
+{
+    auto write_header = [](const std::string &path, std::uint32_t mx,
+                           std::uint32_t my,
+                           std::vector<std::uint32_t> mcs) {
+        std::ofstream os(path, std::ios::binary);
+        TraceWriter w(os);
+        TraceHeader h;
+        h.numCores = mx * my;
+        h.meshX = mx;
+        h.meshY = my;
+        h.mcTiles = std::move(mcs);
+        h.name = "x";
+        w.writeHeader(h);
+        w.writeTrailer(); // content never reached; header must fail
+    };
+
+    TempFile tmp("v2corrupt");
+    std::string err;
+
+    write_header(tmp.path(), 70, 1, {0}); // beyond Topology::maxDim
+    EXPECT_EQ(TraceWorkload::loadAnyTopology(tmp.path(), &err),
+              nullptr);
+    EXPECT_NE(err.find("mesh"), std::string::npos) << err;
+
+    // Dims individually legal but the product beyond maxTiles: must
+    // be a loader error, not a fatal() when the Topology rebuilds.
+    write_header(tmp.path(), 64, 64, {0});
+    EXPECT_EQ(TraceWorkload::loadAnyTopology(tmp.path(), &err),
+              nullptr);
+    EXPECT_NE(err.find("mesh"), std::string::npos) << err;
+
+    write_header(tmp.path(), 2, 2, {9}); // MC outside the mesh
+    EXPECT_EQ(TraceWorkload::loadAnyTopology(tmp.path(), &err),
+              nullptr);
+
+    write_header(tmp.path(), 2, 2, {1, 1}); // duplicate MC tile
+    EXPECT_EQ(TraceWorkload::loadAnyTopology(tmp.path(), &err),
+              nullptr);
 }
 
 TEST(TraceReplay, SyntheticReproducesRunResultExactly)
