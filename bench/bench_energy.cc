@@ -2,14 +2,15 @@
  *
  * The paper's motivation is energy (Chapter 1: data movement will
  * cost as much as compute), but its results are in flit-hops.  This
- * bench converts the sweep into picojoules with the configurable
- * constants of profile/energy.hh.
+ * bench renders the structured energy figure (system/report.hh) over
+ * the cached sweep: the topology-aware EnergyModel of
+ * profile/energy.hh converted to the per-benchmark table of
+ * bench_fig5_* style.  `wastesim report --report energy` renders the
+ * same figure from any sweep cache.
  */
 
 #include <cstdio>
 
-#include "common/stats.hh"
-#include "profile/energy.hh"
 #include "system/report.hh"
 
 int
@@ -18,22 +19,8 @@ main()
     using namespace wastesim;
     const Sweep s = cachedFullSweep();
 
-    std::printf("Extension: estimated dynamic energy "
-                "(normalized to MESI)\n\n");
-    for (std::size_t b = 0; b < s.benchNames.size(); ++b) {
-        TextTable t;
-        t.header({s.benchNames[b], "Network", "L1", "L2", "DRAM",
-                  "Total"});
-        const double base =
-            estimateEnergy(s.results[b][0]).total();
-        for (std::size_t p = 0; p < s.protoNames.size(); ++p) {
-            const EnergyBreakdown e = estimateEnergy(s.results[b][p]);
-            t.row({s.protoNames[p], pct(e.network / base),
-                   pct(e.l1 / base), pct(e.l2 / base),
-                   pct(e.dram / base), pct(e.total() / base)});
-        }
-        std::printf("%s\n", t.render().c_str());
-    }
+    const Figure f = buildEnergy(s, Topology{});
+    std::printf("%s\n", renderFigure(f).c_str());
     std::printf("Constants are ballpark projections (see "
                 "profile/energy.hh); read the\nordering, not the "
                 "absolute picojoules.\n");

@@ -37,6 +37,8 @@
 #include "common/rng.hh"
 #include "common/sharer_mask.hh"
 #include "common/topology.hh"
+#include "metrics/run_result_schema.hh"
+#include "profile/energy.hh"
 #include "system/runner.hh"
 
 using namespace wastesim;
@@ -66,6 +68,8 @@ struct ScaleRow
     double l1WasteFrac = 0;
     double memWasteFrac = 0;
     std::uint64_t maxLinkFlits = 0;
+    double energyUj = 0;          //!< topology-aware estimate
+    double energyNetworkFrac = 0; //!< network share of the estimate
 
     double eventsPerSec() const { return events / seconds; }
 };
@@ -87,6 +91,7 @@ runCell(const Topology &topo, unsigned scale, ProtocolName proto,
     row.mesh = topo.describe();
     row.tiles = topo.numTiles();
     row.scale = scale;
+    const EnergyModel energy(topo);
     for (unsigned rep = 0; rep < reps; ++rep) {
         const auto t0 = std::chrono::steady_clock::now();
         const RunResult r = runOne(proto, *wl, params);
@@ -95,17 +100,20 @@ runCell(const Topology &topo, unsigned scale, ProtocolName proto,
             row.seconds = secs;
             row.protocol = r.protocol;
             row.benchmark = r.benchmark;
+            // Figure data flows through the metric registry — the
+            // same schema paths the JSON emitters and reports use.
+            const MetricSet ms = runResultMetrics(r, &energy);
             row.events = r.eventsExecuted;
-            row.cycles = r.cycles;
-            row.traffic = r.traffic.total();
-            row.l1WasteFrac = r.l1Waste.total() > 0
-                                  ? r.l1Waste.waste() / r.l1Waste.total()
-                                  : 0;
-            row.memWasteFrac =
-                r.memWaste.total() > 0
-                    ? r.memWaste.waste() / r.memWaste.total()
-                    : 0;
-            row.maxLinkFlits = r.maxLinkFlits;
+            row.cycles = static_cast<Tick>(ms.value("cycles"));
+            row.traffic = ms.value("traffic.total");
+            row.l1WasteFrac = ms.value("waste.l1.waste_frac");
+            row.memWasteFrac = ms.value("waste.mem.waste_frac");
+            row.maxLinkFlits = static_cast<std::uint64_t>(
+                ms.value("max_link_flits"));
+            const double total = ms.value("energy.total");
+            row.energyUj = total / 1e6;
+            row.energyNetworkFrac =
+                total > 0 ? ms.value("energy.network") / total : 0;
         }
     }
     return row;
@@ -220,7 +228,8 @@ printRowsJson(const std::vector<ScaleRow> &rows)
             "\"seconds\": %.4f, \"events\": %llu, "
             "\"events_per_sec\": %.0f, \"cycles\": %llu, "
             "\"traffic_flit_hops\": %.0f, \"l1_waste_frac\": %.4f, "
-            "\"mem_waste_frac\": %.4f, \"max_link_flits\": %llu}%s\n",
+            "\"mem_waste_frac\": %.4f, \"max_link_flits\": %llu, "
+            "\"energy_uj\": %.2f, \"energy_network_frac\": %.4f}%s\n",
             r.mesh.c_str(), r.tiles, r.scale, r.protocol.c_str(),
             r.benchmark.c_str(), r.seconds,
             static_cast<unsigned long long>(r.events),
@@ -228,6 +237,7 @@ printRowsJson(const std::vector<ScaleRow> &rows)
             static_cast<unsigned long long>(r.cycles), r.traffic,
             r.l1WasteFrac, r.memWasteFrac,
             static_cast<unsigned long long>(r.maxLinkFlits),
+            r.energyUj, r.energyNetworkFrac,
             i + 1 < rows.size() ? "," : "");
     }
 }
@@ -236,16 +246,17 @@ void
 printRowsHuman(const char *mode, const std::vector<ScaleRow> &rows)
 {
     std::printf("%s scaling\n", mode);
-    std::printf("%-8s %-6s %-10s %-12s %10s %14s %12s %10s\n", "mesh",
-                "scale", "protocol", "bench", "seconds", "events/sec",
-                "traffic", "hotspot");
+    std::printf("%-8s %-6s %-10s %-12s %10s %14s %12s %10s %10s\n",
+                "mesh", "scale", "protocol", "bench", "seconds",
+                "events/sec", "traffic", "hotspot", "energy/uJ");
     for (const ScaleRow &r : rows)
         std::printf("%-8s %-6u %-10s %-12s %10.3f %14.0f %12.0f "
-                    "%10llu\n",
+                    "%10llu %10.1f\n",
                     r.mesh.c_str(), r.scale, r.protocol.c_str(),
                     r.benchmark.c_str(), r.seconds, r.eventsPerSec(),
                     r.traffic,
-                    static_cast<unsigned long long>(r.maxLinkFlits));
+                    static_cast<unsigned long long>(r.maxLinkFlits),
+                    r.energyUj);
     std::printf("\n");
 }
 

@@ -1,0 +1,186 @@
+#include "metrics/figure.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/stats.hh"
+#include "metrics/metric_set.hh"
+
+namespace wastesim
+{
+
+bool
+reportFormatFromName(const std::string &s, ReportFormat &out)
+{
+    if (s == "table")
+        out = ReportFormat::Table;
+    else if (s == "json")
+        out = ReportFormat::Json;
+    else if (s == "csv")
+        out = ReportFormat::Csv;
+    else
+        return false;
+    return true;
+}
+
+namespace
+{
+
+/** Table cell of one numeric value (legacy pct() formatting for
+ *  fractions; exact shortest-round-trip text for plain numbers, so
+ *  large counters never collapse into scientific notation). */
+std::string
+tableCell(double v, bool percent)
+{
+    if (std::isnan(v))
+        return "-";
+    return percent ? pct(v) : formatDouble(v);
+}
+
+std::string
+renderTable(const Figure &f)
+{
+    std::string out;
+    if (f.tables.empty() && !f.note.empty())
+        return f.note + "\n";
+    if (!f.title.empty()) {
+        out += f.title;
+        out += "\n";
+    }
+    for (const FigureTable &t : f.tables) {
+        TextTable tt;
+        std::vector<std::string> hdr = t.labelCols;
+        hdr.insert(hdr.end(), t.valueCols.begin(), t.valueCols.end());
+        tt.header(hdr);
+        for (const FigureRow &r : t.rows) {
+            std::vector<std::string> cells = r.labels;
+            for (double v : r.values)
+                cells.push_back(tableCell(v, t.percent));
+            tt.row(std::move(cells));
+        }
+        out += tt.render();
+        if (f.spaced)
+            out += "\n";
+    }
+    return out;
+}
+
+void
+jsonStringList(std::string &out, const std::vector<std::string> &xs)
+{
+    out += "[";
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += "\"" + jsonEscape(xs[i]) + "\"";
+    }
+    out += "]";
+}
+
+std::string
+renderJson(const Figure &f)
+{
+    std::string out = "{\n";
+    out += "  \"id\": \"" + jsonEscape(f.id) + "\",\n";
+    out += "  \"title\": \"" + jsonEscape(f.title) + "\",\n";
+    out += "  \"unit\": \"" + jsonEscape(f.unit) + "\",\n";
+    if (!f.context.empty())
+        out += "  \"mesh\": \"" + jsonEscape(f.context) + "\",\n";
+    if (!f.note.empty())
+        out += "  \"note\": \"" + jsonEscape(f.note) + "\",\n";
+    out += "  \"tables\": [";
+    for (std::size_t ti = 0; ti < f.tables.size(); ++ti) {
+        const FigureTable &t = f.tables[ti];
+        out += ti ? ",\n    {" : "\n    {";
+        out += "\"name\": \"" + jsonEscape(t.name) + "\", ";
+        out += "\"percent\": ";
+        out += t.percent ? "true" : "false";
+        out += ",\n     \"label_cols\": ";
+        jsonStringList(out, t.labelCols);
+        out += ",\n     \"value_cols\": ";
+        jsonStringList(out, t.valueCols);
+        out += ",\n     \"rows\": [";
+        for (std::size_t ri = 0; ri < t.rows.size(); ++ri) {
+            const FigureRow &r = t.rows[ri];
+            out += ri ? ",\n       {" : "\n       {";
+            out += "\"labels\": ";
+            jsonStringList(out, r.labels);
+            out += ", \"values\": [";
+            for (std::size_t vi = 0; vi < r.values.size(); ++vi) {
+                if (vi)
+                    out += ", ";
+                out += std::isnan(r.values[vi])
+                           ? "null"
+                           : formatDouble(r.values[vi]);
+            }
+            out += "]}";
+        }
+        out += t.rows.empty() ? "]}" : "\n     ]}";
+    }
+    out += f.tables.empty() ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    return out;
+}
+
+/** Quote a CSV cell when it contains a delimiter or quote. */
+std::string
+csvCell(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out.push_back(c);
+    }
+    out += "\"";
+    return out;
+}
+
+std::string
+renderCsv(const Figure &f)
+{
+    // Multi-mesh runs qualify every row with the mesh, so the
+    // concatenated output of several figures stays unambiguous.
+    const bool mesh = !f.context.empty();
+    std::string out;
+    if (f.tables.empty() && !f.note.empty())
+        return "# " + f.id + ": " + f.note + "\n";
+    for (const FigureTable &t : f.tables) {
+        out += mesh ? "figure,mesh,table" : "figure,table";
+        for (const std::string &c : t.labelCols)
+            out += "," + csvCell(c);
+        for (const std::string &c : t.valueCols)
+            out += "," + csvCell(c);
+        out += "\n";
+        for (const FigureRow &r : t.rows) {
+            out += csvCell(f.id);
+            if (mesh)
+                out += "," + csvCell(f.context);
+            out += "," + csvCell(t.name);
+            for (const std::string &l : r.labels)
+                out += "," + csvCell(l);
+            for (double v : r.values)
+                out += "," + (std::isnan(v) ? std::string()
+                                            : formatDouble(v));
+            out += "\n";
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+renderFigure(const Figure &f, ReportFormat fmt)
+{
+    switch (fmt) {
+      case ReportFormat::Json: return renderJson(f);
+      case ReportFormat::Csv: return renderCsv(f);
+      default: return renderTable(f);
+    }
+}
+
+} // namespace wastesim

@@ -1,0 +1,274 @@
+#include "metrics/metric_set.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace wastesim
+{
+
+const char *
+metricKindName(MetricKind k)
+{
+    return k == MetricKind::U64 ? "u64" : "f64";
+}
+
+void
+MetricSet::set(const std::string &path, const std::string &unit,
+               MetricKind kind, double value)
+{
+    auto it = index_.find(path);
+    if (it != index_.end()) {
+        Metric &m = metrics_[it->second];
+        m.unit = unit;
+        m.kind = kind;
+        m.value = value;
+        return;
+    }
+    index_[path] = metrics_.size();
+    metrics_.push_back(Metric{path, unit, kind, value});
+}
+
+bool
+MetricSet::has(const std::string &path) const
+{
+    return index_.count(path) != 0;
+}
+
+const Metric *
+MetricSet::find(const std::string &path) const
+{
+    auto it = index_.find(path);
+    return it == index_.end() ? nullptr : &metrics_[it->second];
+}
+
+double
+MetricSet::value(const std::string &path) const
+{
+    const Metric *m = find(path);
+    fatal_if(!m, "metric set: no metric at path '%s'", path.c_str());
+    return m->value;
+}
+
+std::string
+formatDouble(double v)
+{
+    if (std::isnan(v))
+        return "nan";
+    // Integral values (the common case for counters) print as plain
+    // integers; 2^53 bounds exact integer representation.
+    if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        return buf;
+    }
+    // Shortest precision that survives a strtod round-trip.
+    char buf[64];
+    for (int prec = 15; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    return buf;
+}
+
+/** Minimal JSON string escaping (paths/units are plain ASCII, but a
+ *  correct emitter escapes anyway). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Cursor over the restricted JSON grammar metricsToJson() emits. */
+class JsonCursor
+{
+  public:
+    explicit JsonCursor(const std::string &s) : s_(s) {}
+
+    void
+    skipWs()
+    {
+        while (i_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[i_])))
+            ++i_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (i_ >= s_.size() || s_[i_] != c)
+            return false;
+        ++i_;
+        return true;
+    }
+
+    bool
+    peek(char c)
+    {
+        skipWs();
+        return i_ < s_.size() && s_[i_] == c;
+    }
+
+    bool
+    string(std::string &out)
+    {
+        skipWs();
+        if (i_ >= s_.size() || s_[i_] != '"')
+            return false;
+        ++i_;
+        out.clear();
+        while (i_ < s_.size() && s_[i_] != '"') {
+            char c = s_[i_++];
+            if (c == '\\') {
+                if (i_ >= s_.size())
+                    return false;
+                const char esc = s_[i_++];
+                switch (esc) {
+                  case '"': c = '"'; break;
+                  case '\\': c = '\\'; break;
+                  case '/': c = '/'; break;
+                  case 'n': c = '\n'; break;
+                  case 't': c = '\t'; break;
+                  case 'u': {
+                      if (i_ + 4 > s_.size())
+                          return false;
+                      c = static_cast<char>(std::strtoul(
+                          s_.substr(i_, 4).c_str(), nullptr, 16));
+                      i_ += 4;
+                      break;
+                  }
+                  default: return false;
+                }
+            }
+            out.push_back(c);
+        }
+        if (i_ >= s_.size())
+            return false;
+        ++i_; // closing quote
+        return true;
+    }
+
+    /** A JSON number, or the literal null (parsed as NaN). */
+    bool
+    number(double &out)
+    {
+        skipWs();
+        if (s_.compare(i_, 4, "null") == 0) {
+            i_ += 4;
+            out = std::nan("");
+            return true;
+        }
+        const char *start = s_.c_str() + i_;
+        char *end = nullptr;
+        out = std::strtod(start, &end);
+        if (end == start)
+            return false;
+        i_ += static_cast<std::size_t>(end - start);
+        return true;
+    }
+
+    bool
+    atEnd()
+    {
+        skipWs();
+        return i_ >= s_.size();
+    }
+
+  private:
+    const std::string &s_;
+    std::size_t i_ = 0;
+};
+
+} // namespace
+
+std::string
+metricsToJson(const MetricSet &ms)
+{
+    std::string out = "{\n";
+    bool first = true;
+    for (const Metric &m : ms) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += "  \"" + jsonEscape(m.path) + "\": {\"value\": ";
+        out += std::isnan(m.value) ? "null" : formatDouble(m.value);
+        out += ", \"unit\": \"" + jsonEscape(m.unit) + "\", \"kind\": \"";
+        out += metricKindName(m.kind);
+        out += "\"}";
+    }
+    out += "\n}\n";
+    return out;
+}
+
+bool
+metricsFromJson(const std::string &json, MetricSet &out)
+{
+    out = MetricSet{};
+    JsonCursor cur(json);
+    if (!cur.consume('{'))
+        return false;
+    if (cur.consume('}'))
+        return cur.atEnd();
+    do {
+        std::string path, key;
+        if (!cur.string(path) || !cur.consume(':') || !cur.consume('{'))
+            return false;
+        double value = 0;
+        std::string unit;
+        MetricKind kind = MetricKind::F64;
+        do {
+            if (!cur.string(key) || !cur.consume(':'))
+                return false;
+            if (key == "value") {
+                if (!cur.number(value))
+                    return false;
+            } else if (key == "unit") {
+                if (!cur.string(unit))
+                    return false;
+            } else if (key == "kind") {
+                std::string k;
+                if (!cur.string(k))
+                    return false;
+                if (k == "u64")
+                    kind = MetricKind::U64;
+                else if (k != "f64")
+                    return false;
+            } else {
+                return false;
+            }
+        } while (cur.consume(','));
+        if (!cur.consume('}'))
+            return false;
+        out.set(path, unit, kind, value);
+    } while (cur.consume(','));
+    return cur.consume('}') && cur.atEnd();
+}
+
+} // namespace wastesim

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Schema-level metric representation: every counter a simulation
+ * produces is a named, unit-carrying metric on a hierarchy path
+ * ("traffic.ld.req_ctl", "energy.dram", ...).  Profilers and the
+ * energy model publish into a MetricSet; every emitter (sweep-cache
+ * serialization, figure renderers, JSON/CSV output, bench rows) reads
+ * from it — there is exactly one machine-readable definition of what
+ * a metric is called and what it measures.
+ */
+
+#ifndef WASTESIM_METRICS_METRIC_SET_HH
+#define WASTESIM_METRICS_METRIC_SET_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wastesim
+{
+
+/** Value domain of a metric (U64 metrics serialize as integers). */
+enum class MetricKind : unsigned char
+{
+    F64,
+    U64
+};
+
+/** Printable name of a metric kind ("f64" / "u64"). */
+const char *metricKindName(MetricKind k);
+
+/** One named, unit-carrying value.  The value is held as a double
+ *  even for U64 metrics, so counters beyond 2^53 lose exactness in
+ *  the MetricSet/JSON path; only the sweep-cache cell format (which
+ *  streams U64 fields through their integer accessors) preserves
+ *  them bit-exactly.  No simulation produces such magnitudes. */
+struct Metric
+{
+    std::string path; //!< hierarchy path, e.g. "traffic.ld.req_ctl"
+    std::string unit; //!< e.g. "flit-hops", "words", "pJ"
+    MetricKind kind = MetricKind::F64;
+    double value = 0;
+};
+
+/**
+ * An ordered collection of metrics.  Insertion order is preserved
+ * (emitters rely on it for stable output); paths are unique — setting
+ * an existing path overwrites its value in place.
+ */
+class MetricSet
+{
+  public:
+    void set(const std::string &path, const std::string &unit,
+             MetricKind kind, double value);
+
+    void
+    set(const std::string &path, const std::string &unit, double value)
+    {
+        set(path, unit, MetricKind::F64, value);
+    }
+
+    bool has(const std::string &path) const;
+
+    /** The metric at @p path, or nullptr. */
+    const Metric *find(const std::string &path) const;
+
+    /** Value at @p path; calls fatal() when absent (a typo in a
+     *  metric path must fail loudly, not read as zero). */
+    double value(const std::string &path) const;
+
+    std::size_t size() const { return metrics_.size(); }
+    bool empty() const { return metrics_.empty(); }
+
+    std::vector<Metric>::const_iterator
+    begin() const
+    {
+        return metrics_.begin();
+    }
+    std::vector<Metric>::const_iterator
+    end() const
+    {
+        return metrics_.end();
+    }
+
+  private:
+    std::vector<Metric> metrics_;
+    std::map<std::string, std::size_t> index_;
+};
+
+/**
+ * Shortest decimal form of @p v that parses back to exactly the same
+ * double (integers print without an exponent or decimal point).
+ * Shared by every text emitter so numbers round-trip losslessly.
+ */
+std::string formatDouble(double v);
+
+/** Escape @p s for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Serialize a MetricSet as a JSON object in insertion order:
+ * `{"path": {"value": V, "unit": "U", "kind": "K"}, ...}`.
+ * NaN values emit as null.
+ */
+std::string metricsToJson(const MetricSet &ms);
+
+/**
+ * Parse metricsToJson() output back into @p out (replacing its
+ * contents).  Returns false on malformed input; values round-trip
+ * bit-exactly.
+ */
+bool metricsFromJson(const std::string &json, MetricSet &out);
+
+} // namespace wastesim
+
+#endif // WASTESIM_METRICS_METRIC_SET_HH

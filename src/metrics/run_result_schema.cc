@@ -1,0 +1,383 @@
+#include "metrics/run_result_schema.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+
+#include "common/log.hh"
+#include "profile/energy.hh"
+#include "system/system.hh"
+
+namespace wastesim
+{
+
+namespace
+{
+
+/** Registers one double-valued counter on cache-block line @p line. */
+#define WS_FIELD_F64(line, path, unit, expr)                              \
+    RunResultField                                                        \
+    {                                                                     \
+        path, unit, MetricKind::F64, line,                                \
+            [](const RunResult &r) -> double { return r.expr; },          \
+            [](RunResult &r, double v) { r.expr = v; }, nullptr, nullptr  \
+    }
+
+/** Registers one integer counter on cache-block line @p line. */
+#define WS_FIELD_U64(line, path, unit, expr)                              \
+    RunResultField                                                        \
+    {                                                                     \
+        path, unit, MetricKind::U64, line,                                \
+            [](const RunResult &r) -> double {                            \
+                return static_cast<double>(r.expr);                       \
+            },                                                            \
+            [](RunResult &r, double v) {                                  \
+                r.expr = static_cast<std::uint64_t>(v);                   \
+            },                                                            \
+            [](const RunResult &r) -> std::uint64_t { return r.expr; },   \
+            [](RunResult &r, std::uint64_t v) { r.expr = v; }             \
+    }
+
+const char *const flits = "flit-hops";
+const char *const words = "words";
+const char *const cyc = "cycles";
+const char *const cnt = "count";
+
+/**
+ * The registry.  Field order within each line IS the serialized
+ * order of the version-1 cell block, so this table must only ever be
+ * extended by appending new lines under a new block version.
+ */
+const std::vector<RunResultField> &
+fields()
+{
+    static const std::vector<RunResultField> table{
+        // Line 0: traffic buckets (Figs. 5.1a-5.1d, Section 5.2.4).
+        WS_FIELD_F64(0, "traffic.ld.req_ctl", flits, traffic.ldReqCtl),
+        WS_FIELD_F64(0, "traffic.ld.resp_ctl", flits, traffic.ldRespCtl),
+        WS_FIELD_F64(0, "traffic.ld.resp_l1_used", flits,
+                     traffic.ldRespL1Used),
+        WS_FIELD_F64(0, "traffic.ld.resp_l1_waste", flits,
+                     traffic.ldRespL1Waste),
+        WS_FIELD_F64(0, "traffic.ld.resp_l2_used", flits,
+                     traffic.ldRespL2Used),
+        WS_FIELD_F64(0, "traffic.ld.resp_l2_waste", flits,
+                     traffic.ldRespL2Waste),
+        WS_FIELD_F64(0, "traffic.st.req_ctl", flits, traffic.stReqCtl),
+        WS_FIELD_F64(0, "traffic.st.resp_ctl", flits, traffic.stRespCtl),
+        WS_FIELD_F64(0, "traffic.st.resp_l1_used", flits,
+                     traffic.stRespL1Used),
+        WS_FIELD_F64(0, "traffic.st.resp_l1_waste", flits,
+                     traffic.stRespL1Waste),
+        WS_FIELD_F64(0, "traffic.st.resp_l2_used", flits,
+                     traffic.stRespL2Used),
+        WS_FIELD_F64(0, "traffic.st.resp_l2_waste", flits,
+                     traffic.stRespL2Waste),
+        WS_FIELD_F64(0, "traffic.wb.control", flits, traffic.wbControl),
+        WS_FIELD_F64(0, "traffic.wb.l2_used", flits, traffic.wbL2Used),
+        WS_FIELD_F64(0, "traffic.wb.l2_waste", flits, traffic.wbL2Waste),
+        WS_FIELD_F64(0, "traffic.wb.mem_used", flits, traffic.wbMemUsed),
+        WS_FIELD_F64(0, "traffic.wb.mem_waste", flits,
+                     traffic.wbMemWaste),
+        WS_FIELD_F64(0, "traffic.oh.unblock", flits, traffic.ohUnblock),
+        WS_FIELD_F64(0, "traffic.oh.wb_ctl", flits, traffic.ohWbCtl),
+        WS_FIELD_F64(0, "traffic.oh.inv", flits, traffic.ohInv),
+        WS_FIELD_F64(0, "traffic.oh.ack", flits, traffic.ohAck),
+        WS_FIELD_F64(0, "traffic.oh.nack", flits, traffic.ohNack),
+        WS_FIELD_F64(0, "traffic.oh.bloom", flits, traffic.ohBloom),
+
+        // Lines 1-3: per-level fetch-waste categories (Fig. 5.3), in
+        // WasteCat order.
+        WS_FIELD_F64(1, "waste.l1.unclassified", words,
+                     l1Waste[WasteCat::Unclassified]),
+        WS_FIELD_F64(1, "waste.l1.used", words, l1Waste[WasteCat::Used]),
+        WS_FIELD_F64(1, "waste.l1.write", words,
+                     l1Waste[WasteCat::Write]),
+        WS_FIELD_F64(1, "waste.l1.fetch", words,
+                     l1Waste[WasteCat::Fetch]),
+        WS_FIELD_F64(1, "waste.l1.invalidate", words,
+                     l1Waste[WasteCat::Invalidate]),
+        WS_FIELD_F64(1, "waste.l1.evict", words,
+                     l1Waste[WasteCat::Evict]),
+        WS_FIELD_F64(1, "waste.l1.unevicted", words,
+                     l1Waste[WasteCat::Unevicted]),
+        WS_FIELD_F64(1, "waste.l1.excess", words,
+                     l1Waste[WasteCat::Excess]),
+        WS_FIELD_F64(2, "waste.l2.unclassified", words,
+                     l2Waste[WasteCat::Unclassified]),
+        WS_FIELD_F64(2, "waste.l2.used", words, l2Waste[WasteCat::Used]),
+        WS_FIELD_F64(2, "waste.l2.write", words,
+                     l2Waste[WasteCat::Write]),
+        WS_FIELD_F64(2, "waste.l2.fetch", words,
+                     l2Waste[WasteCat::Fetch]),
+        WS_FIELD_F64(2, "waste.l2.invalidate", words,
+                     l2Waste[WasteCat::Invalidate]),
+        WS_FIELD_F64(2, "waste.l2.evict", words,
+                     l2Waste[WasteCat::Evict]),
+        WS_FIELD_F64(2, "waste.l2.unevicted", words,
+                     l2Waste[WasteCat::Unevicted]),
+        WS_FIELD_F64(2, "waste.l2.excess", words,
+                     l2Waste[WasteCat::Excess]),
+        WS_FIELD_F64(3, "waste.mem.unclassified", words,
+                     memWaste[WasteCat::Unclassified]),
+        WS_FIELD_F64(3, "waste.mem.used", words,
+                     memWaste[WasteCat::Used]),
+        WS_FIELD_F64(3, "waste.mem.write", words,
+                     memWaste[WasteCat::Write]),
+        WS_FIELD_F64(3, "waste.mem.fetch", words,
+                     memWaste[WasteCat::Fetch]),
+        WS_FIELD_F64(3, "waste.mem.invalidate", words,
+                     memWaste[WasteCat::Invalidate]),
+        WS_FIELD_F64(3, "waste.mem.evict", words,
+                     memWaste[WasteCat::Evict]),
+        WS_FIELD_F64(3, "waste.mem.unevicted", words,
+                     memWaste[WasteCat::Unevicted]),
+        WS_FIELD_F64(3, "waste.mem.excess", words,
+                     memWaste[WasteCat::Excess]),
+
+        // Line 4: execution-time breakdown (Fig. 5.2).
+        WS_FIELD_F64(4, "time.busy", cyc, time.busy),
+        WS_FIELD_F64(4, "time.on_chip", cyc, time.onChip),
+        WS_FIELD_F64(4, "time.to_mc", cyc, time.toMc),
+        WS_FIELD_F64(4, "time.mem", cyc, time.mem),
+        WS_FIELD_F64(4, "time.from_mc", cyc, time.fromMc),
+        WS_FIELD_F64(4, "time.sync", cyc, time.sync),
+
+        // Line 5: scalar counters.
+        WS_FIELD_U64(5, "cycles", cyc, cycles),
+        WS_FIELD_F64(5, "raw_flit_hops", flits, rawFlitHops),
+        WS_FIELD_U64(5, "messages", cnt, messages),
+        WS_FIELD_U64(5, "l1_accesses", cnt, l1Accesses),
+        WS_FIELD_U64(5, "l2_accesses", cnt, l2Accesses),
+        WS_FIELD_U64(5, "dram.reads", cnt, dramReads),
+        WS_FIELD_U64(5, "dram.writes", cnt, dramWrites),
+        WS_FIELD_U64(5, "dram.row_hits", cnt, dramRowHits),
+        WS_FIELD_U64(5, "nacks", cnt, nacks),
+        WS_FIELD_U64(5, "recalls", cnt, recalls),
+        WS_FIELD_U64(5, "bypass_direct", cnt, bypassDirect),
+        WS_FIELD_U64(5, "self_invalidations", cnt, selfInvalidations),
+        WS_FIELD_U64(5, "words_from_memory", words, wordsFromMemory),
+        WS_FIELD_U64(5, "max_link_flits", "flits", maxLinkFlits),
+
+        // Whole-run kernel-event count: deliberately not figure data
+        // and not serialized (see RunResult::eventsExecuted).
+        WS_FIELD_U64(-1, "events_executed", cnt, eventsExecuted),
+    };
+    return table;
+}
+
+#undef WS_FIELD_F64
+#undef WS_FIELD_U64
+
+const std::vector<DerivedMetric> &
+derived()
+{
+    static const std::vector<DerivedMetric> table{
+        {"traffic.ld.total", flits,
+         [](const RunResult &r) { return r.traffic.load(); }},
+        {"traffic.st.total", flits,
+         [](const RunResult &r) { return r.traffic.store(); }},
+        {"traffic.wb.total", flits,
+         [](const RunResult &r) { return r.traffic.writeback(); }},
+        {"traffic.oh.total", flits,
+         [](const RunResult &r) { return r.traffic.overhead(); }},
+        {"traffic.total", flits,
+         [](const RunResult &r) { return r.traffic.total(); }},
+        {"traffic.waste_data", flits,
+         [](const RunResult &r) { return r.traffic.wasteData(); }},
+        {"waste.l1.total", words,
+         [](const RunResult &r) { return r.l1Waste.total(); }},
+        {"waste.l1.waste", words,
+         [](const RunResult &r) { return r.l1Waste.waste(); }},
+        {"waste.l1.waste_frac", "fraction",
+         [](const RunResult &r) {
+             const double t = r.l1Waste.total();
+             return t == 0 ? 0.0 : r.l1Waste.waste() / t;
+         }},
+        {"waste.l2.total", words,
+         [](const RunResult &r) { return r.l2Waste.total(); }},
+        {"waste.l2.waste", words,
+         [](const RunResult &r) { return r.l2Waste.waste(); }},
+        {"waste.l2.waste_frac", "fraction",
+         [](const RunResult &r) {
+             const double t = r.l2Waste.total();
+             return t == 0 ? 0.0 : r.l2Waste.waste() / t;
+         }},
+        {"waste.mem.total", words,
+         [](const RunResult &r) { return r.memWaste.total(); }},
+        {"waste.mem.waste", words,
+         [](const RunResult &r) { return r.memWaste.waste(); }},
+        {"waste.mem.waste_frac", "fraction",
+         [](const RunResult &r) {
+             const double t = r.memWaste.total();
+             return t == 0 ? 0.0 : r.memWaste.waste() / t;
+         }},
+        {"time.total", cyc,
+         [](const RunResult &r) { return r.time.total(); }},
+    };
+    return table;
+}
+
+/** Energy metric paths/units (values come from an EnergyModel). */
+struct EnergyMetricDesc
+{
+    const char *path;
+    const char *unit;
+};
+
+const EnergyMetricDesc energyMetrics[] = {
+    {"energy.network", "pJ"},
+    {"energy.l1", "pJ"},
+    {"energy.l2", "pJ"},
+    {"energy.dram", "pJ"},
+    {"energy.dram_per_channel", "pJ"},
+    {"energy.total", "pJ"},
+    {"energy.link_mm", "mm"},
+    {"energy.pj_per_flit_hop", "pJ"},
+};
+
+/** Cache-block lines 1-3 (the waste vectors) end every value with a
+ *  space; the other lines separate values with single spaces. */
+bool
+lineHasTrailingSpace(int line)
+{
+    return line >= 1 && line <= 3;
+}
+
+constexpr int numBlockLines = 6;
+
+} // namespace
+
+const std::vector<RunResultField> &
+runResultFields()
+{
+    return fields();
+}
+
+const std::vector<DerivedMetric> &
+runResultDerivedMetrics()
+{
+    return derived();
+}
+
+void
+writeRunResultBlock(std::ostream &os, const RunResult &r,
+                    unsigned version)
+{
+    fatal_if(version != runResultBlockVersion,
+             "run result block: unknown format version %u", version);
+    os << r.protocol << ' ' << r.benchmark << '\n';
+    for (int line = 0; line < numBlockLines; ++line) {
+        const bool trailing = lineHasTrailingSpace(line);
+        bool first = true;
+        for (const RunResultField &f : fields()) {
+            if (f.line != line)
+                continue;
+            if (!first && !trailing)
+                os << ' ';
+            first = false;
+            if (f.kind == MetricKind::U64)
+                os << f.getU(r);
+            else
+                os << f.getF(r);
+            if (trailing)
+                os << ' ';
+        }
+        os << '\n';
+    }
+}
+
+bool
+readRunResultBlock(std::istream &is, RunResult &r, unsigned version)
+{
+    fatal_if(version != runResultBlockVersion,
+             "run result block: unknown format version %u", version);
+    if (!(is >> r.protocol >> r.benchmark))
+        return false;
+    // operator>> skips interleaving whitespace, so parsing walks the
+    // registry in order without caring about the line structure.
+    for (const RunResultField &f : fields()) {
+        if (f.line < 0)
+            continue;
+        if (f.kind == MetricKind::U64) {
+            std::uint64_t v = 0;
+            if (!(is >> v))
+                return false;
+            f.setU(r, v);
+        } else {
+            double v = 0;
+            if (!(is >> v))
+                return false;
+            f.setF(r, v);
+        }
+    }
+    return static_cast<bool>(is);
+}
+
+MetricSet
+runResultMetrics(const RunResult &r, const EnergyModel *energy)
+{
+    MetricSet ms;
+    for (const RunResultField &f : fields())
+        ms.set(f.path, f.unit, f.kind, f.getF(r));
+    for (const DerivedMetric &d : derived())
+        ms.set(d.path, d.unit, MetricKind::F64, d.compute(r));
+    if (energy) {
+        const EnergyBreakdown e = energy->estimate(r);
+        const unsigned channels =
+            std::max(1u, energy->topology().numMemCtrls());
+        const double values[] = {
+            e.network,
+            e.l1,
+            e.l2,
+            e.dram,
+            e.dram / channels,
+            e.total(),
+            energy->linkLengthMm(),
+            energy->pjPerFlitHop(),
+        };
+        static_assert(sizeof(values) / sizeof(values[0]) ==
+                      sizeof(energyMetrics) / sizeof(energyMetrics[0]));
+        for (std::size_t i = 0;
+             i < sizeof(energyMetrics) / sizeof(energyMetrics[0]); ++i)
+            ms.set(energyMetrics[i].path, energyMetrics[i].unit,
+                   MetricKind::F64, values[i]);
+    }
+    return ms;
+}
+
+std::vector<Metric>
+metricsSchema()
+{
+    std::vector<Metric> schema;
+    for (const RunResultField &f : fields())
+        schema.push_back(Metric{f.path, f.unit, f.kind, 0});
+    for (const DerivedMetric &d : derived())
+        schema.push_back(Metric{d.path, d.unit, MetricKind::F64, 0});
+    for (const EnergyMetricDesc &e : energyMetrics)
+        schema.push_back(Metric{e.path, e.unit, MetricKind::F64, 0});
+    return schema;
+}
+
+std::string
+metricsSchemaFingerprint()
+{
+    std::uint64_t h = 1469598103934665603ULL; // FNV-1a offset basis
+    auto mix = [&h](const std::string &s) {
+        for (char c : s) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 1099511628211ULL; // FNV-1a prime
+        }
+        h ^= '\n';
+        h *= 1099511628211ULL;
+    };
+    for (const Metric &m : metricsSchema())
+        mix(m.path + "|" + m.unit + "|" + metricKindName(m.kind));
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+} // namespace wastesim

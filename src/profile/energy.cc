@@ -6,17 +6,29 @@ namespace wastesim
 {
 
 EnergyBreakdown
-estimateEnergy(const RunResult &r, const EnergyParams &p)
+EnergyModel::estimate(const RunResult &r) const
 {
+    const EnergyParams &p = params_;
     EnergyBreakdown e;
-    e.network = r.traffic.total() * p.pjPerFlitHop;
+    e.network = r.traffic.total() * pjPerFlitHop();
     e.l1 = static_cast<double>(r.l1Accesses) * p.pjPerL1Access +
            r.l1Waste.total() * p.pjPerWordFill;
     e.l2 = static_cast<double>(r.l2Accesses) * p.pjPerL2Access +
            r.l2Waste.total() * p.pjPerWordFill;
-    e.dram = static_cast<double>(r.dramReads + r.dramWrites) *
-             p.pjPerDramAccess;
+    const std::uint64_t accesses = r.dramReads + r.dramWrites;
+    // Row hits are counted among the accesses; clamp defensively so a
+    // hand-built RunResult cannot produce negative energy.
+    const std::uint64_t misses =
+        accesses > r.dramRowHits ? accesses - r.dramRowHits : 0;
+    e.dram = static_cast<double>(accesses) * p.pjPerDramBurst +
+             static_cast<double>(misses) * p.pjPerDramActivate;
     return e;
+}
+
+EnergyBreakdown
+estimateEnergy(const RunResult &r, const EnergyParams &p)
+{
+    return EnergyModel(Topology{}, p).estimate(r);
 }
 
 } // namespace wastesim

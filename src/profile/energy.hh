@@ -1,22 +1,48 @@
 /**
  * @file
- * First-order dynamic-energy estimator (extension).
+ * Topology-aware first-order dynamic-energy estimator (extension).
  *
  * The paper motivates traffic elimination with the energy cost of
  * data movement (Keckler et al. [16], Kogge et al. [19]: moving a bit
  * from DRAM costs as much as a fused multiply-add; even on-chip
  * movement is expensive) but reports traffic, not energy.  This
- * module converts a RunResult into a rough energy breakdown using
- * per-event constants in the spirit of those technology reports, so
- * the protocol comparison can be read in nanojoules as well as
- * flit-hops.  The constants are deliberately configurable — they are
- * ballpark 2008-2011 projections, not a signoff power model.
+ * module converts a RunResult into a rough energy breakdown so the
+ * protocol comparison can be read in nanojoules as well as flit-hops,
+ * and publishes the estimate as first-class energy.* metrics through
+ * the metric registry (metrics/run_result_schema.hh).
+ *
+ * Calibration notes
+ * -----------------
+ * The constants are ballpark 2008-2011 technology projections in the
+ * spirit of the Keckler/Kogge reports, not a signoff power model:
+ *
+ *  - **Network**: on-chip wire energy is per bit *per millimeter*
+ *    (~0.05-0.25 pJ/bit/mm in the 45-22 nm projections), so the cost
+ *    of a hop depends on the link length, which depends on the mesh
+ *    geometry.  EnergyModel assumes a fixed die (dieEdgeMm on a side)
+ *    tiled by the active mesh: the link pitch is the die edge divided
+ *    by the mesh dimension, averaged over X and Y for non-square
+ *    meshes.  The default 3.25 pJ per 16-byte flit per mm reproduces
+ *    the historical flat 13 pJ/flit-hop constant at the paper's 4x4
+ *    mesh (4 mm links on a 16 mm die); an 8x8 mesh on the same die
+ *    has 2 mm links, so each hop costs half as much — denser meshes
+ *    take more hops but cheaper ones, exactly the trade the placement
+ *    studies measure.
+ *  - **DRAM**: a line access is split into the data burst
+ *    (pjPerDramBurst, paid by every access) and the row
+ *    activate/precharge (pjPerDramActivate, paid only on row-buffer
+ *    misses, which RunResult::dramRowHits lets us subtract).  The
+ *    defaults sum to the historical flat 10 nJ/access when every
+ *    access misses the row buffer, so row-hit-friendly protocols and
+ *    MC placements now show their energy advantage.
+ *  - **SRAM**: flat per-access constants for the 32 KB L1 and 256 KB
+ *    L2 slice, plus a per-word array-write fill cost.
  */
 
 #ifndef WASTESIM_PROFILE_ENERGY_HH
 #define WASTESIM_PROFILE_ENERGY_HH
 
-#include <string>
+#include "common/topology.hh"
 
 namespace wastesim
 {
@@ -26,8 +52,12 @@ struct RunResult;
 /** Per-event dynamic energy constants (picojoules). */
 struct EnergyParams
 {
-    /** One 16-byte flit traversing one link (~0.1 pJ/bit). */
-    double pjPerFlitHop = 13.0;
+    /** One 16-byte flit traversing one mm of link (~0.2 pJ/bit/mm). */
+    double pjPerFlitHopMm = 3.25;
+
+    /** Die edge in mm; the mesh tiles this fixed area, so link
+     *  length = die edge / mesh dimension. */
+    double dieEdgeMm = 16.0;
 
     /** One L1 access (32 KB SRAM read/write). */
     double pjPerL1Access = 10.0;
@@ -38,8 +68,11 @@ struct EnergyParams
     /** One word installed into a cache (array write). */
     double pjPerWordFill = 1.0;
 
-    /** One DRAM line access (~20 pJ/bit x 512 bits). */
-    double pjPerDramAccess = 10000.0;
+    /** DRAM data burst for one line access (~12 pJ/bit x 512 bits). */
+    double pjPerDramBurst = 6000.0;
+
+    /** Row activate + precharge, paid on row-buffer misses only. */
+    double pjPerDramActivate = 4000.0;
 };
 
 /** Estimated dynamic energy, by component (picojoules). */
@@ -53,7 +86,48 @@ struct EnergyBreakdown
     double total() const { return network + l1 + l2 + dram; }
 };
 
-/** Estimate the dynamic energy of one run. */
+/**
+ * Energy estimator for one topology: per-hop cost scaled by the link
+ * length the mesh geometry implies, DRAM cost split by row-buffer
+ * behavior.
+ */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(Topology topo = Topology{},
+                         EnergyParams params = EnergyParams{})
+        : topo_(std::move(topo)), params_(params)
+    {
+    }
+
+    /** Link length on the fixed die: dieEdgeMm / mesh dimension,
+     *  averaged over X and Y. */
+    double
+    linkLengthMm() const
+    {
+        return params_.dieEdgeMm *
+               (1.0 / topo_.meshX() + 1.0 / topo_.meshY()) / 2.0;
+    }
+
+    /** Energy of one flit traversing one link of this mesh. */
+    double
+    pjPerFlitHop() const
+    {
+        return params_.pjPerFlitHopMm * linkLengthMm();
+    }
+
+    /** Estimate the dynamic energy of one run on this topology. */
+    EnergyBreakdown estimate(const RunResult &r) const;
+
+    const Topology &topology() const { return topo_; }
+    const EnergyParams &params() const { return params_; }
+
+  private:
+    Topology topo_;
+    EnergyParams params_;
+};
+
+/** Estimate on the paper's default 4x4 topology (compat wrapper). */
 EnergyBreakdown estimateEnergy(const RunResult &r,
                                const EnergyParams &p = EnergyParams{});
 

@@ -1,9 +1,12 @@
 #include "system/report.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/log.hh"
 #include "common/stats.hh"
+#include "metrics/run_result_schema.hh"
+#include "profile/energy.hh"
 
 namespace wastesim
 {
@@ -27,46 +30,50 @@ safeDiv(double a, double b)
     return b == 0 ? 0.0 : a / b;
 }
 
-/** Geometric structure shared by the per-benchmark stacked tables. */
+/**
+ * Geometric structure shared by the per-benchmark stacked figures:
+ * one table per benchmark, one row per protocol, categories plus a
+ * Total column, everything normalized to the MESI row.
+ */
 template <typename RowFn>
-std::string
-renderStacked(const Sweep &s, const std::vector<std::string> &cats,
-              const char *title, RowFn &&row_fn)
+Figure
+buildStacked(const Sweep &s, const char *id,
+             const std::vector<std::string> &cats, const char *title,
+             RowFn &&row_fn)
 {
-    std::string out;
-    out += title;
-    out += "\n";
+    Figure f;
+    f.id = id;
+    f.title = title;
+    f.unit = "fraction of MESI";
+    f.spaced = true;
     for (std::size_t b = 0; b < s.benchNames.size(); ++b) {
-        TextTable t;
-        std::vector<std::string> hdr{s.benchNames[b]};
-        hdr.insert(hdr.end(), cats.begin(), cats.end());
-        hdr.push_back("Total");
-        t.header(hdr);
+        FigureTable t;
+        t.name = s.benchNames[b];
+        t.labelCols = {s.benchNames[b]};
+        t.valueCols = cats;
+        t.valueCols.push_back("Total");
         for (std::size_t p = 0; p < s.protoNames.size(); ++p) {
-            std::vector<double> vals =
-                row_fn(s.results[b][p], s.results[b][0]);
-            std::vector<std::string> row{s.protoNames[p]};
+            FigureRow row;
+            row.labels = {s.protoNames[p]};
+            row.values = row_fn(s.results[b][p], s.results[b][0]);
             double total = 0;
-            for (double v : vals) {
-                row.push_back(pct(v));
+            for (double v : row.values)
                 total += v;
-            }
-            row.push_back(pct(total));
-            t.row(std::move(row));
+            row.values.push_back(total);
+            t.rows.push_back(std::move(row));
         }
-        out += t.render();
-        out += "\n";
+        f.tables.push_back(std::move(t));
     }
-    return out;
+    return f;
 }
 
 } // namespace
 
-std::string
-renderFig51a(const Sweep &s)
+Figure
+buildFig51a(const Sweep &s)
 {
-    return renderStacked(
-        s, {"LD", "ST", "WB", "Overhead"},
+    return buildStacked(
+        s, "fig5.1a", {"LD", "ST", "WB", "Overhead"},
         "Figure 5.1a: overall network traffic (flit-hops, "
         "normalized to MESI)",
         [](const RunResult &r, const RunResult &base) {
@@ -79,11 +86,11 @@ renderFig51a(const Sweep &s)
         });
 }
 
-std::string
-renderFig51b(const Sweep &s)
+Figure
+buildFig51b(const Sweep &s)
 {
-    return renderStacked(
-        s,
+    return buildStacked(
+        s, "fig5.1b",
         {"ReqCtl", "RespCtl", "RespL1Used", "RespL1Waste", "RespL2Used",
          "RespL2Waste"},
         "Figure 5.1b: LD network traffic breakdown (normalized to "
@@ -98,11 +105,11 @@ renderFig51b(const Sweep &s)
         });
 }
 
-std::string
-renderFig51c(const Sweep &s)
+Figure
+buildFig51c(const Sweep &s)
 {
-    return renderStacked(
-        s,
+    return buildStacked(
+        s, "fig5.1c",
         {"ReqCtl", "RespCtl", "RespL1Used", "RespL1Waste", "RespL2Used",
          "RespL2Waste"},
         "Figure 5.1c: ST network traffic breakdown (normalized to "
@@ -117,11 +124,12 @@ renderFig51c(const Sweep &s)
         });
 }
 
-std::string
-renderFig51d(const Sweep &s)
+Figure
+buildFig51d(const Sweep &s)
 {
-    return renderStacked(
-        s, {"Control", "L2 Used", "L2 Waste", "Mem Used", "Mem Waste"},
+    return buildStacked(
+        s, "fig5.1d",
+        {"Control", "L2 Used", "L2 Waste", "Mem Used", "Mem Waste"},
         "Figure 5.1d: WB network traffic breakdown (normalized to "
         "MESI WB traffic)",
         [](const RunResult &r, const RunResult &base) {
@@ -134,11 +142,12 @@ renderFig51d(const Sweep &s)
         });
 }
 
-std::string
-renderFig52(const Sweep &s)
+Figure
+buildFig52(const Sweep &s)
 {
-    return renderStacked(
-        s, {"Compute", "On-chip Hit", "ToMC", "Mem", "FromMC", "Sync"},
+    return buildStacked(
+        s, "fig5.2",
+        {"Compute", "On-chip Hit", "ToMC", "Mem", "FromMC", "Sync"},
         "Figure 5.2: execution time breakdown (normalized to MESI)",
         [](const RunResult &r, const RunResult &base) {
             const double n = base.time.total();
@@ -150,9 +159,12 @@ renderFig52(const Sweep &s)
         });
 }
 
-std::string
-renderFig53(const Sweep &s, WasteLevel level)
+Figure
+buildFig53(const Sweep &s, WasteLevel level)
 {
+    const char *id = level == WasteLevel::L1       ? "fig5.3a"
+                     : level == WasteLevel::L2     ? "fig5.3b"
+                                                  : "fig5.3c";
     const char *title =
         level == WasteLevel::L1
             ? "Figure 5.3a: L1 fetch waste (words, normalized to MESI)"
@@ -166,8 +178,8 @@ renderFig53(const Sweep &s, WasteLevel level)
     if (level == WasteLevel::Memory)
         cats.push_back("Excess");
 
-    return renderStacked(
-        s, cats, title,
+    return buildStacked(
+        s, id, cats, title,
         [level](const RunResult &r, const RunResult &base) {
             auto pick = [level](const RunResult &x) -> const WasteCounts & {
                 switch (level) {
@@ -193,47 +205,62 @@ renderFig53(const Sweep &s, WasteLevel level)
         });
 }
 
-std::string
-renderOverheadComposition(const Sweep &s)
+Figure
+buildOverheadComposition(const Sweep &s)
 {
-    std::string out =
-        "Section 5.2.4: overhead traffic composition\n";
-    TextTable t;
-    t.header({"Benchmark", "Protocol", "Oh/Total", "Unblock", "WbCtl",
-              "Inv", "Ack", "Nack", "Bloom"});
+    Figure f;
+    f.id = "overhead";
+    f.title = "Section 5.2.4: overhead traffic composition";
+    f.unit = "fraction";
+    f.spaced = false;
+
+    FigureTable t;
+    t.labelCols = {"Benchmark", "Protocol"};
+    t.valueCols = {"Oh/Total", "Unblock", "WbCtl", "Inv",
+                   "Ack",      "Nack",    "Bloom"};
+    const double none = std::nan("");
     for (std::size_t b = 0; b < s.benchNames.size(); ++b) {
         for (std::size_t p = 0; p < s.protoNames.size(); ++p) {
             const TrafficStats &tr = s.results[b][p].traffic;
             const double oh = tr.overhead();
+            FigureRow row;
+            row.labels = {s.benchNames[b], s.protoNames[p]};
             if (oh == 0) {
-                t.row({s.benchNames[b], s.protoNames[p],
-                       pct(safeDiv(oh, tr.total())), "-", "-", "-", "-",
-                       "-", "-"});
-                continue;
+                row.values = {safeDiv(oh, tr.total()), none, none,
+                              none, none, none, none};
+            } else {
+                row.values = {safeDiv(oh, tr.total()),
+                              safeDiv(tr.ohUnblock, oh),
+                              safeDiv(tr.ohWbCtl, oh),
+                              safeDiv(tr.ohInv, oh),
+                              safeDiv(tr.ohAck, oh),
+                              safeDiv(tr.ohNack, oh),
+                              safeDiv(tr.ohBloom, oh)};
             }
-            t.row({s.benchNames[b], s.protoNames[p],
-                   pct(safeDiv(oh, tr.total())),
-                   pct(safeDiv(tr.ohUnblock, oh)),
-                   pct(safeDiv(tr.ohWbCtl, oh)),
-                   pct(safeDiv(tr.ohInv, oh)),
-                   pct(safeDiv(tr.ohAck, oh)),
-                   pct(safeDiv(tr.ohNack, oh)),
-                   pct(safeDiv(tr.ohBloom, oh))});
+            t.rows.push_back(std::move(row));
         }
     }
-    out += t.render();
-    return out;
+    f.tables.push_back(std::move(t));
+    return f;
 }
 
-std::string
-renderHeadline(const Sweep &s)
+Figure
+buildHeadline(const Sweep &s)
 {
+    Figure f;
+    f.id = "headline";
+    f.unit = "fraction";
+    f.spaced = false;
+
     const int mesi = protoIndex(s, "MESI");
     const int mmem = protoIndex(s, "MMemL1");
     const int dflex1 = protoIndex(s, "DFlexL1");
     const int dbyp = protoIndex(s, "DBypFull");
-    if (mesi < 0 || dbyp < 0)
-        return "headline: sweep lacks MESI/DBypFull\n";
+    if (mesi < 0 || dbyp < 0) {
+        f.note = "headline: sweep lacks MESI/DBypFull";
+        return f;
+    }
+    f.title = "Headline comparisons (paper values in brackets):";
 
     auto avg_reduction = [&](int from, int to,
                              auto &&metric) -> double {
@@ -250,23 +277,25 @@ renderHeadline(const Sweep &s)
     auto traffic = [](const RunResult &r) { return r.traffic.total(); };
     auto etime = [](const RunResult &r) { return r.time.total(); };
 
-    std::string out = "Headline comparisons (paper values in "
-                      "brackets):\n";
-    TextTable t;
-    t.header({"Metric", "Measured", "Paper"});
-    t.row({"DBypFull traffic vs MESI",
-           pct(avg_reduction(mesi, dbyp, traffic)), "39.5%"});
+    FigureTable t;
+    t.labelCols = {"Metric"};
+    t.valueCols = {"Measured", "Paper"};
+    auto add = [&t](const char *label, double measured, double paper) {
+        t.rows.push_back(FigureRow{{label}, {measured, paper}});
+    };
+    add("DBypFull traffic vs MESI",
+        avg_reduction(mesi, dbyp, traffic), 0.395);
     if (mmem >= 0)
-        t.row({"DBypFull traffic vs MMemL1",
-               pct(avg_reduction(mmem, dbyp, traffic)), "35.2%"});
+        add("DBypFull traffic vs MMemL1",
+            avg_reduction(mmem, dbyp, traffic), 0.352);
     if (dflex1 >= 0)
-        t.row({"DBypFull traffic vs DFlexL1",
-               pct(avg_reduction(dflex1, dbyp, traffic)), "18.9%"});
-    t.row({"DBypFull exec time vs MESI",
-           pct(avg_reduction(mesi, dbyp, etime)), "10.5%"});
+        add("DBypFull traffic vs DFlexL1",
+            avg_reduction(dflex1, dbyp, traffic), 0.189);
+    add("DBypFull exec time vs MESI",
+        avg_reduction(mesi, dbyp, etime), 0.105);
     if (mmem >= 0)
-        t.row({"MMemL1 traffic vs MESI",
-               pct(avg_reduction(mesi, mmem, traffic)), "6.2%"});
+        add("MMemL1 traffic vs MESI",
+            avg_reduction(mesi, mmem, traffic), 0.062);
 
     // MESI overhead fraction and DBypFull residual waste fraction.
     {
@@ -277,11 +306,285 @@ renderHeadline(const Sweep &s)
             const TrafficStats &d = row[dbyp].traffic;
             wastes.push_back(safeDiv(d.wasteData(), d.total()));
         }
-        t.row({"MESI overhead fraction", pct(mean(ohs)), "13.6%"});
-        t.row({"DBypFull waste fraction", pct(mean(wastes)), "8.8%"});
+        add("MESI overhead fraction", mean(ohs), 0.136);
+        add("DBypFull waste fraction", mean(wastes), 0.088);
     }
-    out += t.render();
+    f.tables.push_back(std::move(t));
+    return f;
+}
+
+Figure
+buildEnergy(const Sweep &s, const Topology &topo)
+{
+    Figure f;
+    f.id = "energy";
+    f.title = "Extension: estimated dynamic energy (normalized to "
+              "MESI)";
+    f.unit = "fraction of MESI energy";
+    f.spaced = true;
+
+    const EnergyModel model(topo);
+    for (std::size_t b = 0; b < s.benchNames.size(); ++b) {
+        FigureTable t;
+        t.name = s.benchNames[b];
+        t.labelCols = {s.benchNames[b]};
+        t.valueCols = {"Network", "L1", "L2", "DRAM", "Total"};
+        const double base =
+            model.estimate(s.results[b][0]).total();
+        for (std::size_t p = 0; p < s.protoNames.size(); ++p) {
+            const EnergyBreakdown e = model.estimate(s.results[b][p]);
+            t.rows.push_back(FigureRow{
+                {s.protoNames[p]},
+                {safeDiv(e.network, base), safeDiv(e.l1, base),
+                 safeDiv(e.l2, base), safeDiv(e.dram, base),
+                 safeDiv(e.total(), base)}});
+        }
+        f.tables.push_back(std::move(t));
+    }
+    return f;
+}
+
+std::vector<std::pair<std::string, Topology>>
+curatedMcPlacements(unsigned mesh_x, unsigned mesh_y)
+{
+    std::vector<std::pair<std::string, Topology>> out;
+
+    auto sortedTiles = [](const Topology &t) {
+        std::vector<NodeId> s = t.memCtrlTiles();
+        std::sort(s.begin(), s.end());
+        return s;
+    };
+    auto add = [&](const std::string &name, Topology topo) {
+        for (const auto &[n, t] : out)
+            if (sortedTiles(t) == sortedTiles(topo))
+                return; // placement coincides on this mesh
+        out.emplace_back(name, std::move(topo));
+    };
+    auto tileAt = [&](unsigned cx, unsigned cy) {
+        return static_cast<NodeId>(cy * mesh_x + cx);
+    };
+    auto dedup = [](std::vector<NodeId> tiles) {
+        std::vector<NodeId> u;
+        for (NodeId t : tiles)
+            if (std::find(u.begin(), u.end(), t) == u.end())
+                u.push_back(t);
+        return u;
+    };
+
+    // The paper's layout: one controller per mesh corner.
+    add("corners", Topology(mesh_x, mesh_y));
+    // The mc-corner worst case: everything funnels into tile 0.
+    add("corner0", Topology(mesh_x, mesh_y, std::vector<NodeId>{0}));
+    // Midpoints of the four edges.
+    add("edge-mid",
+        Topology(mesh_x, mesh_y,
+                 dedup({tileAt(mesh_x / 2, 0), tileAt(0, mesh_y / 2),
+                        tileAt(mesh_x - 1, mesh_y / 2),
+                        tileAt(mesh_x / 2, mesh_y - 1)})));
+    // The central block of the mesh.
+    add("center",
+        Topology(mesh_x, mesh_y,
+                 dedup({tileAt((mesh_x - 1) / 2, (mesh_y - 1) / 2),
+                        tileAt(mesh_x / 2, (mesh_y - 1) / 2),
+                        tileAt((mesh_x - 1) / 2, mesh_y / 2),
+                        tileAt(mesh_x / 2, mesh_y / 2)})));
+    // Four tiles spread along the main diagonal.
+    {
+        std::vector<NodeId> diag;
+        for (unsigned i = 0; i < 4; ++i) {
+            const unsigned cx = static_cast<unsigned>(
+                std::lround(i * (mesh_x - 1) / 3.0));
+            const unsigned cy = static_cast<unsigned>(
+                std::lround(i * (mesh_y - 1) / 3.0));
+            diag.push_back(tileAt(cx, cy));
+        }
+        add("diagonal", Topology(mesh_x, mesh_y, dedup(diag)));
+    }
     return out;
+}
+
+Figure
+buildPlacementStudy(const std::vector<std::string> &names,
+                    const std::vector<Topology> &topos,
+                    const std::vector<Sweep> &sweeps)
+{
+    fatal_if(names.size() != topos.size() ||
+                 names.size() != sweeps.size() || names.empty(),
+             "placement study: need one name/topology/sweep per "
+             "placement");
+    // Every placement must carry the same benchmark/protocol grid;
+    // the loops below index sweeps[i] with sweeps[0]'s shape.
+    for (const Sweep &s : sweeps)
+        fatal_if(s.benchNames != sweeps[0].benchNames ||
+                     s.protoNames != sweeps[0].protoNames,
+                 "placement study: sweeps disagree on the "
+                 "benchmark/protocol grid");
+
+    Figure f;
+    f.id = "placement";
+    f.title = "MC placement study: NoC hotspot load, execution time "
+              "and energy per placement";
+    f.unit = "flits / cycles / uJ";
+    f.spaced = true;
+
+    // The headline protocol pair when present, else the whole grid.
+    std::vector<std::size_t> protos;
+    for (const char *want : {"MESI", "DBypFull"}) {
+        const int idx = protoIndex(sweeps[0], want);
+        if (idx >= 0)
+            protos.push_back(static_cast<std::size_t>(idx));
+    }
+    if (protos.empty())
+        for (std::size_t p = 0; p < sweeps[0].protoNames.size(); ++p)
+            protos.push_back(p);
+
+    for (std::size_t b = 0; b < sweeps[0].benchNames.size(); ++b) {
+        FigureTable t;
+        t.name = sweeps[0].benchNames[b];
+        t.labelCols = {sweeps[0].benchNames[b], "Protocol"};
+        t.valueCols = {"MaxLinkFlits", "Cycles", "Energy(uJ)"};
+        t.percent = false;
+        for (std::size_t i = 0; i < sweeps.size(); ++i) {
+            const EnergyModel model(topos[i]);
+            for (std::size_t p : protos) {
+                const RunResult &r = sweeps[i].results[b][p];
+                // Read through the metric registry: the placement
+                // figure consumes the same schema paths as the JSON
+                // emitters and bench rows.
+                const MetricSet ms = runResultMetrics(r, &model);
+                t.rows.push_back(FigureRow{
+                    {names[i], sweeps[i].protoNames[p]},
+                    {ms.value("max_link_flits"), ms.value("cycles"),
+                     ms.value("energy.total") / 1e6}});
+            }
+        }
+        f.tables.push_back(std::move(t));
+    }
+    return f;
+}
+
+namespace
+{
+
+/** The single-sweep report registry: one entry drives both the name
+ *  list and the dispatch, so they cannot drift apart. */
+struct ReportEntry
+{
+    const char *name;
+    Figure (*build)(const Sweep &, const Topology &);
+};
+
+const ReportEntry reportRegistry[] = {
+    {"fig5.1a", [](const Sweep &s, const Topology &) {
+         return buildFig51a(s);
+     }},
+    {"fig5.1b", [](const Sweep &s, const Topology &) {
+         return buildFig51b(s);
+     }},
+    {"fig5.1c", [](const Sweep &s, const Topology &) {
+         return buildFig51c(s);
+     }},
+    {"fig5.1d", [](const Sweep &s, const Topology &) {
+         return buildFig51d(s);
+     }},
+    {"fig5.2", [](const Sweep &s, const Topology &) {
+         return buildFig52(s);
+     }},
+    {"fig5.3a", [](const Sweep &s, const Topology &) {
+         return buildFig53(s, WasteLevel::L1);
+     }},
+    {"fig5.3b", [](const Sweep &s, const Topology &) {
+         return buildFig53(s, WasteLevel::L2);
+     }},
+    {"fig5.3c", [](const Sweep &s, const Topology &) {
+         return buildFig53(s, WasteLevel::Memory);
+     }},
+    {"overhead", [](const Sweep &s, const Topology &) {
+         return buildOverheadComposition(s);
+     }},
+    {"headline", [](const Sweep &s, const Topology &) {
+         return buildHeadline(s);
+     }},
+    {"energy", [](const Sweep &s, const Topology &topo) {
+         return buildEnergy(s, topo);
+     }},
+};
+
+} // namespace
+
+const std::vector<std::string> &
+reportNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const ReportEntry &e : reportRegistry)
+            out.emplace_back(e.name);
+        return out;
+    }();
+    return names;
+}
+
+bool
+buildReportByName(const std::string &name, const Sweep &s,
+                  const Topology &topo, Figure &out)
+{
+    for (const ReportEntry &e : reportRegistry) {
+        if (name == e.name) {
+            out = e.build(s, topo);
+            return true;
+        }
+    }
+    return false;
+}
+
+// --- legacy text renderers --------------------------------------------------
+
+std::string
+renderFig51a(const Sweep &s)
+{
+    return renderFigure(buildFig51a(s));
+}
+
+std::string
+renderFig51b(const Sweep &s)
+{
+    return renderFigure(buildFig51b(s));
+}
+
+std::string
+renderFig51c(const Sweep &s)
+{
+    return renderFigure(buildFig51c(s));
+}
+
+std::string
+renderFig51d(const Sweep &s)
+{
+    return renderFigure(buildFig51d(s));
+}
+
+std::string
+renderFig52(const Sweep &s)
+{
+    return renderFigure(buildFig52(s));
+}
+
+std::string
+renderFig53(const Sweep &s, WasteLevel level)
+{
+    return renderFigure(buildFig53(s, level));
+}
+
+std::string
+renderOverheadComposition(const Sweep &s)
+{
+    return renderFigure(buildOverheadComposition(s));
+}
+
+std::string
+renderHeadline(const Sweep &s)
+{
+    return renderFigure(buildHeadline(s));
 }
 
 } // namespace wastesim

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "common/log.hh"
+#include "metrics/run_result_schema.hh"
 #include "system/sweep_engine.hh"
 
 namespace wastesim
@@ -44,56 +45,16 @@ sweepConfigTag(unsigned scale, const SimParams &p)
 void
 writeRunResult(std::ostream &os, const RunResult &r)
 {
-    os << r.protocol << ' ' << r.benchmark << '\n';
-    const TrafficStats &t = r.traffic;
-    os << t.ldReqCtl << ' ' << t.ldRespCtl << ' ' << t.ldRespL1Used
-       << ' ' << t.ldRespL1Waste << ' ' << t.ldRespL2Used << ' '
-       << t.ldRespL2Waste << ' ' << t.stReqCtl << ' ' << t.stRespCtl
-       << ' ' << t.stRespL1Used << ' ' << t.stRespL1Waste << ' '
-       << t.stRespL2Used << ' ' << t.stRespL2Waste << ' '
-       << t.wbControl << ' ' << t.wbL2Used << ' ' << t.wbL2Waste
-       << ' ' << t.wbMemUsed << ' ' << t.wbMemWaste << ' '
-       << t.ohUnblock << ' ' << t.ohWbCtl << ' ' << t.ohInv << ' '
-       << t.ohAck << ' ' << t.ohNack << ' ' << t.ohBloom << '\n';
-    for (const WasteCounts *w : {&r.l1Waste, &r.l2Waste, &r.memWaste}) {
-        for (double v : w->byCat)
-            os << v << ' ';
-        os << '\n';
-    }
-    const TimeBreakdown &b = r.time;
-    os << b.busy << ' ' << b.onChip << ' ' << b.toMc << ' ' << b.mem
-       << ' ' << b.fromMc << ' ' << b.sync << '\n';
-    os << r.cycles << ' ' << r.rawFlitHops << ' ' << r.messages << ' '
-       << r.l1Accesses << ' ' << r.l2Accesses << ' ' << r.dramReads
-       << ' ' << r.dramWrites << ' ' << r.dramRowHits << ' '
-       << r.nacks << ' ' << r.recalls << ' ' << r.bypassDirect << ' '
-       << r.selfInvalidations << ' ' << r.wordsFromMemory << ' '
-       << r.maxLinkFlits << '\n';
+    // The cell-block layout is owned by the metric registry: the
+    // schema adapter iterates the registered fields in line order, so
+    // the on-disk format and the metric schema cannot drift apart.
+    writeRunResultBlock(os, r, runResultBlockVersion);
 }
 
 bool
 readRunResult(std::istream &is, RunResult &r)
 {
-    if (!(is >> r.protocol >> r.benchmark))
-        return false;
-    TrafficStats &t = r.traffic;
-    is >> t.ldReqCtl >> t.ldRespCtl >> t.ldRespL1Used >>
-        t.ldRespL1Waste >> t.ldRespL2Used >> t.ldRespL2Waste >>
-        t.stReqCtl >> t.stRespCtl >> t.stRespL1Used >>
-        t.stRespL1Waste >> t.stRespL2Used >> t.stRespL2Waste >>
-        t.wbControl >> t.wbL2Used >> t.wbL2Waste >> t.wbMemUsed >>
-        t.wbMemWaste >> t.ohUnblock >> t.ohWbCtl >> t.ohInv >>
-        t.ohAck >> t.ohNack >> t.ohBloom;
-    for (WasteCounts *w : {&r.l1Waste, &r.l2Waste, &r.memWaste})
-        for (double &v : w->byCat)
-            is >> v;
-    TimeBreakdown &b = r.time;
-    is >> b.busy >> b.onChip >> b.toMc >> b.mem >> b.fromMc >> b.sync;
-    is >> r.cycles >> r.rawFlitHops >> r.messages >> r.l1Accesses >>
-        r.l2Accesses >> r.dramReads >> r.dramWrites >>
-        r.dramRowHits >> r.nacks >> r.recalls >> r.bypassDirect >>
-        r.selfInvalidations >> r.wordsFromMemory >> r.maxLinkFlits;
-    return static_cast<bool>(is);
+    return readRunResultBlock(is, r, runResultBlockVersion);
 }
 
 RunResult
@@ -347,10 +308,12 @@ cachedFullSweep(unsigned scale, SimParams params,
     }
 
     SweepEngine engine(spec);
-    Sweep s = std::move(engine.run(cache).at(0));
-    if (!no_cache && engine.cellsComputed() > 0 && !cache.save(path))
-        warn("could not write sweep cache to %s", path.c_str());
-    return s;
+    // Finished cells hit the disk as they complete (atomic rename),
+    // so an interrupted sweep resumes from its completed cells; the
+    // last cell's autosave doubles as the final cache write.
+    if (!no_cache)
+        engine.setAutosave(path);
+    return std::move(engine.run(cache).at(0));
 }
 
 } // namespace wastesim

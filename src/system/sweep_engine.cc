@@ -1,7 +1,10 @@
 #include "system/sweep_engine.hh"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <fstream>
 #include <memory>
 #include <mutex>
@@ -26,6 +29,36 @@ serializeResult(const RunResult &r)
     os.precision(17);
     writeRunResult(os, r);
     return os.str();
+}
+
+/**
+ * Write @p bytes to @p path through a per-process staging file
+ * renamed over the target: readers (and crashes) only ever observe a
+ * complete file.  Concurrent writers to one path must not interleave
+ * in one temp file — last rename wins, but every rename installs a
+ * self-consistent cache.
+ */
+bool
+writeFileAtomic(const std::string &path, const std::string &bytes)
+{
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream os(tmp, std::ios::binary);
+        if (!os)
+            return false;
+        os << bytes;
+        if (!os) {
+            os.close();
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
 }
 
 } // namespace
@@ -112,18 +145,32 @@ CellCache::load(const std::string &path)
     return true;
 }
 
+std::string
+CellCache::serialized() const
+{
+    std::ostringstream os;
+    os << cellCacheMagic << '\n' << cells_.size() << '\n';
+    // std::map iterates in key order: the file is canonical, so any
+    // two caches holding the same cells are byte-identical.
+    for (const auto &[key, block] : cells_)
+        os << key << '\n' << block;
+    return os.str();
+}
+
 bool
 CellCache::save(const std::string &path) const
 {
     std::ofstream os(path);
     if (!os)
         return false;
-    os << cellCacheMagic << '\n' << cells_.size() << '\n';
-    // std::map iterates in key order: the file is canonical, so any
-    // two caches holding the same cells are byte-identical.
-    for (const auto &[key, block] : cells_)
-        os << key << '\n' << block;
+    os << serialized();
     return static_cast<bool>(os);
+}
+
+bool
+CellCache::saveAtomic(const std::string &path) const
+{
+    return writeFileAtomic(path, serialized());
 }
 
 bool
@@ -266,6 +313,16 @@ SweepEngine::run(CellCache &cache)
     std::atomic<std::size_t> next{0};
     std::mutex cacheMutex;
 
+    // Autosave plumbing: the cache is snapshotted to a string under
+    // cacheMutex (memory-only, fast) but written to disk outside it,
+    // so workers never queue behind each other's file I/O.  The
+    // sequence number keeps a late writer from regressing the file to
+    // an older snapshot; failures warn once, not once per cell.
+    std::mutex autosaveMutex;
+    std::uint64_t autosaveSeq = 0;     // guarded by cacheMutex
+    std::uint64_t autosaveWritten = 0; // guarded by autosaveMutex
+    std::atomic<bool> autosaveWarned{false};
+
     auto run_cell = [&](std::size_t flat) {
         const SweepCell c = spec_.cellAt(flat);
         inform("running %s on %s (%s)",
@@ -291,8 +348,34 @@ SweepEngine::run(CellCache &cache)
         }
 
         sweeps[c.topoIdx].results[c.benchIdx][c.protoIdx] = r;
-        std::lock_guard<std::mutex> lock(cacheMutex);
-        cache.put(spec_.cellKey(c), r);
+
+        // Incremental resume: every finished cell lands on disk
+        // immediately, so killing this process loses at most the
+        // in-flight simulations.  The full-file rewrite per cell is
+        // deliberate: a cell is at least tens of milliseconds of
+        // simulation while serializing a realistic cache (<1 MB) is
+        // ~1 ms, and rewriting whole files is what keeps every
+        // on-disk state a complete, loadable cache.
+        std::string snapshot;
+        std::uint64_t seq = 0;
+        {
+            std::lock_guard<std::mutex> lock(cacheMutex);
+            cache.put(spec_.cellKey(c), r);
+            if (!autosave_.empty()) {
+                snapshot = cache.serialized();
+                seq = ++autosaveSeq;
+            }
+        }
+        if (seq != 0) {
+            std::lock_guard<std::mutex> lock(autosaveMutex);
+            if (seq > autosaveWritten) {
+                if (writeFileAtomic(autosave_, snapshot))
+                    autosaveWritten = seq;
+                else if (!autosaveWarned.exchange(true))
+                    warn("could not autosave sweep cache to %s",
+                         autosave_.c_str());
+            }
+        }
     };
 
     auto worker = [&]() {

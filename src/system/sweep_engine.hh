@@ -98,8 +98,23 @@ class CellCache
      *  missing, a legacy-format cache, or corrupt. */
     bool load(const std::string &path);
 
+    /** The canonical file bytes (magic, count, key-ordered cells);
+     *  what save()/saveAtomic() write.  Snapshotting to a string lets
+     *  the engine serialize under its cache lock but perform the
+     *  disk write outside it. */
+    std::string serialized() const;
+
     /** Write all cells in canonical order; false on I/O error. */
     bool save(const std::string &path) const;
+
+    /**
+     * save() through a temporary file renamed over @p path, so a
+     * reader (or a crash) never observes a half-written cache.  The
+     * engine's incremental autosave rewrites the file after every
+     * computed cell; atomic replacement is what makes a killed
+     * shard's cache always loadable for resume.
+     */
+    bool saveAtomic(const std::string &path) const;
 
     bool has(const std::string &key) const;
 
@@ -143,6 +158,14 @@ class SweepEngine
 
     void setCompute(CellFn fn) { compute_ = std::move(fn); }
 
+    /**
+     * Partial-cache resume: persist the cache to @p path (atomic
+     * rename) after every computed cell, so a killed run resumes
+     * from its completed cells instead of recomputing the slice.
+     * Empty path (the default) disables autosaving.
+     */
+    void setAutosave(std::string path) { autosave_ = std::move(path); }
+
     const SweepSpec &spec() const { return spec_; }
 
     /** Flat indices of this shard's cells, in figure order. */
@@ -168,6 +191,7 @@ class SweepEngine
     unsigned shard_ = 0;
     unsigned numShards_ = 1;
     CellFn compute_;
+    std::string autosave_;
 
     std::size_t statTotal_ = 0;
     std::size_t statHit_ = 0;

@@ -11,6 +11,10 @@
  *   wastesim sweep   [--scale N] [--report NAME ...]
  *       run the full 9-protocol grid (per-cell disk cache) over one
  *       mesh or a --mesh-list, optionally as one shard of N processes
+ *   wastesim report  [--report NAME ...] [--format table|json|csv]
+ *       render any figure straight from a sweep cache, without
+ *       re-simulating; includes the MC placement study and the
+ *       metric-schema dump (--schema)
  *   wastesim merge   --out FILE CACHE...
  *       combine partial (sharded) sweep caches into one
  *   wastesim info    --trace FILE
@@ -33,6 +37,7 @@
 
 #include "common/log.hh"
 #include "common/topology.hh"
+#include "metrics/run_result_schema.hh"
 #include "system/report.hh"
 #include "system/runner.hh"
 #include "system/sweep_engine.hh"
@@ -75,15 +80,28 @@ usage(const char *prog)
         "  sweep   [--scale N] [--report NAME ...] [--mesh WxH |\n"
         "          --mesh-list WxH,WxH,...] [--mcs N]\n"
         "          [--mc-tiles T,T,...] [--shard I/N] [--cache FILE]\n"
-        "          [--jobs N] [--full-size]\n"
+        "          [--jobs N] [--format table|json|csv] [--full-size]\n"
         "          full 9-protocol x 6-benchmark grid over every\n"
         "          listed mesh, against a per-cell disk cache that\n"
-        "          only computes missing cells (reports: fig5.1a b c\n"
-        "          d, fig5.2, fig5.3a b c, overhead, headline;\n"
-        "          default: fig5.1a + headline; --shard I/N runs the\n"
-        "          deterministic 1/N grid slice and writes a partial\n"
-        "          cache for `merge`; --jobs N sizes the simulation\n"
-        "          thread pool, overriding $WASTESIM_JOBS)\n"
+        "          only computes missing cells — finished cells are\n"
+        "          persisted immediately, so a killed run resumes\n"
+        "          (reports: fig5.1a b c d, fig5.2, fig5.3a b c,\n"
+        "          overhead, headline, energy; default: fig5.1a +\n"
+        "          headline; --shard I/N runs the deterministic 1/N\n"
+        "          grid slice and writes a partial cache for `merge`;\n"
+        "          --jobs N sizes the simulation thread pool,\n"
+        "          overriding $WASTESIM_JOBS)\n"
+        "  report  [--report NAME ...] [--format table|json|csv]\n"
+        "          [--mesh WxH | --mesh-list ...] [--mcs N]\n"
+        "          [--mc-tiles T,T,...] [--scale N] [--cache FILE]\n"
+        "          [--jobs N] [--compute-missing] [--schema]\n"
+        "          [--full-size]\n"
+        "          render figures from a sweep cache without\n"
+        "          re-simulating (all sweep reports, plus\n"
+        "          `placement`: the curated MC-placement study of\n"
+        "          one mesh, and --schema: the metric schema +\n"
+        "          fingerprint; --compute-missing simulates cache\n"
+        "          holes instead of failing)\n"
         "  merge   --out FILE CACHE...\n"
         "          combine partial sweep caches (from --shard runs)\n"
         "          into one; the result is byte-identical to an\n"
@@ -281,6 +299,46 @@ struct TopoArgs
     void apply(SimParams &params) const { params.topo = make(); }
 };
 
+/** Sweep-cache path resolution shared by sweep and report:
+ *  --cache FILE beats $WASTESIM_CACHE beats the default. */
+std::string
+resolveCachePath(const std::string &cache_flag)
+{
+    if (!cache_flag.empty())
+        return cache_flag;
+    if (const char *env = std::getenv("WASTESIM_CACHE"))
+        return env;
+    return "wastesim_sweep.cache";
+}
+
+/**
+ * The topology axis of a grid command (shared by sweep and report):
+ * one mesh from the TopoArgs, or the --mesh-list sequence.  Enforces
+ * the mesh/mesh-list and mc-tiles/mesh-list exclusivity rules.
+ */
+std::vector<Topology>
+topologyAxis(const char *cmd, const TopoArgs &topo,
+             const std::string &mesh_list_spec, const SimParams &params)
+{
+    if (mesh_list_spec.empty())
+        return {params.topo};
+    fatal_if(topo.meshX != 0,
+             "%s: --mesh and --mesh-list are mutually exclusive", cmd);
+    fatal_if(!topo.mcTiles.empty(),
+             "%s: --mc-tiles needs a single --mesh (explicit tile ids "
+             "do not transfer across mesh sizes)",
+             cmd);
+    std::vector<std::pair<unsigned, unsigned>> dims;
+    fatal_if(!Topology::parseMeshList(mesh_list_spec, dims),
+             "%s: --mesh-list needs comma-separated WxH specs, got "
+             "'%s'",
+             cmd, mesh_list_spec.c_str());
+    std::vector<Topology> topologies;
+    for (const auto &[x, y] : dims)
+        topologies.emplace_back(x, y, topo.mcs);
+    return topologies;
+}
+
 int
 cmdRecord(Args args)
 {
@@ -393,55 +451,66 @@ int
 cmdSynth(Args args)
 {
     SynthParams sp;
-    std::string out;
+    std::string out, presetName;
     std::vector<ProtocolName> protocols;
     SimParams params = SimParams::scaled();
     TopoArgs topo;
     Topology presetTopo;
     bool full_size = false, have_preset = false;
+    // Preset parameters are derived from the FINAL topology (--mesh
+    // may refine the preset's curated mesh), so parameter flags are
+    // collected as deferred tuners and applied after the preset.
+    std::vector<std::function<void(SynthParams &)>> tuners;
+    auto tune = [&tuners](auto value, auto member) {
+        tuners.push_back([value, member](SynthParams &p) {
+            p.*member = value;
+        });
+    };
     while (!args.done()) {
         const std::string a = args.next();
         if (a == "--preset") {
-            const std::string v = args.value(a);
-            fatal_if(!synthPresetFromName(v, sp, presetTopo),
-                     "synth: unknown preset '%s' (hotset64, all2all, "
+            presetName = args.value(a);
+            fatal_if(!synthPresetFromName(presetName, sp, presetTopo),
+                     "synth: unknown preset '%s' (hotsetN, all2all, "
                      "mc-corner)",
-                     v.c_str());
+                     presetName.c_str());
             have_preset = true;
         } else if (a == "--seed")
-            sp.seed = args.uvalue(a);
+            tune(args.uvalue(a), &SynthParams::seed);
         else if (a == "--pattern") {
             const std::string v = args.value(a);
-            fatal_if(!SynthParams::patternFromName(v, sp.pattern),
+            SynthParams::Pattern pattern;
+            fatal_if(!SynthParams::patternFromName(v, pattern),
                      "synth: unknown pattern '%s' (stride, random, "
                      "hotset)",
                      v.c_str());
+            tune(pattern, &SynthParams::pattern);
         } else if (a == "--ops")
-            sp.opsPerCore = args.u32value(a);
+            tune(args.u32value(a), &SynthParams::opsPerCore);
         else if (a == "--phases")
-            sp.phases = args.u32value(a);
+            tune(args.u32value(a), &SynthParams::phases);
         else if (a == "--regions")
-            sp.sharedRegions = args.u32value(a);
+            tune(args.u32value(a), &SynthParams::sharedRegions);
         else if (a == "--region-bytes")
-            sp.regionBytes = args.u32value(a);
+            tune(args.u32value(a), &SynthParams::regionBytes);
         else if (a == "--private-bytes")
-            sp.privateBytes = args.u32value(a);
+            tune(args.u32value(a), &SynthParams::privateBytes);
         else if (a == "--sharing-degree")
-            sp.sharingDegree = args.u32value(a);
+            tune(args.u32value(a), &SynthParams::sharingDegree);
         else if (a == "--read-frac")
-            sp.readFraction = args.fvalue(a);
+            tune(args.fvalue(a), &SynthParams::readFraction);
         else if (a == "--shared-frac")
-            sp.sharedFraction = args.fvalue(a);
+            tune(args.fvalue(a), &SynthParams::sharedFraction);
         else if (a == "--stride")
-            sp.strideWords = args.u32value(a);
+            tune(args.u32value(a), &SynthParams::strideWords);
         else if (a == "--hot-frac")
-            sp.hotFraction = args.fvalue(a);
+            tune(args.fvalue(a), &SynthParams::hotFraction);
         else if (a == "--hot-prob")
-            sp.hotProbability = args.fvalue(a);
+            tune(args.fvalue(a), &SynthParams::hotProbability);
         else if (a == "--work")
-            sp.workCycles = args.u32value(a);
+            tune(args.u32value(a), &SynthParams::workCycles);
         else if (a == "--bypass")
-            sp.bypassShared = true;
+            tune(true, &SynthParams::bypassShared);
         else if (a == "--mesh")
             topo.parseMesh(a, args.value(a));
         else if (a == "--mcs")
@@ -481,22 +550,41 @@ cmdSynth(Args args)
         } else if (topo.meshX == 0) {
             params.topo = presetTopo;
         } else {
-            // Mesh overridden, placement not: keep the preset's
-            // placement when its tiles fit the new mesh (mc-corner's
-            // tile 0 stays the story at any size), else default.
+            // Mesh overridden, placement not: a CURATED placement
+            // carries over when its tiles fit the new mesh
+            // (mc-corner's tile 0 stays the story at any size), but a
+            // preset that simply used its mesh's default placement
+            // must get the NEW mesh's default — the old mesh's corner
+            // tile ids land on arbitrary tiles of a bigger mesh.
             std::vector<NodeId> mcs = presetTopo.memCtrlTiles();
+            const bool curated =
+                mcs != Topology(presetTopo.meshX(), presetTopo.meshY())
+                           .memCtrlTiles();
             const bool fits =
                 std::all_of(mcs.begin(), mcs.end(),
                             [&](NodeId t) { return t < x * y; });
-            params.topo = fits ? Topology(x, y, std::move(mcs))
-                               : Topology(x, y);
+            params.topo = curated && fits
+                              ? Topology(x, y, std::move(mcs))
+                              : Topology(x, y);
         }
     } else {
         topo.apply(params);
     }
 
+    // Presets are topology-aware: with the final geometry known,
+    // derive the preset's parameters for it (sharing degree, region
+    // sizes scale with the tile count), then apply explicit parameter
+    // flags on top so they always win.
+    if (have_preset)
+        fatal_if(!synthPresetFor(presetName, params.topo, sp),
+                 "synth: preset '%s' has no topology-derived form",
+                 presetName.c_str());
+    for (const auto &t : tuners)
+        t(sp);
+
     auto wl = makeSynthetic(sp, params.topo);
-    std::printf("generated %s (%s): %zu ops\n", wl->name().c_str(),
+    std::printf("generated %s on %s (%s): %zu ops\n",
+                wl->name().c_str(), params.topo.describe().c_str(),
                 wl->inputDesc().c_str(), wl->totalOps());
 
     if (!out.empty()) {
@@ -513,32 +601,86 @@ cmdSynth(Args args)
     return 0;
 }
 
-/** Render one named report of @p s (fatal on unknown names). */
+/**
+ * Build and render one named report of @p s, which ran on @p topo
+ * (fatal on unknown names).  @p context qualifies multi-mesh output
+ * in the structured formats.
+ */
 std::string
-renderReport(const std::string &r, const Sweep &s)
+renderReport(const std::string &r, const Sweep &s,
+             const Topology &topo, ReportFormat fmt,
+             const std::string &context = {})
 {
-    if (r == "fig5.1a")
-        return renderFig51a(s);
-    if (r == "fig5.1b")
-        return renderFig51b(s);
-    if (r == "fig5.1c")
-        return renderFig51c(s);
-    if (r == "fig5.1d")
-        return renderFig51d(s);
-    if (r == "fig5.2")
-        return renderFig52(s);
-    if (r == "fig5.3a")
-        return renderFig53(s, WasteLevel::L1);
-    if (r == "fig5.3b")
-        return renderFig53(s, WasteLevel::L2);
-    if (r == "fig5.3c")
-        return renderFig53(s, WasteLevel::Memory);
-    if (r == "overhead")
-        return renderOverheadComposition(s);
-    if (r == "headline")
-        return renderHeadline(s);
-    fatal("sweep: unknown report '%s'", r.c_str());
-    return {};
+    Figure f;
+    fatal_if(!buildReportByName(r, s, topo, f),
+             "unknown report '%s'", r.c_str());
+    f.context = context;
+    return renderFigure(f, fmt);
+}
+
+/** Shared --format parsing. */
+ReportFormat
+parseFormat(const std::string &flag, const std::string &v)
+{
+    ReportFormat fmt = ReportFormat::Table;
+    fatal_if(!reportFormatFromName(v, fmt),
+             "%s needs table, json or csv, got '%s'", flag.c_str(),
+             v.c_str());
+    return fmt;
+}
+
+/**
+ * Render every requested report of every sweep (one per topology of
+ * @p spec), shared by `sweep` and `report`: table mode separates
+ * meshes with a header line, the structured formats qualify each
+ * figure with the mesh instead.
+ */
+std::vector<std::string>
+renderSweepReports(const std::vector<std::string> &reports,
+                   const SweepSpec &spec,
+                   const std::vector<Sweep> &sweeps, ReportFormat fmt)
+{
+    std::vector<std::string> texts;
+    for (std::size_t t = 0; t < sweeps.size(); ++t) {
+        const Topology &sweep_topo = spec.topologies[t];
+        const std::string context =
+            sweeps.size() > 1 ? sweep_topo.describe() : std::string();
+        if (sweeps.size() > 1 && fmt == ReportFormat::Table)
+            texts.push_back("==== mesh " + sweep_topo.describe() +
+                            " ====\n");
+        for (const std::string &r : reports) {
+            std::string text =
+                renderReport(r, sweeps[t], sweep_topo, fmt, context);
+            if (fmt == ReportFormat::Table)
+                text += "\n";
+            texts.push_back(std::move(text));
+        }
+    }
+    return texts;
+}
+
+/**
+ * Print rendered figure texts.  JSON wraps the figures in one
+ * top-level array so the output is a single valid document no matter
+ * how many reports or meshes were requested; table and CSV
+ * concatenate.
+ */
+void
+emitFigureTexts(const std::vector<std::string> &texts,
+                ReportFormat fmt)
+{
+    if (fmt == ReportFormat::Json) {
+        std::printf("[\n");
+        for (std::size_t i = 0; i < texts.size(); ++i) {
+            std::fputs(texts[i].c_str(), stdout);
+            if (i + 1 < texts.size())
+                std::printf(",\n");
+        }
+        std::printf("]\n");
+        return;
+    }
+    for (const std::string &t : texts)
+        std::fputs(t.c_str(), stdout);
 }
 
 int
@@ -550,12 +692,15 @@ cmdSweep(Args args)
     TopoArgs topo;
     std::string meshListSpec, cachePath;
     unsigned shard = 0, numShards = 1;
+    ReportFormat fmt = ReportFormat::Table;
     while (!args.done()) {
         const std::string a = args.next();
         if (a == "--scale")
             scale = args.u32value(a);
         else if (a == "--report")
             reports.push_back(args.value(a));
+        else if (a == "--format")
+            fmt = parseFormat(a, args.value(a));
         else if (a == "--mesh")
             topo.parseMesh(a, args.value(a));
         else if (a == "--mesh-list")
@@ -598,33 +743,16 @@ cmdSweep(Args args)
     }
     if (reports.empty())
         reports = {"fig5.1a", "headline"};
+    // inform() status lines share stdout with the reports; in the
+    // structured formats they would corrupt the JSON/CSV stream.
+    if (fmt != ReportFormat::Table)
+        logVerbosity = 0;
     topo.apply(params);
 
-    // The topology axis: one mesh, or the --mesh-list sequence.
-    std::vector<Topology> topologies;
-    if (meshListSpec.empty()) {
-        topologies = {params.topo};
-    } else {
-        fatal_if(topo.meshX != 0,
-                 "sweep: --mesh and --mesh-list are mutually "
-                 "exclusive");
-        fatal_if(!topo.mcTiles.empty(),
-                 "sweep: --mc-tiles needs a single --mesh (explicit "
-                 "tile ids do not transfer across mesh sizes)");
-        std::vector<std::pair<unsigned, unsigned>> dims;
-        fatal_if(!Topology::parseMeshList(meshListSpec, dims),
-                 "sweep: --mesh-list needs comma-separated WxH "
-                 "specs, got '%s'",
-                 meshListSpec.c_str());
-        for (const auto &[x, y] : dims)
-            topologies.emplace_back(x, y, topo.mcs);
-    }
+    std::vector<Topology> topologies =
+        topologyAxis("sweep", topo, meshListSpec, params);
 
-    std::string path = "wastesim_sweep.cache";
-    if (const char *env = std::getenv("WASTESIM_CACHE"))
-        path = env;
-    if (!cachePath.empty())
-        path = cachePath;
+    const std::string path = resolveCachePath(cachePath);
     const bool no_cache = std::getenv("WASTESIM_NO_CACHE") != nullptr;
     // A shard's only product is its partial cache file; running one
     // with the cache disabled would discard every result.
@@ -642,16 +770,21 @@ cmdSweep(Args args)
     SweepEngine engine(spec);
     if (numShards > 1)
         engine.setShard(shard, numShards);
+    // Partial-cache resume: every finished cell is persisted
+    // immediately (atomic rename), so a killed shard restarts from
+    // its completed cells instead of recomputing the slice — the
+    // autosave of the last cell doubles as the final cache write.
+    if (!no_cache)
+        engine.setAutosave(path);
     const std::vector<Sweep> sweeps = engine.run(cache);
 
-    if (!no_cache && engine.cellsComputed() > 0 &&
-        !cache.save(path))
-        warn("could not write sweep cache to %s", path.c_str());
-
-    std::printf("sweep: %zu cells (%zu cached, %zu computed)%s\n",
-                engine.cellsTotal(), engine.cellsHit(),
-                engine.cellsComputed(),
-                no_cache ? " [cache disabled]" : "");
+    // In the structured formats the status line must not pollute the
+    // machine-readable stream.
+    std::fprintf(fmt == ReportFormat::Table ? stdout : stderr,
+                 "sweep: %zu cells (%zu cached, %zu computed)%s\n",
+                 engine.cellsTotal(), engine.cellsHit(),
+                 engine.cellsComputed(),
+                 no_cache ? " [cache disabled]" : "");
 
     if (numShards > 1) {
         // A shard owns a grid slice, so its Sweeps are partial; the
@@ -663,13 +796,172 @@ cmdSweep(Args args)
         return 0;
     }
 
-    for (std::size_t t = 0; t < sweeps.size(); ++t) {
-        if (sweeps.size() > 1)
-            std::printf("==== mesh %s ====\n",
-                        spec.topologies[t].describe().c_str());
-        for (const std::string &r : reports)
-            std::printf("%s\n", renderReport(r, sweeps[t]).c_str());
+    emitFigureTexts(renderSweepReports(reports, spec, sweeps, fmt),
+                    fmt);
+    return 0;
+}
+
+/**
+ * `wastesim report` — render figures from a sweep cache without
+ * re-simulating.  The cache is the product of `sweep` runs; report
+ * assembles the requested grid purely from cached cells and renders
+ * any figure in any format.  `--compute-missing` opts into filling
+ * cache holes by simulation (the placement study needs five sweeps;
+ * computing them through report saves the five `sweep` invocations).
+ */
+int
+cmdReport(Args args)
+{
+    unsigned scale = 1;
+    SimParams params = SimParams::scaled();
+    std::vector<std::string> reports;
+    TopoArgs topo;
+    std::string meshListSpec, cachePath;
+    ReportFormat fmt = ReportFormat::Table;
+    bool schema = false, compute_missing = false;
+    while (!args.done()) {
+        const std::string a = args.next();
+        if (a == "--scale")
+            scale = args.u32value(a);
+        else if (a == "--report")
+            reports.push_back(args.value(a));
+        else if (a == "--format")
+            fmt = parseFormat(a, args.value(a));
+        else if (a == "--mesh")
+            topo.parseMesh(a, args.value(a));
+        else if (a == "--mesh-list")
+            meshListSpec = args.value(a);
+        else if (a == "--mcs")
+            topo.mcs = args.u32value(a);
+        else if (a == "--mc-tiles")
+            topo.mcTiles = parseTileList(a, args.value(a));
+        else if (a == "--cache")
+            cachePath = args.value(a);
+        else if (a == "--jobs") {
+            const unsigned jobs = args.u32value(a);
+            fatal_if(jobs < 1 || jobs > 1024,
+                     "report: --jobs needs a value in [1, 1024]");
+            setSweepJobs(jobs);
+        } else if (a == "--full-size")
+            params = SimParams{};
+        else if (a == "--schema")
+            schema = true;
+        else if (a == "--compute-missing")
+            compute_missing = true;
+        else
+            fatal("report: unknown option '%s'", a.c_str());
     }
+
+    if (schema) {
+        // The machine-readable metric schema: fingerprint first, one
+        // line per metric.  CI diffs this against a committed
+        // reference so schema drift is always a deliberate change.
+        std::printf("# wastesim metrics schema %s\n",
+                    metricsSchemaFingerprint().c_str());
+        for (const Metric &m : metricsSchema())
+            std::printf("%s %s %s\n", m.path.c_str(), m.unit.c_str(),
+                        metricKindName(m.kind));
+        return 0;
+    }
+
+    if (reports.empty())
+        reports = {"fig5.1a", "headline"};
+    if (fmt != ReportFormat::Table)
+        logVerbosity = 0;
+    topo.apply(params);
+
+    // The placement study is a multi-sweep report; everything else
+    // renders from one grid per mesh.
+    bool placement = false;
+    std::vector<std::string> single;
+    for (const std::string &r : reports) {
+        if (r == "placement")
+            placement = true;
+        else
+            single.push_back(r);
+    }
+
+    const std::string path = resolveCachePath(cachePath);
+    // WASTESIM_NO_CACHE means the same as for `sweep`: neither serve
+    // from nor write the cache file (with --compute-missing the whole
+    // grid is then simulated and the results discarded after use).
+    const bool no_cache = std::getenv("WASTESIM_NO_CACHE") != nullptr;
+    CellCache cache;
+    if (!no_cache)
+        cache.load(path); // a missing cache file just means zero cells
+
+    fatal_if(placement && !meshListSpec.empty(),
+             "report: the placement study sweeps placements of one "
+             "mesh; use --mesh, not --mesh-list");
+    // The study compares the curated placements, which would silently
+    // override an explicit MC request.
+    fatal_if(placement && (topo.mcs != 0 || !topo.mcTiles.empty()),
+             "report: the placement study uses its curated MC "
+             "placements; --mcs/--mc-tiles cannot be combined with "
+             "it");
+    const std::vector<Topology> topologies =
+        topologyAxis("report", topo, meshListSpec, params);
+
+    // Assemble a grid of fully cached cells (or, with
+    // --compute-missing, simulate the holes and persist them).
+    auto assemble = [&](SweepSpec spec) -> std::vector<Sweep> {
+        std::size_t missing = 0;
+        for (std::size_t i = 0; i < spec.numCells(); ++i)
+            if (!cache.has(spec.cellKey(spec.cellAt(i))))
+                ++missing;
+        fatal_if(missing > 0 && !compute_missing,
+                 "report: %zu of %zu cells are not in %s; run "
+                 "`wastesim sweep` with the same topology flags "
+                 "first, or pass --compute-missing to simulate them",
+                 missing, spec.numCells(), path.c_str());
+        SweepEngine engine(spec);
+        // The per-cell autosave persists the full cache as it grows;
+        // the last cell's write is the final state, no explicit save.
+        if (missing > 0 && !no_cache)
+            engine.setAutosave(path);
+        std::vector<Sweep> sweeps = engine.run(cache);
+        if (engine.cellsComputed() > 0)
+            std::fprintf(stderr,
+                         "report: computed %zu missing cells%s%s\n",
+                         engine.cellsComputed(),
+                         no_cache ? "" : " into ",
+                         no_cache ? " [cache disabled]"
+                                  : path.c_str());
+        return sweeps;
+    };
+
+    // All requested figures collect into one emission, so JSON stays
+    // a single valid document even when single-sweep reports and the
+    // placement study are requested together.
+    std::vector<std::string> texts;
+
+    if (!single.empty()) {
+        SweepSpec spec = SweepSpec::fullGrid(scale, params);
+        spec.topologies = topologies;
+        const std::vector<Sweep> sweeps = assemble(spec);
+        texts = renderSweepReports(single, spec, sweeps, fmt);
+    }
+
+    if (placement) {
+        const auto placements = curatedMcPlacements(
+            params.topo.meshX(), params.topo.meshY());
+        SweepSpec spec = SweepSpec::fullGrid(scale, params);
+        spec.topologies.clear();
+        std::vector<std::string> names;
+        for (const auto &[name, t] : placements) {
+            names.push_back(name);
+            spec.topologies.push_back(t);
+        }
+        const std::vector<Sweep> sweeps = assemble(spec);
+        Figure f = buildPlacementStudy(names, spec.topologies, sweeps);
+        f.context = params.topo.describe();
+        std::string text = renderFigure(f, fmt);
+        if (fmt == ReportFormat::Table)
+            text += "\n";
+        texts.push_back(std::move(text));
+    }
+
+    emitFigureTexts(texts, fmt);
     return 0;
 }
 
@@ -770,6 +1062,8 @@ main(int argc, char **argv)
         return cmdSynth(rest);
     if (cmd == "sweep")
         return cmdSweep(rest);
+    if (cmd == "report")
+        return cmdReport(rest);
     if (cmd == "merge")
         return cmdMerge(rest);
     if (cmd == "info")

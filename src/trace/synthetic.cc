@@ -254,62 +254,115 @@ makeSynthetic(const SynthParams &p, Topology topo)
     return std::make_unique<SyntheticWorkload>(p, std::move(topo));
 }
 
-bool
-synthPresetFromName(const std::string &name, SynthParams &sp,
-                    Topology &topo)
+namespace
 {
-    if (name == "hotset64") {
-        // 64 cores skew 95% of their shared traffic onto 5% of a
+
+/**
+ * "hotsetN" names: N is a square tile count, so the scenario is
+ * curated for a sqrt(N) x sqrt(N) mesh ("hotset64" -> 8x8).  Returns
+ * 0 for anything that is not a hotset name with a valid count.
+ */
+unsigned
+hotsetMeshDim(const std::string &name)
+{
+    if (name.rfind("hotset", 0) != 0 || name.size() <= 6)
+        return 0;
+    unsigned tiles = 0;
+    for (std::size_t i = 6; i < name.size(); ++i) {
+        const char c = name[i];
+        if (c < '0' || c > '9')
+            return 0;
+        tiles = tiles * 10 + static_cast<unsigned>(c - '0');
+        if (tiles > maxTiles)
+            return 0;
+    }
+    for (unsigned d = 1; d * d <= tiles; ++d)
+        if (d * d == tiles)
+            return d;
+    return 0;
+}
+
+} // namespace
+
+bool
+synthPresetFor(const std::string &name, const Topology &topo,
+               SynthParams &sp)
+{
+    const unsigned tiles = topo.numTiles();
+    if (hotsetMeshDim(name) != 0) {
+        // All cores skew 95% of their shared traffic onto 5% of a
         // globally shared working set: wide sharer lists, constant
-        // invalidation rounds.
+        // invalidation rounds.  The working set grows with the tile
+        // count (512 B per tile per region) so the hot subset stays
+        // contended at any mesh size; at the curated 8x8 topology the
+        // parameters equal the historical fixed hotset64 values.
         SynthParams p;
         p.seed = 64;
         p.pattern = SynthParams::Pattern::HotSet;
         p.opsPerCore = 8192;
         p.sharedRegions = 4;
-        p.regionBytes = 32 * 1024;
-        p.sharingDegree = 64; // one cluster: everybody shares
+        p.regionBytes = std::max(bytesPerLine, 512 * tiles);
+        p.sharingDegree = tiles; // one cluster: everybody shares
         p.sharedFraction = 0.8;
         p.readFraction = 0.75;
         p.hotFraction = 0.05;
         p.hotProbability = 0.95;
         sp = p;
-        topo = Topology(8, 8);
         return true;
     }
     if (name == "all2all") {
         // Every core touches every shared region with a write-heavy
         // mix: the densest producer/consumer crossbar the generator
-        // can express on the paper's 4x4 system.
+        // can express.  One region per core over a fixed 128 KB total
+        // working set; at the curated 4x4 topology the parameters
+        // equal the historical fixed values.
         SynthParams p;
         p.seed = 22;
         p.pattern = SynthParams::Pattern::Random;
         p.opsPerCore = 8192;
-        p.sharedRegions = 16;
-        p.regionBytes = 8 * 1024;
-        p.sharingDegree = 16;
+        p.sharedRegions = tiles;
+        p.regionBytes = std::max(bytesPerLine, 128 * 1024 / tiles);
+        p.sharingDegree = tiles;
         p.sharedFraction = 0.9;
         p.readFraction = 0.5;
         sp = p;
-        topo = Topology(4, 4);
         return true;
     }
     if (name == "mc-corner") {
-        // One memory controller on corner tile 0 and a working set
-        // far beyond the L2: every miss converges on one corner of
-        // the mesh, the worst case for maxLinkFlits.
+        // A working set far beyond the L2 funneled into few
+        // controllers: the NoC hotspot worst case for maxLinkFlits.
         SynthParams p;
         p.seed = 7;
         p.pattern = SynthParams::Pattern::Random;
         p.opsPerCore = 4096;
         p.sharedRegions = 8;
         p.regionBytes = 128 * 1024;
-        p.sharingDegree = 4;
+        p.sharingDegree = std::min(4u, tiles);
         p.sharedFraction = 0.85;
         p.readFraction = 0.7;
         sp = p;
-        topo = Topology(4, 4, std::vector<NodeId>{0});
         return true;
+    }
+    return false;
+}
+
+bool
+synthPresetFromName(const std::string &name, SynthParams &sp,
+                    Topology &topo)
+{
+    if (const unsigned dim = hotsetMeshDim(name)) {
+        topo = Topology(dim, dim);
+        return synthPresetFor(name, topo, sp);
+    }
+    if (name == "all2all") {
+        topo = Topology(4, 4);
+        return synthPresetFor(name, topo, sp);
+    }
+    if (name == "mc-corner") {
+        // One memory controller on corner tile 0: every miss
+        // converges on one corner of the mesh.
+        topo = Topology(4, 4, std::vector<NodeId>{0});
+        return synthPresetFor(name, topo, sp);
     }
     return false;
 }

@@ -100,7 +100,9 @@ std::unique_ptr<Workload> makeSynthetic(const SynthParams &p = {},
  *  - "hotset64":  64 cores (8x8 mesh) hammering a small hot subset of
  *    globally shared data — the sharer-list stress that exposed the
  *    16-bit sharer-vector wraparound and now drives the SharerMask
- *    word-scan path.
+ *    word-scan path.  The generic "hotsetN" form (N a square tile
+ *    count, e.g. hotset16, hotset256) curates the same scenario for
+ *    an NxN-tile mesh.
  *  - "all2all":   every core reads and writes every shared region
  *    (sharing degree = core count) — maximum invalidation and
  *    self-invalidation pressure.
@@ -109,12 +111,22 @@ std::unique_ptr<Workload> makeSynthetic(const SynthParams &p = {},
  *    placement studies (maxLinkFlits).
  *
  * On a hit, @p sp receives the preset's parameters and @p topo the
- * topology the scenario is curated for (callers may override the
- * topology afterwards, e.g. via --mesh).  Returns false for unknown
- * names.
+ * topology the scenario is curated for.  Callers that override the
+ * topology (e.g. --mesh) re-derive the parameters for the final
+ * geometry with synthPresetFor().  Returns false for unknown names.
  */
 bool synthPresetFromName(const std::string &name, SynthParams &sp,
                          Topology &topo);
+
+/**
+ * Topology-aware preset parameters: the scenario named @p name
+ * derived for @p topo — sharing degree, region count and region sizes
+ * scale with the tile count, so hotset64 generalizes to hotsetN on
+ * any mesh (at each preset's curated topology the derived parameters
+ * equal the historical fixed ones).  Returns false for unknown names.
+ */
+bool synthPresetFor(const std::string &name, const Topology &topo,
+                    SynthParams &sp);
 
 /** All preset names, for usage text and tests. */
 const std::vector<std::string> &synthPresetNames();

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Shared helpers for tests that compare against the committed golden
+ * fixtures under tests/golden/ (report snapshots, the 54-cell sweep
+ * cache, the metrics schema dump).
+ */
+
+#ifndef WASTESIM_TESTS_GOLDEN_UTIL_HH
+#define WASTESIM_TESTS_GOLDEN_UTIL_HH
+
+#include <fstream>
+#include <iterator>
+#include <string>
+
+namespace wastesim::testutil
+{
+
+/** Whole file as raw bytes (empty string when unreadable). */
+inline std::string
+fileBytes(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(is),
+                       std::istreambuf_iterator<char>());
+}
+
+/** Absolute path of a fixture under tests/golden/. */
+inline std::string
+goldenPath(const std::string &rel)
+{
+    return std::string(WASTESIM_SOURCE_DIR) + "/tests/golden/" + rel;
+}
+
+} // namespace wastesim::testutil
+
+#endif // WASTESIM_TESTS_GOLDEN_UTIL_HH

@@ -96,18 +96,58 @@ TEST(Energy, ComponentsTrackCounters)
     r.dramWrites = 1;
 
     EnergyParams p;
-    p.pjPerFlitHop = 2.0;
+    // 16 mm die on a 4x4 mesh = 4 mm links: 0.5 pJ/flit/mm = 2 pJ/hop.
+    p.pjPerFlitHopMm = 0.5;
+    p.dieEdgeMm = 16.0;
     p.pjPerL1Access = 3.0;
     p.pjPerL2Access = 7.0;
     p.pjPerWordFill = 0.0;
-    p.pjPerDramAccess = 100.0;
+    p.pjPerDramBurst = 60.0;
+    p.pjPerDramActivate = 40.0;
 
     const EnergyBreakdown e = estimateEnergy(r, p);
     EXPECT_DOUBLE_EQ(e.network, 200.0);
     EXPECT_DOUBLE_EQ(e.l1, 30.0);
     EXPECT_DOUBLE_EQ(e.l2, 35.0);
+    // 3 accesses, no row hits: 3 x (60 + 40).
     EXPECT_DOUBLE_EQ(e.dram, 300.0);
     EXPECT_DOUBLE_EQ(e.total(), 565.0);
+}
+
+TEST(Energy, RowHitsSkipActivateEnergy)
+{
+    RunResult r;
+    r.dramReads = 4;
+    EnergyParams p;
+    p.pjPerDramBurst = 60.0;
+    p.pjPerDramActivate = 40.0;
+
+    r.dramRowHits = 0;
+    EXPECT_DOUBLE_EQ(estimateEnergy(r, p).dram, 400.0);
+    r.dramRowHits = 3; // only one access pays activate+precharge
+    EXPECT_DOUBLE_EQ(estimateEnergy(r, p).dram, 280.0);
+    r.dramRowHits = 10; // inconsistent input must clamp, not go negative
+    EXPECT_DOUBLE_EQ(estimateEnergy(r, p).dram, 240.0);
+}
+
+TEST(Energy, LinkLengthScalesWithMeshGeometry)
+{
+    // A denser mesh on the same die has shorter, cheaper links.
+    const EnergyModel m44{Topology(4, 4)};
+    const EnergyModel m88{Topology(8, 8)};
+    EXPECT_DOUBLE_EQ(m44.linkLengthMm(), 4.0);
+    EXPECT_DOUBLE_EQ(m88.linkLengthMm(), 2.0);
+    EXPECT_DOUBLE_EQ(m88.pjPerFlitHop(), m44.pjPerFlitHop() / 2);
+    // Non-square meshes average the X and Y pitches.
+    const EnergyModel m82{Topology(8, 2)};
+    EXPECT_DOUBLE_EQ(m82.linkLengthMm(), 16.0 * (1.0 / 8 + 1.0 / 2) / 2);
+
+    RunResult r;
+    r.traffic.ldReqCtl = 1000;
+    EXPECT_DOUBLE_EQ(m88.estimate(r).network,
+                     m44.estimate(r).network / 2);
+    // The historical flat 13 pJ/flit-hop is reproduced at 4x4.
+    EXPECT_DOUBLE_EQ(m44.pjPerFlitHop(), 13.0);
 }
 
 TEST(Energy, LessTrafficMeansLessEnergy)

@@ -1,0 +1,230 @@
+/** Unit tests: the metric registry, the schema-driven sweep-cache
+ *  serialization adapter and the JSON emitters (src/metrics/). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "golden_util.hh"
+#include "metrics/figure.hh"
+#include "metrics/metric_set.hh"
+#include "metrics/run_result_schema.hh"
+#include "profile/energy.hh"
+#include "system/sweep_engine.hh"
+
+namespace wastesim
+{
+
+namespace
+{
+
+using testutil::fileBytes;
+using testutil::goldenPath;
+
+/** A RunResult with a distinct value in every registered field. */
+RunResult
+populatedResult()
+{
+    RunResult r;
+    r.protocol = "MESI";
+    r.benchmark = "toy";
+    double v = 1.25;
+    for (const RunResultField &f : runResultFields()) {
+        f.setF(r, v);
+        v += 1.0;
+    }
+    return r;
+}
+
+} // namespace
+
+TEST(MetricSet, PreservesOrderAndOverwritesInPlace)
+{
+    MetricSet ms;
+    ms.set("b.second", "words", 2);
+    ms.set("a.first", "flit-hops", 1);
+    ms.set("b.second", "words", 20); // overwrite, keep position
+
+    ASSERT_EQ(ms.size(), 2u);
+    EXPECT_EQ(ms.begin()->path, "b.second");
+    EXPECT_DOUBLE_EQ(ms.value("b.second"), 20);
+    EXPECT_DOUBLE_EQ(ms.value("a.first"), 1);
+    EXPECT_TRUE(ms.has("a.first"));
+    EXPECT_FALSE(ms.has("missing"));
+    EXPECT_EQ(ms.find("missing"), nullptr);
+}
+
+TEST(Schema, EveryFieldHasUniquePathAndRoundTrips)
+{
+    std::set<std::string> paths;
+    for (const RunResultField &f : runResultFields())
+        EXPECT_TRUE(paths.insert(f.path).second)
+            << "duplicate path " << f.path;
+
+    // Writing a fully populated result and reading it back must
+    // reproduce every serialized field exactly.
+    const RunResult ref = populatedResult();
+    std::ostringstream os;
+    os.precision(17);
+    writeRunResultBlock(os, ref);
+
+    std::istringstream is(os.str());
+    RunResult back;
+    ASSERT_TRUE(readRunResultBlock(is, back));
+    EXPECT_EQ(back.protocol, ref.protocol);
+    EXPECT_EQ(back.benchmark, ref.benchmark);
+    for (const RunResultField &f : runResultFields()) {
+        if (f.line < 0)
+            continue; // deliberately unserialized (eventsExecuted)
+        EXPECT_DOUBLE_EQ(f.getF(back), f.getF(ref)) << f.path;
+    }
+}
+
+TEST(Schema, U64FieldsSerializeExactly)
+{
+    RunResult r;
+    r.protocol = "P";
+    r.benchmark = "B";
+    // A value beyond 2^53 survives only through the integer path.
+    r.cycles = (1ULL << 60) + 3;
+    std::ostringstream os;
+    os.precision(17);
+    writeRunResultBlock(os, r);
+    std::istringstream is(os.str());
+    RunResult back;
+    ASSERT_TRUE(readRunResultBlock(is, back));
+    EXPECT_EQ(back.cycles, (1ULL << 60) + 3);
+}
+
+TEST(Schema, GoldenCacheRoundTripsByteIdentically)
+{
+    // The committed 54-cell golden cache must survive a load/save
+    // cycle through the schema-driven adapter without a byte of
+    // drift: this is what keeps every historical cache readable.
+    const std::string golden = goldenPath("wastesim_sweep_4x4.cache");
+    CellCache cache;
+    ASSERT_TRUE(cache.load(golden));
+    EXPECT_EQ(cache.size(), 54u);
+
+    const std::string resaved = "metrics_golden_resave.cache";
+    ASSERT_TRUE(cache.save(resaved));
+    EXPECT_EQ(fileBytes(golden), fileBytes(resaved));
+    std::remove(resaved.c_str());
+}
+
+TEST(Schema, MetricsIncludeDerivedAggregates)
+{
+    RunResult r;
+    r.traffic.ldReqCtl = 30;
+    r.traffic.stReqCtl = 20;
+    r.l1Waste[WasteCat::Used] = 60;
+    r.l1Waste[WasteCat::Evict] = 40;
+
+    const MetricSet ms = runResultMetrics(r);
+    EXPECT_DOUBLE_EQ(ms.value("traffic.ld.req_ctl"), 30);
+    EXPECT_DOUBLE_EQ(ms.value("traffic.total"), 50);
+    EXPECT_DOUBLE_EQ(ms.value("waste.l1.total"), 100);
+    EXPECT_DOUBLE_EQ(ms.value("waste.l1.waste_frac"), 0.4);
+    EXPECT_FALSE(ms.has("energy.total")); // no model given
+}
+
+TEST(Schema, EnergyMetricsAreFirstClass)
+{
+    RunResult r;
+    r.traffic.ldReqCtl = 100;
+    r.dramReads = 2;
+
+    const EnergyModel model(Topology(4, 4));
+    const MetricSet ms = runResultMetrics(r, &model);
+    const EnergyBreakdown e = model.estimate(r);
+    EXPECT_DOUBLE_EQ(ms.value("energy.network"), e.network);
+    EXPECT_DOUBLE_EQ(ms.value("energy.dram"), e.dram);
+    EXPECT_DOUBLE_EQ(ms.value("energy.total"), e.total());
+    EXPECT_DOUBLE_EQ(ms.value("energy.dram_per_channel"), e.dram / 4);
+    EXPECT_DOUBLE_EQ(ms.value("energy.link_mm"), 4.0);
+}
+
+TEST(MetricsJson, EmitParseRoundTrip)
+{
+    const RunResult r = populatedResult();
+    const EnergyModel model(Topology(8, 8));
+    const MetricSet ms = runResultMetrics(r, &model);
+
+    const std::string json = metricsToJson(ms);
+    MetricSet back;
+    ASSERT_TRUE(metricsFromJson(json, back));
+
+    ASSERT_EQ(back.size(), ms.size());
+    auto it = back.begin();
+    for (const Metric &m : ms) {
+        EXPECT_EQ(it->path, m.path);
+        EXPECT_EQ(it->unit, m.unit);
+        EXPECT_EQ(static_cast<int>(it->kind), static_cast<int>(m.kind));
+        EXPECT_DOUBLE_EQ(it->value, m.value) << m.path;
+        ++it;
+    }
+}
+
+TEST(MetricsJson, NanEmitsAsNullAndParsesBack)
+{
+    MetricSet ms;
+    ms.set("a", "x", std::nan(""));
+    const std::string json = metricsToJson(ms);
+    EXPECT_NE(json.find("null"), std::string::npos);
+    MetricSet back;
+    ASSERT_TRUE(metricsFromJson(json, back));
+    EXPECT_TRUE(std::isnan(back.value("a")));
+}
+
+TEST(MetricsJson, RejectsMalformedInput)
+{
+    MetricSet out;
+    EXPECT_FALSE(metricsFromJson("", out));
+    EXPECT_FALSE(metricsFromJson("{\"a\": 1}", out)); // no value object
+    EXPECT_FALSE(metricsFromJson("{\"a\": {\"value\": }", out));
+    EXPECT_FALSE(metricsFromJson(
+        "{\"a\": {\"value\": 1, \"unit\": \"x\", \"kind\": \"f64\"}} "
+        "trailing",
+        out));
+}
+
+TEST(SchemaFingerprint, MatchesCommittedReference)
+{
+    // The committed schema dump pins every metric path, unit and kind;
+    // renaming or re-unit-ing a metric must be a deliberate change
+    // that updates tests/golden/metrics_schema.txt.
+    const std::string ref = fileBytes(goldenPath("metrics_schema.txt"));
+    ASSERT_FALSE(ref.empty())
+        << "missing tests/golden/metrics_schema.txt";
+    const std::string firstLine = ref.substr(0, ref.find('\n'));
+    EXPECT_EQ(firstLine,
+              "# wastesim metrics schema " + metricsSchemaFingerprint());
+
+    // And the full listing matches, line for line.
+    std::string listing =
+        "# wastesim metrics schema " + metricsSchemaFingerprint() + "\n";
+    for (const Metric &m : metricsSchema())
+        listing +=
+            m.path + " " + m.unit + " " + metricKindName(m.kind) + "\n";
+    EXPECT_EQ(listing, ref);
+}
+
+TEST(FormatDouble, RoundTripsAndPrintsIntegersPlainly)
+{
+    EXPECT_EQ(formatDouble(156767), "156767");
+    EXPECT_EQ(formatDouble(0), "0");
+    EXPECT_EQ(formatDouble(0.5), "0.5");
+    for (double v : {1.0 / 3.0, 0.1, 1e300, 123456789.123456789}) {
+        const std::string s = formatDouble(v);
+        EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+    }
+}
+
+} // namespace wastesim

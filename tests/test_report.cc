@@ -1,14 +1,44 @@
-/** Unit tests: figure renderers on hand-built sweep data. */
+/** Unit tests: figure renderers on hand-built sweep data, golden
+ *  snapshots over the committed 4x4 sweep cache, and the structured
+ *  figure emitters. */
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "golden_util.hh"
 #include "system/report.hh"
+#include "system/sweep_engine.hh"
 
 namespace wastesim
 {
 
 namespace
 {
+
+using testutil::fileBytes;
+using testutil::goldenPath;
+
+/** The committed 54-cell golden sweep, assembled from its cache. */
+const Sweep &
+goldenSweep()
+{
+    static const Sweep s = [] {
+        CellCache cache;
+        const bool loaded =
+            cache.load(goldenPath("wastesim_sweep_4x4.cache"));
+        EXPECT_TRUE(loaded);
+        SweepEngine engine(
+            SweepSpec::fullGrid(1, SimParams::scaled()));
+        Sweep sweep = std::move(engine.run(cache).at(0));
+        EXPECT_EQ(engine.cellsComputed(), 0u)
+            << "golden cache should cover the full grid";
+        return sweep;
+    }();
+    return s;
+}
 
 /** A two-protocol sweep with known numbers. */
 Sweep
@@ -124,6 +154,181 @@ TEST(Report, EmptyBaselineDoesNotDivideByZero)
     // Must not crash; all entries become 0%.
     const std::string out = renderFig51a(s);
     EXPECT_FALSE(out.empty());
+}
+
+// --- golden snapshots over the committed 4x4 sweep cache --------------------
+
+class ReportGolden
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ReportGolden, RendersByteIdenticallyToSnapshot)
+{
+    // Every figure renderer, over the real 54-cell golden sweep, must
+    // reproduce its committed text snapshot byte for byte — the
+    // snapshots were captured from the historical hand-rolled
+    // renderers, so this pins the whole structured pipeline (builder
+    // + table emitter) to the legacy output.
+    const std::string name = GetParam();
+    std::string file = name;
+    for (char &c : file)
+        if (c == '.')
+            c = '_';
+    const std::string ref =
+        fileBytes(goldenPath("reports/" + file + ".txt"));
+    ASSERT_FALSE(ref.empty()) << "missing snapshot for " << name;
+
+    Figure f;
+    ASSERT_TRUE(buildReportByName(name, goldenSweep(), Topology{}, f));
+    EXPECT_EQ(renderFigure(f, ReportFormat::Table), ref) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFigures, ReportGolden,
+    ::testing::Values("fig5.1a", "fig5.1b", "fig5.1c", "fig5.1d",
+                      "fig5.2", "fig5.3a", "fig5.3b", "fig5.3c",
+                      "overhead", "headline"),
+    [](const auto &info) {
+        std::string n = info.param;
+        for (char &c : n)
+            if (c == '.')
+                c = '_';
+        return n;
+    });
+
+TEST(ReportGoldenWrappers, LegacyRenderersMatchSnapshots)
+{
+    const Sweep &s = goldenSweep();
+    EXPECT_EQ(renderFig51a(s),
+              fileBytes(goldenPath("reports/fig5_1a.txt")));
+    EXPECT_EQ(renderFig52(s),
+              fileBytes(goldenPath("reports/fig5_2.txt")));
+    EXPECT_EQ(renderFig53(s, WasteLevel::Memory),
+              fileBytes(goldenPath("reports/fig5_3c.txt")));
+    EXPECT_EQ(renderOverheadComposition(s),
+              fileBytes(goldenPath("reports/overhead.txt")));
+    EXPECT_EQ(renderHeadline(s),
+              fileBytes(goldenPath("reports/headline.txt")));
+}
+
+// --- structured emitters ----------------------------------------------------
+
+TEST(FigureEmitters, JsonCarriesTheFigureStructure)
+{
+    const Figure f = buildFig51a(syntheticSweep());
+    const std::string json = renderFigure(f, ReportFormat::Json);
+    EXPECT_NE(json.find("\"id\": \"fig5.1a\""), std::string::npos);
+    EXPECT_NE(json.find("\"value_cols\": [\"LD\", \"ST\", \"WB\", "
+                        "\"Overhead\", \"Total\"]"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"labels\": [\"DBypFull\"]"),
+              std::string::npos);
+    // Values are raw fractions, not formatted percentages.
+    EXPECT_EQ(json.find('%'), std::string::npos);
+}
+
+TEST(FigureEmitters, CsvHasOneRowPerProtocolPlusHeader)
+{
+    const Figure f = buildFig51a(syntheticSweep());
+    const std::string csv = renderFigure(f, ReportFormat::Csv);
+    std::size_t lines = 0;
+    for (char c : csv)
+        lines += c == '\n';
+    // One benchmark table: header + 2 protocol rows.
+    EXPECT_EQ(lines, 3u);
+    EXPECT_NE(csv.find("figure,table,toy,LD,ST,WB,Overhead,Total"),
+              std::string::npos);
+    EXPECT_NE(csv.find("fig5.1a,toy,MESI,"), std::string::npos);
+}
+
+TEST(FigureEmitters, MissingValuesRenderAsDashAndNull)
+{
+    Sweep s = syntheticSweep();
+    s.results[0][1].traffic.ohUnblock = 0; // zero overhead row
+    const Figure f = buildOverheadComposition(s);
+    EXPECT_NE(renderFigure(f, ReportFormat::Table).find(" - "),
+              std::string::npos);
+    EXPECT_NE(renderFigure(f, ReportFormat::Json).find("null"),
+              std::string::npos);
+}
+
+TEST(EnergyFigure, MesiRowNormalizesToItself)
+{
+    const Figure f = buildEnergy(goldenSweep(), Topology{});
+    ASSERT_EQ(f.tables.size(), goldenSweep().benchNames.size());
+    for (const FigureTable &t : f.tables) {
+        ASSERT_FALSE(t.rows.empty());
+        // MESI is the first protocol: its Total column is 1.0.
+        EXPECT_NEAR(t.rows[0].values.back(), 1.0, 1e-12);
+    }
+}
+
+TEST(ReportRegistry, EveryListedNameBuilds)
+{
+    // The name list and the dispatch share one registry; every
+    // advertised report must build on a real sweep.
+    Figure f;
+    for (const std::string &name : reportNames()) {
+        SCOPED_TRACE(name);
+        EXPECT_TRUE(
+            buildReportByName(name, goldenSweep(), Topology{}, f));
+        EXPECT_EQ(f.id, name);
+    }
+    EXPECT_FALSE(
+        buildReportByName("no-such-report", goldenSweep(), Topology{},
+                          f));
+}
+
+// --- placement study --------------------------------------------------------
+
+TEST(Placement, CuratedPlacementsAreDistinct)
+{
+    const auto p44 = curatedMcPlacements(4, 4);
+    ASSERT_EQ(p44.size(), 5u); // all five are distinct on 4x4
+    EXPECT_EQ(p44[0].first, "corners");
+    EXPECT_EQ(p44[1].first, "corner0");
+    EXPECT_EQ(p44[1].second.numMemCtrls(), 1u);
+    EXPECT_EQ(p44[1].second.memCtrlTiles().front(), 0u);
+    for (std::size_t i = 0; i < p44.size(); ++i)
+        for (std::size_t j = i + 1; j < p44.size(); ++j)
+            EXPECT_NE(p44[i].second.describe(),
+                      p44[j].second.describe())
+                << p44[i].first << " vs " << p44[j].first;
+
+    // On a 2x2 mesh the center placement coincides with the corners
+    // and must be deduplicated away.
+    const auto p22 = curatedMcPlacements(2, 2);
+    EXPECT_EQ(p22.size(), 4u);
+    for (const auto &[name, topo] : p22)
+        EXPECT_NE(name, "center");
+}
+
+TEST(Placement, FigureShapesPlacementByProtocol)
+{
+    // Two fake single-benchmark sweeps standing in for two placements.
+    Sweep a = syntheticSweep();
+    Sweep b = syntheticSweep();
+    a.results[0][0].maxLinkFlits = 111;
+    b.results[0][0].maxLinkFlits = 222;
+
+    const Figure f = buildPlacementStudy(
+        {"corners", "corner0"},
+        {Topology(4, 4), Topology(4, 4, std::vector<NodeId>{0})},
+        {a, b});
+    ASSERT_EQ(f.tables.size(), 1u);
+    const FigureTable &t = f.tables[0];
+    EXPECT_FALSE(t.percent);
+    ASSERT_EQ(t.valueCols.size(), 3u);
+    EXPECT_EQ(t.valueCols[0], "MaxLinkFlits");
+    // 2 placements x (MESI, DBypFull).
+    ASSERT_EQ(t.rows.size(), 4u);
+    EXPECT_EQ(t.rows[0].labels[0], "corners");
+    EXPECT_EQ(t.rows[2].labels[0], "corner0");
+    EXPECT_DOUBLE_EQ(t.rows[0].values[0], 111);
+    EXPECT_DOUBLE_EQ(t.rows[2].values[0], 222);
+    // Energy reflects each placement's topology-aware model.
+    EXPECT_GT(t.rows[0].values[2], 0);
 }
 
 } // namespace wastesim

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -282,6 +284,109 @@ TEST(SweepEngine, IncrementalCacheComputesOnlyMissingCells)
         ASSERT_EQ(sweeps.size(), 2u);
     }
     EXPECT_EQ(cache.size(), 12u);
+}
+
+TEST(SweepEngine, AutosavePersistsEveryFinishedCell)
+{
+    SweepSpec spec = smallSpec();
+    spec.topologies = {Topology(2, 2)};
+    TempPath tmp("cells_autosave.cache");
+
+    // Single-threaded so the compute callback can observe the file
+    // deterministically after each preceding cell.
+    setSweepJobs(1);
+    std::size_t calls = 0;
+    auto counting = [&](const SweepSpec &s, const SweepCell &c) {
+        // Every cell computed before this one must already be on disk
+        // — that is what makes a killed shard resumable.
+        CellCache seen;
+        if (calls == 0) {
+            EXPECT_FALSE(seen.load(tmp.path()));
+        } else {
+            EXPECT_TRUE(seen.load(tmp.path()));
+            EXPECT_EQ(seen.size(), calls);
+        }
+        ++calls;
+        return fakeCell(s, c);
+    };
+
+    CellCache cache;
+    SweepEngine eng(spec);
+    eng.setCompute(counting);
+    eng.setAutosave(tmp.path());
+    eng.run(cache);
+    setSweepJobs(0);
+    EXPECT_EQ(calls, spec.numCells());
+
+    // The autosaved file holds the complete grid and is byte-identical
+    // to an explicit save of the final cache.
+    TempPath full("cells_autosave_full.cache");
+    ASSERT_TRUE(cache.save(full.path()));
+    EXPECT_EQ(fileBytes(tmp.path()), fileBytes(full.path()));
+}
+
+TEST(SweepEngine, AutosaveResumesAKilledRun)
+{
+    const SweepSpec spec = smallSpec();
+    TempPath tmp("cells_resume.cache");
+
+    // "Kill" a run after half the grid: shard 0/2 stands in for a
+    // process that died mid-sweep with its autosaved partial cache.
+    std::size_t firstRun = 0;
+    {
+        CellCache cache;
+        SweepEngine eng(spec);
+        eng.setShard(0, 2);
+        eng.setCompute([&](const SweepSpec &s, const SweepCell &c) {
+            ++firstRun;
+            return fakeCell(s, c);
+        });
+        eng.setAutosave(tmp.path());
+        eng.run(cache);
+    }
+    EXPECT_EQ(firstRun, spec.numCells() / 2);
+
+    // The restarted (unsharded) run loads the partial file and only
+    // computes the cells the killed run never finished.
+    CellCache resumed;
+    ASSERT_TRUE(resumed.load(tmp.path()));
+    std::size_t secondRun = 0;
+    SweepEngine eng(spec);
+    eng.setCompute([&](const SweepSpec &s, const SweepCell &c) {
+        ++secondRun;
+        return fakeCell(s, c);
+    });
+    eng.setAutosave(tmp.path());
+    eng.run(resumed);
+    EXPECT_EQ(eng.cellsHit(), spec.numCells() / 2);
+    EXPECT_EQ(secondRun, spec.numCells() - firstRun);
+
+    // The resumed file equals a never-interrupted run's cache.
+    CellCache whole;
+    SweepEngine ref(spec);
+    ref.setCompute(fakeCell);
+    ref.run(whole);
+    TempPath wholePath("cells_resume_whole.cache");
+    ASSERT_TRUE(whole.save(wholePath.path()));
+    EXPECT_EQ(fileBytes(tmp.path()), fileBytes(wholePath.path()));
+}
+
+TEST(CellCache, SaveAtomicLeavesNoTempFile)
+{
+    const SweepSpec spec = smallSpec();
+    CellCache cache;
+    cache.put(spec.cellKey(spec.cellAt(0)),
+              fakeCell(spec, spec.cellAt(0)));
+
+    TempPath tmp("cells_atomic.cache");
+    ASSERT_TRUE(cache.saveAtomic(tmp.path()));
+    CellCache back;
+    EXPECT_TRUE(back.load(tmp.path()));
+    EXPECT_EQ(back.size(), 1u);
+    // The per-process staging file must be gone after the rename.
+    std::ifstream staging(tmp.path() + ".tmp." +
+                          std::to_string(::getpid()));
+    EXPECT_FALSE(staging.good());
 }
 
 TEST(SweepEngine, RealCellsMatchRunOne)

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <unordered_set>
+#include <utility>
 
 #include "system/runner.hh"
 #include "trace/synthetic.hh"
@@ -285,6 +287,96 @@ TEST(SynthPresets, CuratedShapesMatchTheirStories)
     EXPECT_EQ(topo.memCtrlTiles().front(), 0u);
 
     EXPECT_FALSE(synthPresetFromName("no-such-preset", sp, topo));
+}
+
+class SynthPresetMeshes
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>>
+{
+};
+
+TEST_P(SynthPresetMeshes, ParametersDeriveFromTheTopology)
+{
+    const auto [x, y] = GetParam();
+    const Topology topo(x, y);
+    const unsigned tiles = topo.numTiles();
+
+    SynthParams hot;
+    ASSERT_TRUE(synthPresetFor("hotset64", topo, hot));
+    // Everybody shares one cluster; the working set grows with the
+    // tile count so the hot subset stays contended at any mesh size.
+    EXPECT_EQ(hot.sharingDegree, tiles);
+    EXPECT_EQ(hot.regionBytes, std::max(bytesPerLine, 512 * tiles));
+    EXPECT_EQ(static_cast<int>(hot.pattern),
+              static_cast<int>(SynthParams::Pattern::HotSet));
+
+    SynthParams a2a;
+    ASSERT_TRUE(synthPresetFor("all2all", topo, a2a));
+    // One region per core over a fixed total working set.
+    EXPECT_EQ(a2a.sharedRegions, tiles);
+    EXPECT_EQ(a2a.sharingDegree, tiles);
+    EXPECT_EQ(a2a.regionBytes,
+              std::max(bytesPerLine, 128 * 1024 / tiles));
+
+    SynthParams mc;
+    ASSERT_TRUE(synthPresetFor("mc-corner", topo, mc));
+    EXPECT_EQ(mc.sharingDegree, std::min(4u, tiles));
+
+    // Every derived parameter set builds a valid workload of the
+    // right shape (trimmed op counts keep the 16x16 case fast).
+    for (SynthParams p : {hot, a2a, mc}) {
+        p.opsPerCore = 64;
+        auto wl = makeSynthetic(p, topo);
+        EXPECT_EQ(wl->numCores(), tiles);
+        EXPECT_GT(wl->totalOps(), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Meshes, SynthPresetMeshes,
+    ::testing::Values(std::make_pair(2u, 2u), std::make_pair(8u, 8u),
+                      std::make_pair(16u, 16u)),
+    [](const auto &info) {
+        return std::to_string(info.param.first) + "x" +
+               std::to_string(info.param.second);
+    });
+
+TEST(SynthPresets, DerivedParametersMatchCuratedAtHomeTopology)
+{
+    // At each preset's curated topology the topology-derived
+    // parameters must equal the historical fixed ones, so existing
+    // traces and CI smokes reproduce unchanged.
+    SynthParams fixed, derived;
+    Topology topo;
+    for (const std::string &name : synthPresetNames()) {
+        SCOPED_TRACE(name);
+        ASSERT_TRUE(synthPresetFromName(name, fixed, topo));
+        ASSERT_TRUE(synthPresetFor(name, topo, derived));
+        auto a = makeSynthetic(fixed, topo);
+        auto b = makeSynthetic(derived, topo);
+        EXPECT_TRUE(tracesIdentical(*a, *b));
+    }
+    // The historical hotset64 parameters specifically.
+    ASSERT_TRUE(synthPresetFromName("hotset64", fixed, topo));
+    EXPECT_EQ(topo.numTiles(), 64u);
+    EXPECT_EQ(fixed.regionBytes, 32u * 1024);
+    EXPECT_EQ(fixed.sharingDegree, 64u);
+}
+
+TEST(SynthPresets, HotsetNamesGeneralize)
+{
+    SynthParams sp;
+    Topology topo;
+    // hotsetN curates an NxN-tile mesh for any square tile count.
+    ASSERT_TRUE(synthPresetFromName("hotset16", sp, topo));
+    EXPECT_EQ(topo.numTiles(), 16u);
+    EXPECT_EQ(sp.sharingDegree, 16u);
+    ASSERT_TRUE(synthPresetFromName("hotset256", sp, topo));
+    EXPECT_EQ(topo.numTiles(), 256u);
+    EXPECT_EQ(sp.sharingDegree, 256u);
+    // Non-square or out-of-range counts are rejected.
+    EXPECT_FALSE(synthPresetFromName("hotset12", sp, topo));
+    EXPECT_FALSE(synthPresetFromName("hotset1024", sp, topo));
+    EXPECT_FALSE(synthPresetFromName("hotset", sp, topo));
 }
 
 TEST(SynthPresets, McCornerConcentratesLinkLoad)
