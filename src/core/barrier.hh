@@ -31,9 +31,15 @@ class Barrier
     unsigned waiting() const { return static_cast<unsigned>(
         waiters_.size()); }
 
+    /** Completed barrier episodes (timeline phase index). */
+    unsigned phase() const { return phase_; }
+
   private:
     unsigned parties_;
     std::vector<std::function<void()>> waiters_;
+    unsigned phase_ = 0;
+    /** Tick the first party arrived at the current episode. */
+    Tick obsStart_ = 0;
 };
 
 } // namespace wastesim

@@ -3,12 +3,15 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "obs/debug.hh"
+#include "obs/observer.hh"
 
 namespace wastesim
 {
 
-DramChannel::DramChannel(EventQueue &eq, DramMap map)
-    : eq_(eq), map_(map), banks_(map.timing.totalBanks())
+DramChannel::DramChannel(EventQueue &eq, DramMap map, unsigned channel)
+    : eq_(eq), map_(map), channel_(channel),
+      banks_(map.timing.totalBanks())
 {
 }
 
@@ -21,6 +24,7 @@ DramChannel::enqueue(DramRequest req)
         ++reads_;
     req.bankIdx = static_cast<unsigned>(map_.bankOf(req.line));
     queue_.push_back(std::move(req));
+    queuePeak_ = std::max(queuePeak_, queue_.size());
     trySchedule();
 }
 
@@ -86,15 +90,19 @@ DramChannel::issue(DramRequest &req)
     const DramTiming &t = map_.timing;
 
     Tick lat;
+    const char *outcome;
     if (bank.rowOpen && bank.openRow == row) {
         lat = t.rowHitLatency();
         ++rowHits_;
+        outcome = "hit";
     } else if (!bank.rowOpen) {
         lat = t.rowMissLatency();
         ++rowMisses_;
+        outcome = "miss";
     } else {
         lat = t.rowConflictLatency();
         ++rowConflicts_;
+        outcome = "conflict";
     }
 
     // Open-page policy: leave the row open.
@@ -110,6 +118,18 @@ DramChannel::issue(DramRequest &req)
     const Tick done = data_start + burst;
     busReadyAt_ = done;
     bank.readyAt = done;
+
+    DPRINTF(Dram, eq_, "ch%u %s line %llx bank %u row-%s done %llu",
+            channel_, req.isWrite ? "write" : "read",
+            static_cast<unsigned long long>(req.line), req.bankIdx,
+            outcome, static_cast<unsigned long long>(done));
+
+    if (SimObserver *o = simObserver(); o && o->wantTimeline()) {
+        o->timeline.complete("dram", req.isWrite ? "write" : "read",
+                             static_cast<double>(now),
+                             static_cast<double>(done - now), 0,
+                             1000 + channel_);
+    }
 
     if (req.onDone) {
         eq_.scheduleAt(done,

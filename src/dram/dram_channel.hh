@@ -44,7 +44,8 @@ struct DramRequest
 class DramChannel
 {
   public:
-    DramChannel(EventQueue &eq, DramMap map);
+    /** @p channel is this channel's index (trace/metric labels). */
+    DramChannel(EventQueue &eq, DramMap map, unsigned channel = 0);
 
     /** Enqueue an access; onDone fires at completion time. */
     void enqueue(DramRequest req);
@@ -56,8 +57,13 @@ class DramChannel
     std::uint64_t rowMisses() const { return rowMisses_; }
     std::uint64_t rowConflicts() const { return rowConflicts_; }
 
-    /** Pending queue depth (testing hook). */
+    /** Pending queue depth (testing hook / sampler gauge). */
     std::size_t queued() const { return queue_.size(); }
+
+    /** Deepest the request queue has ever been (whole run). */
+    std::size_t queuePeak() const { return queuePeak_; }
+
+    unsigned channel() const { return channel_; }
 
     const DramMap &map() const { return map_; }
 
@@ -78,6 +84,7 @@ class DramChannel
 
     EventQueue &eq_;
     DramMap map_;
+    unsigned channel_;
     std::vector<Bank> banks_;
     /** Pending requests, oldest first (FR-FCFS ages by position). */
     std::vector<DramRequest> queue_;
@@ -86,6 +93,7 @@ class DramChannel
 
     std::uint64_t reads_ = 0, writes_ = 0;
     std::uint64_t rowHits_ = 0, rowMisses_ = 0, rowConflicts_ = 0;
+    std::size_t queuePeak_ = 0;
 };
 
 } // namespace wastesim

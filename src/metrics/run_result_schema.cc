@@ -323,6 +323,21 @@ runResultMetrics(const RunResult &r, const EnergyModel *energy)
         ms.set(f.path, f.unit, f.kind, f.getF(r));
     for (const DerivedMetric &d : derived())
         ms.set(d.path, d.unit, MetricKind::F64, d.compute(r));
+    // Per-channel DRAM paths are dynamic (channel count depends on the
+    // topology), so they live outside the static registry and the
+    // schema fingerprint — and outside the serialized cell block.
+    for (std::size_t c = 0; c < r.dramChan.size(); ++c) {
+        const RunResult::DramChanStats &s = r.dramChan[c];
+        const std::string base = "dram.chan." + std::to_string(c) + ".";
+        ms.set(base + "reads", cnt, MetricKind::U64,
+               static_cast<double>(s.reads));
+        ms.set(base + "writes", cnt, MetricKind::U64,
+               static_cast<double>(s.writes));
+        ms.set(base + "row_hits", cnt, MetricKind::U64,
+               static_cast<double>(s.rowHits));
+        ms.set(base + "queue_peak", cnt, MetricKind::U64,
+               static_cast<double>(s.queuePeak));
+    }
     if (energy) {
         const EnergyBreakdown e = energy->estimate(r);
         const unsigned channels =

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/log.hh"
+#include "obs/debug.hh"
 
 namespace wastesim
 {
@@ -118,6 +119,11 @@ Network::send(Message msg)
     }
 
     MessageHandler *h = handlerFor(msg);
+
+    DPRINTF(Noc, eq_, "%s %u->%u line %llx hops %u flits %u",
+            msgKindName(msg.kind), msg.src.tile(topo_),
+            msg.dst.tile(topo_), static_cast<unsigned long long>(msg.line),
+            msg.hops, total_flits);
 
     // Head flit arrives after the link latency of each hop; the tail
     // follows one cycle per additional flit (wormhole serialization).

@@ -108,6 +108,14 @@ class Network
     /** Sum over all links (equals total flit-hops). */
     std::uint64_t totalLinkFlits() const;
 
+    /** The raw directed link-flit matrix (src * numTiles + dst);
+     *  snapshot source for the per-window heatmap dump. */
+    const std::vector<std::uint64_t> &
+    linkFlitsRaw() const
+    {
+        return linkFlits_;
+    }
+
   private:
     /** Park @p msg in the free-list-recycled pool. @return its slot. */
     std::uint32_t poolAcquire(Message &&msg);

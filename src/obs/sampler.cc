@@ -1,0 +1,162 @@
+#include "obs/sampler.hh"
+
+#include "common/log.hh"
+#include "obs/jsonv.hh"
+
+namespace wastesim
+{
+
+namespace
+{
+
+constexpr const char *samplerFormat = "wastesim-sampler-v1";
+
+} // namespace
+
+void
+Sampler::add(std::string path, std::string unit, MetricKind kind,
+             bool cumulative, ReadFn read)
+{
+    panic_if(!data_.windows.empty(),
+             "sampler series registered after sampling started");
+    data_.series.push_back(SampleSeriesDesc{
+        std::move(path), std::move(unit), kind, cumulative});
+    readers_.push_back(std::move(read));
+    prev_.push_back(0);
+}
+
+void
+Sampler::begin(Tick start)
+{
+    windowStart_ = start;
+    for (std::size_t i = 0; i < readers_.size(); ++i)
+        prev_[i] = data_.series[i].cumulative ? readers_[i]() : 0;
+}
+
+void
+Sampler::sample(Tick end)
+{
+    SampleWindow w;
+    w.start = windowStart_;
+    w.end = end;
+    w.values.reserve(readers_.size());
+    for (std::size_t i = 0; i < readers_.size(); ++i) {
+        const double cur = readers_[i]();
+        if (data_.series[i].cumulative) {
+            w.values.push_back(cur - prev_[i]);
+            prev_[i] = cur;
+        } else {
+            w.values.push_back(cur);
+        }
+    }
+    data_.windows.push_back(std::move(w));
+    windowStart_ = end;
+}
+
+std::string
+sampleDataToJson(const SampleData &d)
+{
+    std::string out;
+    out += "{\n  \"format\": \"";
+    out += samplerFormat;
+    out += "\",\n  \"window_ticks\": ";
+    out += formatDouble(static_cast<double>(d.windowTicks));
+    out += ",\n  \"series\": [";
+    for (std::size_t i = 0; i < d.series.size(); ++i) {
+        const SampleSeriesDesc &s = d.series[i];
+        out += i ? ",\n    " : "\n    ";
+        out += "{\"path\": \"" + jsonEscape(s.path) +
+               "\", \"unit\": \"" + jsonEscape(s.unit) +
+               "\", \"kind\": \"" + metricKindName(s.kind) +
+               "\", \"cumulative\": " +
+               (s.cumulative ? "true" : "false") + "}";
+    }
+    out += d.series.empty() ? "]" : "\n  ]";
+    out += ",\n  \"windows\": [";
+    for (std::size_t i = 0; i < d.windows.size(); ++i) {
+        const SampleWindow &w = d.windows[i];
+        out += i ? ",\n    " : "\n    ";
+        out += "{\"start\": " +
+               formatDouble(static_cast<double>(w.start)) +
+               ", \"end\": " +
+               formatDouble(static_cast<double>(w.end)) +
+               ", \"values\": [";
+        for (std::size_t v = 0; v < w.values.size(); ++v) {
+            if (v)
+                out += ", ";
+            out += formatDouble(w.values[v]);
+        }
+        out += "]}";
+    }
+    out += d.windows.empty() ? "]" : "\n  ]";
+    out += "\n}\n";
+    return out;
+}
+
+bool
+sampleDataFromJson(const std::string &json, SampleData &out,
+                   std::string *err)
+{
+    out = SampleData{};
+    JsonValue doc;
+    if (!jsonParse(json, doc, err))
+        return false;
+    auto bad = [err](const char *what) {
+        if (err)
+            *err = what;
+        return false;
+    };
+    const JsonValue *format = doc.find("format");
+    if (!format || !format->isString() || format->str != samplerFormat)
+        return bad("not a wastesim sampler document");
+    const JsonValue *w = doc.find("window_ticks");
+    if (!w || !w->isNumber())
+        return bad("missing window_ticks");
+    out.windowTicks = static_cast<Tick>(w->number);
+
+    const JsonValue *series = doc.find("series");
+    if (!series || !series->isArray())
+        return bad("missing series array");
+    for (const JsonValue &s : series->items) {
+        const JsonValue *path = s.find("path");
+        const JsonValue *unit = s.find("unit");
+        const JsonValue *kind = s.find("kind");
+        const JsonValue *cum = s.find("cumulative");
+        if (!path || !path->isString() || !unit || !unit->isString() ||
+            !kind || !kind->isString() || !cum ||
+            cum->type != JsonValue::Type::Bool)
+            return bad("malformed series entry");
+        SampleSeriesDesc d;
+        d.path = path->str;
+        d.unit = unit->str;
+        d.kind = kind->str == "u64" ? MetricKind::U64 : MetricKind::F64;
+        d.cumulative = cum->boolean;
+        out.series.push_back(std::move(d));
+    }
+
+    const JsonValue *windows = doc.find("windows");
+    if (!windows || !windows->isArray())
+        return bad("missing windows array");
+    for (const JsonValue &jw : windows->items) {
+        const JsonValue *start = jw.find("start");
+        const JsonValue *end = jw.find("end");
+        const JsonValue *values = jw.find("values");
+        if (!start || !start->isNumber() || !end || !end->isNumber() ||
+            !values || !values->isArray())
+            return bad("malformed window entry");
+        SampleWindow sw;
+        sw.start = static_cast<Tick>(start->number);
+        sw.end = static_cast<Tick>(end->number);
+        for (const JsonValue &v : values->items) {
+            if (!v.isNumber())
+                return bad("non-numeric sample value");
+            sw.values.push_back(v.number);
+        }
+        if (sw.values.size() != out.series.size())
+            return bad("window value count != series count");
+        out.windows.push_back(std::move(sw));
+    }
+    return true;
+}
+
+} // namespace wastesim

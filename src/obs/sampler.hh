@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Windowed counter sampler: components register existing counters
+ * against metric-registry-style paths, and the sampler snapshots them
+ * every N sim ticks into an in-memory time series.
+ *
+ * Two series modes:
+ *  - cumulative: the reader returns a monotonically growing counter
+ *    (flits sent, recalls issued); each window records the DELTA over
+ *    the window, so a window's value is the activity inside it;
+ *  - gauge: the reader returns an instantaneous level (queue depth,
+ *    pending events); each window records the value at its end.
+ *
+ * The series serializes losslessly (formatDouble round-trips every
+ * double) to a self-describing JSON document that sampleDataFromJson
+ * parses back for the `wastesim report timeline` figure.
+ */
+
+#ifndef WASTESIM_OBS_SAMPLER_HH
+#define WASTESIM_OBS_SAMPLER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "metrics/metric_set.hh"
+
+namespace wastesim
+{
+
+/** Schema of one sampled series. */
+struct SampleSeriesDesc
+{
+    std::string path; //!< metric-registry-style path ("noc.flits")
+    std::string unit;
+    MetricKind kind = MetricKind::U64;
+    bool cumulative = true; //!< delta per window vs. gauge
+};
+
+/** One closed sampling window [start, end). */
+struct SampleWindow
+{
+    Tick start = 0;
+    Tick end = 0;
+    std::vector<double> values; //!< one per series, schema order
+};
+
+/** A complete recorded time series (what serializes to JSON). */
+struct SampleData
+{
+    Tick windowTicks = 0; //!< nominal window length (last may be short)
+    std::vector<SampleSeriesDesc> series;
+    std::vector<SampleWindow> windows;
+};
+
+/** Lossless JSON serialization of @p d (one self-describing object). */
+std::string sampleDataToJson(const SampleData &d);
+
+/** Parse sampleDataToJson() output; false on malformed input. */
+bool sampleDataFromJson(const std::string &json, SampleData &out,
+                        std::string *err = nullptr);
+
+/** Records registered counters into a SampleData, window by window. */
+class Sampler
+{
+  public:
+    using ReadFn = std::function<double()>;
+
+    /** Register a series; call before begin(). */
+    void add(std::string path, std::string unit, MetricKind kind,
+             bool cumulative, ReadFn read);
+
+    void setWindowTicks(Tick w) { data_.windowTicks = w; }
+
+    /** Start sampling at sim time @p start: baselines every
+     *  cumulative series at its current value. */
+    void begin(Tick start);
+
+    /** Close the window [previous end, @p end): cumulative series
+     *  record their delta, gauges their current value. */
+    void sample(Tick end);
+
+    std::size_t numSeries() const { return data_.series.size(); }
+    std::size_t numWindows() const { return data_.windows.size(); }
+
+    const SampleData &data() const { return data_; }
+    std::string toJson() const { return sampleDataToJson(data_); }
+
+  private:
+    SampleData data_;
+    std::vector<ReadFn> readers_;
+    std::vector<double> prev_; //!< cumulative baselines
+    Tick windowStart_ = 0;
+};
+
+} // namespace wastesim
+
+#endif // WASTESIM_OBS_SAMPLER_HH

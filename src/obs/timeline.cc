@@ -1,0 +1,92 @@
+#include "obs/timeline.hh"
+
+#include <fstream>
+
+#include "metrics/metric_set.hh"
+
+namespace wastesim
+{
+
+void
+Timeline::complete(const char *cat, std::string name, double ts_us,
+                   double dur_us, unsigned pid, unsigned tid)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(
+        Event{'X', cat, std::move(name), ts_us, dur_us, pid, tid});
+}
+
+void
+Timeline::instant(const char *cat, std::string name, double ts_us,
+                  unsigned pid, unsigned tid)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(
+        Event{'i', cat, std::move(name), ts_us, 0, pid, tid});
+}
+
+void
+Timeline::threadName(unsigned pid, unsigned tid, std::string name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    threads_.push_back(ThreadMeta{pid, tid, std::move(name)});
+}
+
+std::size_t
+Timeline::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+}
+
+std::string
+Timeline::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out = "{\"traceEvents\": [";
+    bool first = true;
+    auto sep = [&out, &first] {
+        if (!first)
+            out += ",";
+        out += "\n  ";
+        first = false;
+    };
+    for (const ThreadMeta &t : threads_) {
+        sep();
+        out += "{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": " +
+               std::to_string(t.pid) +
+               ", \"tid\": " + std::to_string(t.tid) +
+               ", \"args\": {\"name\": \"" + jsonEscape(t.name) +
+               "\"}}";
+    }
+    for (const Event &e : events_) {
+        sep();
+        out += "{\"ph\": \"";
+        out += e.ph;
+        out += "\", \"cat\": \"";
+        out += e.cat;
+        out += "\", \"name\": \"" + jsonEscape(e.name) +
+               "\", \"ts\": " + formatDouble(e.ts);
+        if (e.ph == 'X')
+            out += ", \"dur\": " + formatDouble(e.dur);
+        if (e.ph == 'i')
+            out += ", \"s\": \"t\"";
+        out += ", \"pid\": " + std::to_string(e.pid) +
+               ", \"tid\": " + std::to_string(e.tid) + "}";
+    }
+    out += first ? "]" : "\n]";
+    out += ", \"displayTimeUnit\": \"ms\"}\n";
+    return out;
+}
+
+bool
+Timeline::save(const std::string &path) const
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        return false;
+    os << toJson();
+    return static_cast<bool>(os);
+}
+
+} // namespace wastesim

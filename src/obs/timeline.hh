@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Chrome trace-event / Perfetto-loadable timeline sink.
+ *
+ * Collects complete ("X") and instant ("i") events plus thread-name
+ * metadata and serializes them as one trace-event JSON document
+ * (https://chromium.googlesource.com/catapult trace format).  Two
+ * time domains use it:
+ *
+ *  - sim time: protocol transactions, DRAM bursts and barrier phases,
+ *    with one tick mapped to one microsecond of trace time and the
+ *    emitting component as the tid (protocol slice s -> tid s, DRAM
+ *    channel c -> tid 1000+c, the barrier -> tid 2000);
+ *  - wall clock: sweep-engine cell lifecycles, with the worker thread
+ *    index as the tid.
+ *
+ * Appends are mutex-guarded so concurrent sweep workers can share one
+ * timeline; sim-time use is single-threaded and pays one uncontended
+ * lock per span, only when a timeline is actually attached.
+ */
+
+#ifndef WASTESIM_OBS_TIMELINE_HH
+#define WASTESIM_OBS_TIMELINE_HH
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace wastesim
+{
+
+/** An append-only trace-event collection. */
+class Timeline
+{
+  public:
+    /** A complete event: [ts, ts+dur] in trace microseconds. */
+    void complete(const char *cat, std::string name, double ts_us,
+                  double dur_us, unsigned pid, unsigned tid);
+
+    /** A zero-duration instant event. */
+    void instant(const char *cat, std::string name, double ts_us,
+                 unsigned pid, unsigned tid);
+
+    /** Name @p tid in the viewer ("dram chan 2", "worker 5"). */
+    void threadName(unsigned pid, unsigned tid, std::string name);
+
+    std::size_t size() const;
+
+    /** The complete trace-event JSON document. */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; false on I/O error. */
+    bool save(const std::string &path) const;
+
+  private:
+    struct Event
+    {
+        char ph;
+        const char *cat;
+        std::string name;
+        double ts = 0;
+        double dur = 0;
+        unsigned pid = 0;
+        unsigned tid = 0;
+    };
+
+    struct ThreadMeta
+    {
+        unsigned pid = 0;
+        unsigned tid = 0;
+        std::string name;
+    };
+
+    mutable std::mutex mu_;
+    std::vector<Event> events_;
+    std::vector<ThreadMeta> threads_;
+};
+
+} // namespace wastesim
+
+#endif // WASTESIM_OBS_TIMELINE_HH

@@ -2,6 +2,7 @@
 
 #include "common/log.hh"
 #include "dram/memory_controller.hh"
+#include "obs/debug.hh"
 
 namespace wastesim
 {
@@ -587,6 +588,8 @@ DenovoL2::recallVictim(CacheLine &victim, std::function<void()> cont)
     }
 
     ++recallsIssued_;
+    DPRINTF(DeNovo, eq_, "slice %u recall line %llx owners %zu", slice_,
+            static_cast<unsigned long long>(vla), owners.size());
     RecallTxn rt;
     rt.pending = static_cast<unsigned>(owners.size());
     rt.conts.push_back(std::move(cont));

@@ -4,6 +4,8 @@
 
 #include "common/log.hh"
 #include "dram/memory_controller.hh"
+#include "obs/debug.hh"
+#include "obs/observer.hh"
 
 namespace wastesim
 {
@@ -21,6 +23,9 @@ void
 MesiDir::nack(const Message &msg)
 {
     ++nacks_;
+    DPRINTF(Mesi, eq_, "slice %u nack %s line %llx core %u", slice_,
+            msgKindName(msg.kind),
+            static_cast<unsigned long long>(msg.line), msg.requester);
     Message n;
     n.kind = MsgKind::Nack;
     n.src = l2Ep(slice_);
@@ -124,6 +129,7 @@ MesiDir::handleGetS(const Message &msg)
 
     Txn t;
     t.req = MsgKind::GetS;
+    t.start = eq_.now();
     t.requester = msg.requester;
 
     if (cl->owner != invalidNode) {
@@ -173,6 +179,7 @@ MesiDir::handleGetX(const Message &msg)
 
     Txn t;
     t.req = MsgKind::GetX;
+    t.start = eq_.now();
     t.requester = msg.requester;
 
     if (cl->owner != invalidNode) {
@@ -203,6 +210,7 @@ MesiDir::handleGetX(const Message &msg)
         inv.ctl = CtlType::OhInv;
         inv.aux = 0; // ack goes to the requester
         net_.send(std::move(inv));
+        ++invalidations_;
     });
 
     txns_[la] = t;
@@ -244,10 +252,12 @@ MesiDir::handleUpgrade(const Message &msg)
         inv.ctl = CtlType::OhInv;
         inv.aux = 0;
         net_.send(std::move(inv));
+        ++invalidations_;
     });
 
     Txn t;
     t.req = MsgKind::Upgrade;
+    t.start = eq_.now();
     t.requester = msg.requester;
     txns_[la] = t;
 
@@ -331,6 +341,17 @@ MesiDir::handleUnblock(Message &msg)
     Txn t = it->second;
     txns_.erase(it);
 
+    DPRINTF(Mesi, eq_, "slice %u unblock %s line %llx core %u took %llu",
+            slice_, msgKindName(t.req),
+            static_cast<unsigned long long>(la), t.requester,
+            static_cast<unsigned long long>(eq_.now() - t.start));
+    if (SimObserver *o = simObserver(); o && o->wantTimeline()) {
+        o->timeline.complete("mesi", msgKindName(t.req),
+                             static_cast<double>(t.start),
+                             static_cast<double>(eq_.now() - t.start),
+                             0, slice_);
+    }
+
     CacheLine *cl = array_.find(la);
     panic_if(!cl, "unblock for a line the L2 lost");
 
@@ -396,6 +417,11 @@ MesiDir::recallProgress(Addr victim_line)
     Txn &t = it->second;
     panic_if(t.recallAcks == 0, "recall ack underflow");
     if (--t.recallAcks == 0) {
+        if (SimObserver *o = simObserver(); o && o->wantTimeline()) {
+            o->timeline.complete(
+                "mesi", "recall", static_cast<double>(t.start),
+                static_cast<double>(eq_.now() - t.start), 0, slice_);
+        }
         auto cont = std::move(t.cont);
         finishVictim(victim_line);
         txns_.erase(victim_line);
@@ -442,9 +468,12 @@ MesiDir::recallVictim(CacheLine &victim, std::function<void()> cont)
     ++recalls_;
     const Addr vla = victim.line;
     victim.busy = true;
+    DPRINTF(Mesi, eq_, "slice %u recall line %llx", slice_,
+            static_cast<unsigned long long>(vla));
 
     Txn t;
     t.isRecall = true;
+    t.start = eq_.now();
     t.cont = std::move(cont);
 
     unsigned expected = 0;
@@ -459,6 +488,7 @@ MesiDir::recallVictim(CacheLine &victim, std::function<void()> cont)
         inv.ctl = CtlType::OhInv;
         inv.aux = 1; // respond to the directory
         net_.send(std::move(inv));
+        ++invalidations_;
         ++expected;
     };
 
@@ -504,10 +534,14 @@ MesiDir::startFetch(const Message &msg)
 
     Txn t;
     t.req = msg.kind == MsgKind::GetS ? MsgKind::GetS : MsgKind::GetX;
+    t.start = eq_.now();
     t.requester = msg.requester;
     t.excl = msg.kind == MsgKind::GetS;
     t.memFetch = true;
     txns_[la] = t;
+    DPRINTF(Mesi, eq_, "slice %u memfetch %s line %llx core %u", slice_,
+            msgKindName(t.req), static_cast<unsigned long long>(la),
+            msg.requester);
 
     Message rd;
     rd.kind = MsgKind::MemRead;

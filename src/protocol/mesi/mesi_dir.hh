@@ -48,6 +48,7 @@ class MesiDir : public MessageHandler
     std::uint64_t misses() const { return misses_; }
     std::uint64_t recalls() const { return recalls_; }
     std::uint64_t nacks() const { return nacks_; }
+    std::uint64_t invalidations() const { return invalidations_; }
 
     const CacheArray &array() const { return array_; }
 
@@ -55,6 +56,7 @@ class MesiDir : public MessageHandler
     struct Txn
     {
         MsgKind req = MsgKind::GetS;
+        Tick start = 0; //!< tick the directory accepted the request
         CoreId requester = 0;
         bool excl = false;           //!< grant E at unblock
         NodeId fwdOwner = invalidNode; //!< owner a forward went to
@@ -111,6 +113,7 @@ class MesiDir : public MessageHandler
     std::unordered_map<Addr, Txn> txns_;
 
     std::uint64_t hits_ = 0, misses_ = 0, recalls_ = 0, nacks_ = 0;
+    std::uint64_t invalidations_ = 0;
 };
 
 } // namespace wastesim

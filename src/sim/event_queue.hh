@@ -79,6 +79,10 @@ class EventQueue
     /** Number of pending events. */
     std::size_t pending() const { return pending_; }
 
+    /** Pending events parked beyond the wheel horizon (the overflow
+     *  min-heap; an occupancy gauge for the sampler). */
+    std::size_t overflowSize() const { return overflow_.size(); }
+
     /** Events executed since construction (or the last reset()). */
     std::uint64_t executed() const { return executed_; }
 

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -12,6 +14,8 @@
 #include <thread>
 
 #include "common/log.hh"
+#include "obs/debug.hh"
+#include "obs/timeline.hh"
 
 namespace wastesim
 {
@@ -264,6 +268,28 @@ SweepEngine::run(CellCache &cache)
             spec_.scale, spec_.paramsFor(static_cast<unsigned>(t)));
     }
 
+    // Wall-clock observation (lifecycle timeline + progress monitor).
+    const bool want_timeline = !timelinePath_.empty();
+    Timeline timeline;
+    const auto sweep_t0 = std::chrono::steady_clock::now();
+    auto now_us = [&sweep_t0] {
+        return std::chrono::duration<double, std::micro>(
+                   std::chrono::steady_clock::now() - sweep_t0)
+            .count();
+    };
+    auto cell_label = [&](const SweepCell &c) {
+        return std::string(protocolName(spec_.protocols[c.protoIdx])) +
+               "/" + benchmarkName(spec_.benches[c.benchIdx]) + "@" +
+               spec_.topologies[c.topoIdx].describe();
+    };
+    auto save_timeline = [&] {
+        if (want_timeline && !timeline.save(timelinePath_))
+            warn("cannot write sweep timeline '%s'",
+                 timelinePath_.c_str());
+    };
+    if (want_timeline)
+        timeline.threadName(1, 999, "cache");
+
     // Serve hits, queue misses.
     const std::vector<std::size_t> owned = shardCellIndices();
     statTotal_ = owned.size();
@@ -274,13 +300,23 @@ SweepEngine::run(CellCache &cache)
         const SweepCell c = spec_.cellAt(flat);
         RunResult &slot =
             sweeps[c.topoIdx].results[c.benchIdx][c.protoIdx];
-        if (cache.get(spec_.cellKey(c), slot))
+        if (cache.get(spec_.cellKey(c), slot)) {
             ++statHit_;
-        else
+            if (want_timeline) {
+                timeline.instant("sweep", "hit " + cell_label(c),
+                                 now_us(), 1, 999);
+            }
+        } else {
             pending.push_back(flat);
+        }
     }
-    if (pending.empty())
+    DPRINTF_NT(Sweep, "shard %u/%u: %zu cells, %zu cached, %zu to run",
+               shard_, numShards_, statTotal_, statHit_,
+               pending.size());
+    if (pending.empty()) {
+        save_timeline();
         return sweeps;
+    }
 
     // Biggest meshes first: a 16x16 cell can cost orders of magnitude
     // more than a 2x2 one, so it must not start last.  Stable order
@@ -310,6 +346,86 @@ SweepEngine::run(CellCache &cache)
         ++remaining[c.topoIdx * num_benches + c.benchIdx];
     }
 
+    const unsigned jobs = effectiveSweepJobs(pending.size());
+
+    // Progress/stall state, shared with the monitor thread.  A cell's
+    // lifetime is tracked on its worker's slot; completed durations
+    // feed the median the stall detector compares against.
+    struct InFlight
+    {
+        std::size_t flat = 0;
+        double startUs = 0;
+        bool active = false;
+        bool warned = false;
+    };
+    std::mutex progressMutex;
+    std::condition_variable progressCv;
+    std::vector<InFlight> inFlight(std::max(1u, jobs));
+    std::vector<double> cellDurationsUs;
+    std::size_t completedCells = 0;
+    std::uint64_t eventsDone = 0;
+    bool sweepDone = false;
+    const bool track_cells = progressMs_ != 0 || want_timeline;
+
+    if (want_timeline) {
+        for (unsigned w = 0; w < std::max(1u, jobs); ++w)
+            timeline.threadName(1, w, "worker " + std::to_string(w));
+    }
+
+    std::thread monitor;
+    if (progressMs_ != 0) {
+        monitor = std::thread([&] {
+            std::unique_lock<std::mutex> lk(progressMutex);
+            while (!sweepDone) {
+                progressCv.wait_for(
+                    lk, std::chrono::milliseconds(progressMs_));
+                if (sweepDone)
+                    break;
+                const double elapsed_us = now_us();
+                const double elapsed_s = elapsed_us / 1e6;
+                const double eps =
+                    elapsed_s > 0 ? eventsDone / elapsed_s : 0;
+                std::string eta = "n/a";
+                if (completedCells > 0) {
+                    // Completed cells per wall second already folds in
+                    // the worker parallelism.
+                    const double rate = completedCells / elapsed_s;
+                    const double eta_s =
+                        (pending.size() - completedCells) / rate;
+                    char buf[32];
+                    std::snprintf(buf, sizeof(buf), "%.0fs", eta_s);
+                    eta = buf;
+                }
+                std::fprintf(stderr,
+                             "sweep: %zu/%zu cells done, %.3g "
+                             "events/sec, eta %s\n",
+                             statHit_ + completedCells, statTotal_,
+                             eps, eta.c_str());
+
+                if (cellDurationsUs.size() >= 3) {
+                    std::vector<double> d = cellDurationsUs;
+                    const std::size_t mid = d.size() / 2;
+                    std::nth_element(d.begin(), d.begin() + mid,
+                                     d.end());
+                    const double median_us = d[mid];
+                    for (InFlight &f : inFlight) {
+                        if (!f.active || f.warned)
+                            continue;
+                        const double run_us = elapsed_us - f.startUs;
+                        if (run_us > 4 * median_us) {
+                            f.warned = true;
+                            warn("sweep cell '%s' running %.1fs "
+                                 "(median cell %.1fs): possible stall",
+                                 spec_.cellKey(spec_.cellAt(f.flat))
+                                     .c_str(),
+                                 run_us / 1e6, median_us / 1e6);
+                        }
+                    }
+                }
+            }
+        });
+    }
+
     std::atomic<std::size_t> next{0};
     std::mutex cacheMutex;
 
@@ -323,12 +439,18 @@ SweepEngine::run(CellCache &cache)
     std::uint64_t autosaveWritten = 0; // guarded by autosaveMutex
     std::atomic<bool> autosaveWarned{false};
 
-    auto run_cell = [&](std::size_t flat) {
+    auto run_cell = [&](std::size_t flat, unsigned wid) {
         const SweepCell c = spec_.cellAt(flat);
         inform("running %s on %s (%s)",
                protocolName(spec_.protocols[c.protoIdx]),
                benchmarkName(spec_.benches[c.benchIdx]),
                spec_.topologies[c.topoIdx].describe().c_str());
+
+        const double cell_start = now_us();
+        if (track_cells) {
+            std::lock_guard<std::mutex> lk(progressMutex);
+            inFlight[wid] = InFlight{flat, cell_start, true, false};
+        }
 
         RunResult r;
         if (compute_) {
@@ -348,6 +470,22 @@ SweepEngine::run(CellCache &cache)
         }
 
         sweeps[c.topoIdx].results[c.benchIdx][c.protoIdx] = r;
+
+        const double cell_end = now_us();
+        DPRINTF_NT(Sweep, "worker %u finished %s in %.1f ms", wid,
+                   cell_label(c).c_str(),
+                   (cell_end - cell_start) / 1e3);
+        if (want_timeline) {
+            timeline.complete("sweep", cell_label(c), cell_start,
+                              cell_end - cell_start, 1, wid);
+        }
+        if (track_cells) {
+            std::lock_guard<std::mutex> lk(progressMutex);
+            inFlight[wid].active = false;
+            cellDurationsUs.push_back(cell_end - cell_start);
+            ++completedCells;
+            eventsDone += r.eventsExecuted;
+        }
 
         // Incremental resume: every finished cell lands on disk
         // immediately, so killing this process loses at most the
@@ -378,23 +516,33 @@ SweepEngine::run(CellCache &cache)
         }
     };
 
-    auto worker = [&]() {
+    auto worker = [&](unsigned wid) {
         for (std::size_t i = next.fetch_add(1); i < pending.size();
              i = next.fetch_add(1))
-            run_cell(pending[i]);
+            run_cell(pending[i], wid);
     };
 
-    const unsigned jobs = effectiveSweepJobs(pending.size());
     if (jobs <= 1) {
-        worker();
+        worker(0);
     } else {
         std::vector<std::thread> pool;
         pool.reserve(jobs);
         for (unsigned t = 0; t < jobs; ++t)
-            pool.emplace_back(worker);
+            pool.emplace_back(worker, t);
         for (auto &t : pool)
             t.join();
     }
+
+    if (progressMs_ != 0) {
+        {
+            std::lock_guard<std::mutex> lk(progressMutex);
+            sweepDone = true;
+        }
+        progressCv.notify_all();
+        monitor.join();
+    }
+    save_timeline();
+
     statComputed_ = pending.size();
     return sweeps;
 }

@@ -166,6 +166,25 @@ class SweepEngine
      */
     void setAutosave(std::string path) { autosave_ = std::move(path); }
 
+    /**
+     * Wall-clock progress heartbeat: every @p ms milliseconds a
+     * monitor thread reports done/total cells, aggregate events/sec
+     * and an ETA to stderr, and warns (once per cell, with its cache
+     * key) when an in-flight cell exceeds 4x the median completed
+     * cell time — the stall fingerprint.  0 disables the monitor.
+     */
+    void setProgress(unsigned ms) { progressMs_ = ms; }
+
+    /**
+     * Write a wall-clock cell-lifecycle trace-event JSON to @p path
+     * after the run: one complete event per computed cell on its
+     * worker's lane, plus instants for cache-served cells.
+     */
+    void setTimeline(std::string path)
+    {
+        timelinePath_ = std::move(path);
+    }
+
     const SweepSpec &spec() const { return spec_; }
 
     /** Flat indices of this shard's cells, in figure order. */
@@ -192,6 +211,8 @@ class SweepEngine
     unsigned numShards_ = 1;
     CellFn compute_;
     std::string autosave_;
+    unsigned progressMs_ = 0;
+    std::string timelinePath_;
 
     std::size_t statTotal_ = 0;
     std::size_t statHit_ = 0;

@@ -1,9 +1,33 @@
 #include "system/system.hh"
 
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
 #include "common/log.hh"
+#include "obs/observer.hh"
 
 namespace wastesim
 {
+
+namespace
+{
+
+/** Write @p text to @p path (plain overwrite; obs outputs are not
+ *  consumed concurrently, unlike the sweep cache). */
+void
+writeObsFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        warn("cannot write observation file '%s'", path.c_str());
+        return;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+}
+
+} // namespace
 
 System::System(ProtocolName protocol, const Workload &workload,
                SimParams params)
@@ -70,7 +94,7 @@ System::System(ProtocolName protocol, const Workload &workload,
         DramMap map;
         map.timing = params_.dram;
         map.numChannels = topo.numMemCtrls();
-        drams_.push_back(std::make_unique<DramChannel>(eq_, map));
+        drams_.push_back(std::make_unique<DramChannel>(eq_, map, c));
         mcs_.push_back(std::make_unique<MemoryController>(
             c, eq_, *net_, *drams_.back(), memProf_, present));
         net_->attach(mcEp(c), mcs_.back().get());
@@ -124,9 +148,13 @@ System::onEpoch()
 
     dramReadsAtEpoch_ = 0;
     dramWritesAtEpoch_ = 0;
-    for (const auto &d : drams_) {
-        dramReadsAtEpoch_ += d->reads();
-        dramWritesAtEpoch_ += d->writes();
+    dramChanReadsAtEpoch_.assign(drams_.size(), 0);
+    dramChanWritesAtEpoch_.assign(drams_.size(), 0);
+    for (std::size_t c = 0; c < drams_.size(); ++c) {
+        dramReadsAtEpoch_ += drams_[c]->reads();
+        dramWritesAtEpoch_ += drams_[c]->writes();
+        dramChanReadsAtEpoch_[c] = drams_[c]->reads();
+        dramChanWritesAtEpoch_[c] = drams_[c]->writes();
     }
     msgsAtEpoch_ = net_->messagesSent();
 }
@@ -146,10 +174,43 @@ System::run(Tick max_ticks)
         }
     };
 
+    // Observation is opt-in: with obsConfig() inactive none of this
+    // runs and the simulation path is exactly the unobserved one.
+    std::unique_ptr<SimObserver> obs_owner;
+    if (obsConfig().active())
+        obs_owner = std::make_unique<SimObserver>(obsConfig(), eq_);
+    SimObserver *obs = obs_owner.get();
+    ScopedSimObserver scoped(obs);
+    if (obs)
+        registerObservables(*obs);
+
     for (auto &c : cores_)
         c->start();
 
-    const bool drained = eq_.run(max_ticks);
+    bool drained;
+    if (obs && obs->cfg.sampleWindow != 0) {
+        // Run the kernel window by window.  EventQueue::run(limit) is
+        // exact-to-the-tick and nothing external schedules between
+        // calls, so chaining runs is behaviorally identical to one
+        // call — the event stream, and therefore every result, is
+        // unchanged by sampling.
+        const Tick w = obs->cfg.sampleWindow;
+        obs->sampler.setWindowTicks(w);
+        obs->sampler.begin(eq_.now());
+        obs->heatmapBegin(eq_.now());
+        Tick window_end = w;
+        for (;;) {
+            const Tick stop = std::min(window_end, max_ticks);
+            drained = eq_.run(stop);
+            obs->sampler.sample(eq_.now());
+            obs->heatmapWindow(eq_.now());
+            if (drained || stop >= max_ticks)
+                break;
+            window_end += w;
+        }
+    } else {
+        drained = eq_.run(max_ticks);
+    }
     fatal_if(!drained, "simulation exceeded %llu ticks",
              static_cast<unsigned long long>(max_ticks));
 
@@ -190,6 +251,19 @@ System::run(Tick max_ticks)
     r.dramReads -= dramReadsAtEpoch_;
     r.dramWrites -= dramWritesAtEpoch_;
 
+    r.dramChan.resize(drams_.size());
+    for (std::size_t c = 0; c < drams_.size(); ++c) {
+        RunResult::DramChanStats &s = r.dramChan[c];
+        s.reads = drams_[c]->reads();
+        s.writes = drams_[c]->writes();
+        s.rowHits = drams_[c]->rowHits();
+        s.queuePeak = drams_[c]->queuePeak();
+        if (c < dramChanReadsAtEpoch_.size()) {
+            s.reads -= dramChanReadsAtEpoch_[c];
+            s.writes -= dramChanWritesAtEpoch_[c];
+        }
+    }
+
     if (cfg_.isMesi()) {
         for (const auto &d : mesiDirs_) {
             r.nacks += d->nacks();
@@ -215,7 +289,146 @@ System::run(Tick max_ticks)
     }
     r.wordsFromMemory = memProf_.numInstances();
     r.maxLinkFlits = net_->maxLinkFlits();
+
+    if (obs) {
+        const std::string proto = protocolName(protocolName_);
+        const std::string bench = workload_.name();
+        if (obs->cfg.sampleWindow != 0 && !obs->cfg.sampleOut.empty()) {
+            writeObsFile(
+                expandObsPath(obs->cfg.sampleOut, proto, bench),
+                obs->sampler.toJson());
+        }
+        if (obs->wantTimeline()) {
+            const std::string path =
+                expandObsPath(obs->cfg.timelineOut, proto, bench);
+            if (!obs->timeline.save(path))
+                warn("cannot write timeline '%s'", path.c_str());
+        }
+        if (!obs->cfg.heatmapOut.empty()) {
+            writeObsFile(
+                expandObsPath(obs->cfg.heatmapOut, proto, bench),
+                obs->heatmapCsv());
+        }
+    }
     return r;
+}
+
+void
+System::registerObservables(SimObserver &o)
+{
+    if (o.wantTimeline()) {
+        for (unsigned s = 0; s < params_.topo.numTiles(); ++s) {
+            o.timeline.threadName(0, s,
+                                  "slice " + std::to_string(s));
+        }
+        for (std::size_t c = 0; c < drams_.size(); ++c) {
+            o.timeline.threadName(
+                0, 1000 + static_cast<unsigned>(c),
+                "dram ch " + std::to_string(c));
+        }
+        o.timeline.threadName(0, 2000, "barrier");
+    }
+
+    if (!o.cfg.heatmapOut.empty()) {
+        Network *net = net_.get();
+        o.linkSnapshot = [net] { return net->linkFlitsRaw(); };
+    }
+
+    if (o.cfg.sampleWindow == 0)
+        return;
+
+    Sampler &s = o.sampler;
+    const char *cnt = "count";
+    Network *net = net_.get();
+    EventQueue *eq = &eq_;
+
+    s.add("noc.flits", "flits", MetricKind::U64, true, [net] {
+        return static_cast<double>(net->totalLinkFlits());
+    });
+    s.add("noc.messages", cnt, MetricKind::U64, true, [net] {
+        return static_cast<double>(net->messagesSent());
+    });
+    s.add("queue.pending", "events", MetricKind::U64, false, [eq] {
+        return static_cast<double>(eq->pending());
+    });
+    s.add("queue.overflow", "events", MetricKind::U64, false, [eq] {
+        return static_cast<double>(eq->overflowSize());
+    });
+    s.add("queue.executed", "events", MetricKind::U64, true, [eq] {
+        return static_cast<double>(eq->executed());
+    });
+
+    for (std::size_t c = 0; c < drams_.size(); ++c) {
+        const std::string base =
+            "dram.chan." + std::to_string(c) + ".";
+        DramChannel *d = drams_[c].get();
+        s.add(base + "queue_depth", "reqs", MetricKind::U64, false,
+              [d] { return static_cast<double>(d->queued()); });
+        s.add(base + "reads", cnt, MetricKind::U64, true,
+              [d] { return static_cast<double>(d->reads()); });
+        s.add(base + "writes", cnt, MetricKind::U64, true,
+              [d] { return static_cast<double>(d->writes()); });
+        s.add(base + "row_hits", cnt, MetricKind::U64, true,
+              [d] { return static_cast<double>(d->rowHits()); });
+    }
+
+    if (cfg_.isMesi()) {
+        s.add("mesi.invalidations", cnt, MetricKind::U64, true, [this] {
+            std::uint64_t v = 0;
+            for (const auto &d : mesiDirs_)
+                v += d->invalidations();
+            return static_cast<double>(v);
+        });
+        s.add("mesi.recalls", cnt, MetricKind::U64, true, [this] {
+            std::uint64_t v = 0;
+            for (const auto &d : mesiDirs_)
+                v += d->recalls();
+            return static_cast<double>(v);
+        });
+        s.add("mesi.nacks", cnt, MetricKind::U64, true, [this] {
+            std::uint64_t v = 0;
+            for (const auto &d : mesiDirs_)
+                v += d->nacks();
+            return static_cast<double>(v);
+        });
+        s.add("l1.misses", cnt, MetricKind::U64, true, [this] {
+            std::uint64_t v = 0;
+            for (const auto &l1 : mesiL1s_)
+                v += l1->loadMisses() + l1->storeMisses();
+            return static_cast<double>(v);
+        });
+        s.add("l2.misses", cnt, MetricKind::U64, true, [this] {
+            std::uint64_t v = 0;
+            for (const auto &d : mesiDirs_)
+                v += d->misses();
+            return static_cast<double>(v);
+        });
+    } else {
+        s.add("denovo.recalls", cnt, MetricKind::U64, true, [this] {
+            std::uint64_t v = 0;
+            for (const auto &l2 : dnL2s_)
+                v += l2->recallsIssued();
+            return static_cast<double>(v);
+        });
+        s.add("denovo.nacks", cnt, MetricKind::U64, true, [this] {
+            std::uint64_t v = 0;
+            for (const auto &l2 : dnL2s_)
+                v += l2->nacks();
+            return static_cast<double>(v);
+        });
+        s.add("l1.misses", cnt, MetricKind::U64, true, [this] {
+            std::uint64_t v = 0;
+            for (const auto &l1 : dnL1s_)
+                v += l1->loadMisses();
+            return static_cast<double>(v);
+        });
+        s.add("l2.misses", cnt, MetricKind::U64, true, [this] {
+            std::uint64_t v = 0;
+            for (const auto &l2 : dnL2s_)
+                v += l2->memFetches();
+            return static_cast<double>(v);
+        });
+    }
 }
 
 void

@@ -65,6 +65,22 @@ struct RunResult
      *  warmup.  Not figure data; not serialized into the sweep
      *  cache. */
     std::uint64_t eventsExecuted = 0;
+
+    /** One DRAM channel's demand-side statistics (reads/writes are
+     *  epoch deltas like the aggregate above; row hits and the queue
+     *  peak cover the whole run). */
+    struct DramChanStats
+    {
+        std::uint64_t reads = 0;
+        std::uint64_t writes = 0;
+        std::uint64_t rowHits = 0;
+        std::uint64_t queuePeak = 0;
+    };
+
+    /** Per-channel DRAM stats, published as dynamic dram.chan.<i>.*
+     *  metric paths only.  NOT in the serialized cell format: sweep
+     *  cache bytes stay identical with observability compiled in. */
+    std::vector<DramChanStats> dramChan;
 };
 
 /** One protocol x workload simulation instance. */
@@ -106,6 +122,9 @@ class System
   private:
     void onEpoch();
 
+    /** Register counters/gauges and thread names on @p o. */
+    void registerObservables(class SimObserver &o);
+
     ProtocolName protocolName_;
     ProtocolConfig cfg_;
     SimParams params_;
@@ -136,6 +155,8 @@ class System
     Tick lastDone_ = 0;
     unsigned coresDone_ = 0;
     std::uint64_t dramReadsAtEpoch_ = 0, dramWritesAtEpoch_ = 0;
+    std::vector<std::uint64_t> dramChanReadsAtEpoch_;
+    std::vector<std::uint64_t> dramChanWritesAtEpoch_;
     std::uint64_t msgsAtEpoch_ = 0;
 };
 

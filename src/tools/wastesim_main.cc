@@ -38,7 +38,12 @@
 #include "common/log.hh"
 #include "common/topology.hh"
 #include "metrics/run_result_schema.hh"
+#include "obs/debug.hh"
+#include "obs/jsonv.hh"
+#include "obs/observer.hh"
+#include "obs/sampler.hh"
 #include "system/report.hh"
+#include "system/report_obs.hh"
 #include "system/runner.hh"
 #include "system/sweep_engine.hh"
 #include "trace/synthetic.hh"
@@ -81,6 +86,7 @@ usage(const char *prog)
         "          --mesh-list WxH,WxH,...] [--mcs N]\n"
         "          [--mc-tiles T,T,...] [--shard I/N] [--cache FILE]\n"
         "          [--jobs N] [--format table|json|csv] [--full-size]\n"
+        "          [--progress]\n"
         "          full 9-protocol x 6-benchmark grid over every\n"
         "          listed mesh, against a per-cell disk cache that\n"
         "          only computes missing cells — finished cells are\n"
@@ -90,18 +96,26 @@ usage(const char *prog)
         "          headline; --shard I/N runs the deterministic 1/N\n"
         "          grid slice and writes a partial cache for `merge`;\n"
         "          --jobs N sizes the simulation thread pool,\n"
-        "          overriding $WASTESIM_JOBS)\n"
+        "          overriding $WASTESIM_JOBS; --progress prints a\n"
+        "          heartbeat with ETA and flags stalled cells; in a\n"
+        "          sweep --timeline traces wall-clock cell\n"
+        "          lifecycles, not sim time)\n"
         "  report  [--report NAME ...] [--format table|json|csv]\n"
         "          [--mesh WxH | --mesh-list ...] [--mcs N]\n"
         "          [--mc-tiles T,T,...] [--scale N] [--cache FILE]\n"
         "          [--jobs N] [--compute-missing] [--schema]\n"
-        "          [--full-size]\n"
+        "          [--full-size] [--in FILE] [--baseline FILE]\n"
+        "          [--tolerance F]\n"
         "          render figures from a sweep cache without\n"
         "          re-simulating (all sweep reports, plus\n"
         "          `placement`: the curated MC-placement study of\n"
         "          one mesh, and --schema: the metric schema +\n"
         "          fingerprint; --compute-missing simulates cache\n"
-        "          holes instead of failing)\n"
+        "          holes instead of failing; `timeline` renders a\n"
+        "          sampler JSON (--in) as a windowed time series;\n"
+        "          `bench` renders a BENCH_*.json (--in) and exits 1\n"
+        "          when any rate falls more than --tolerance (0.25)\n"
+        "          below --baseline)\n"
         "  merge   --out FILE CACHE...\n"
         "          combine partial sweep caches (from --shard runs)\n"
         "          into one; the result is byte-identical to an\n"
@@ -113,6 +127,18 @@ usage(const char *prog)
         "the memory-controller count (default: one per corner);\n"
         "--mc-tiles T,T,... places controllers on explicit tiles\n"
         "(edge vs center vs diagonal placement studies)\n"
+        "\n"
+        "observability (every command): --debug-flags F,F,... enables\n"
+        "sim-time tracing (flags: mesi denovo noc dram queue sweep;\n"
+        "`all` enables everything), windowed by --debug-start T and\n"
+        "--debug-end T; --sample-window N samples registered counters\n"
+        "every N ticks into --sample-out FILE (default\n"
+        "wastesim_samples_%%p_%%b.json; %%p/%%b expand to protocol /\n"
+        "benchmark); --timeline FILE writes a Chrome trace-event JSON\n"
+        "(chrome://tracing, Perfetto); --heatmap FILE writes per-link\n"
+        "NoC flit counts per window as CSV; -v/-vv raise log\n"
+        "verbosity (status / debug) independently of --debug-flags,\n"
+        "which traces regardless of verbosity once enabled\n"
         "\n"
         "benchmarks:",
         prog);
@@ -299,6 +325,109 @@ struct TopoArgs
     void apply(SimParams &params) const { params.topo = make(); }
 };
 
+/** Slurp a small text file; fatal when unreadable. */
+std::string
+readTextFile(const char *cmd, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    fatal_if(!f, "%s: cannot read '%s'", cmd, path.c_str());
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return text;
+}
+
+/**
+ * Observability options, accepted uniformly by every subcommand:
+ *
+ *   --debug-flags A,B,...  enable named trace flags (to stderr)
+ *   --debug-start T        first tick traces may fire (default 0)
+ *   --debug-end T          first tick traces go silent again
+ *   --sample-window N      sample registered counters every N ticks
+ *   --sample-out FILE      sampler JSON path (%p protocol, %b bench)
+ *   --timeline FILE        trace-event JSON (sim time; for sweep: the
+ *                          wall-clock cell lifecycle)
+ *   --heatmap FILE         per-window per-link flit CSV (%p/%b)
+ *   -v / -vv               raise log verbosity (inform/debug)
+ *
+ * Precedence: -v/-vv drive inform()/warn() only; --debug-flags is an
+ * independent channel (tracing works at -q and stays off at -vv
+ * unless flags are named explicitly).
+ */
+struct ObsCli
+{
+    std::string debugFlags;
+    Tick debugStart = 0;
+    Tick debugEnd = ~Tick(0);
+    Tick sampleWindow = 0;
+    std::string sampleOut;
+    std::string timelineOut;
+    std::string heatmapOut;
+    int verbosity = 1;
+
+    /** Consume @p a if it is an observability flag. */
+    bool
+    tryParse(const std::string &a, Args &args)
+    {
+        if (a == "--debug-flags")
+            debugFlags = args.value(a);
+        else if (a == "--debug-start")
+            debugStart = args.uvalue(a);
+        else if (a == "--debug-end")
+            debugEnd = args.uvalue(a);
+        else if (a == "--sample-window")
+            sampleWindow = args.uvalue(a);
+        else if (a == "--sample-out")
+            sampleOut = args.value(a);
+        else if (a == "--timeline")
+            timelineOut = args.value(a);
+        else if (a == "--heatmap")
+            heatmapOut = args.value(a);
+        else if (a == "-v")
+            verbosity = 2;
+        else if (a == "-vv")
+            verbosity = 3;
+        else
+            return false;
+        return true;
+    }
+
+    /**
+     * Validate and install into the process-wide state.  @p
+     * sim_timeline is false for `sweep`, whose --timeline is the
+     * wall-clock cell lifecycle written by the engine rather than the
+     * per-run sim-time trace.
+     */
+    void
+    apply(const char *cmd, bool sim_timeline = true) const
+    {
+        logVerbosity = verbosity;
+        if (!debugFlags.empty()) {
+            std::string err;
+            fatal_if(!debug::setFlags(debugFlags, &err), "%s: %s",
+                     cmd, err.c_str());
+        }
+        debug::windowStart = debugStart;
+        debug::windowEnd = debugEnd;
+        fatal_if(!sampleOut.empty() && sampleWindow == 0,
+                 "%s: --sample-out needs --sample-window", cmd);
+        fatal_if(!heatmapOut.empty() && sampleWindow == 0,
+                 "%s: --heatmap shares the sampling window; pass "
+                 "--sample-window too",
+                 cmd);
+        ObsConfig &cfg = obsConfig();
+        cfg.sampleWindow = sampleWindow;
+        cfg.sampleOut = sampleOut;
+        if (sampleWindow != 0 && sampleOut.empty())
+            cfg.sampleOut = "wastesim_samples_%p_%b.json";
+        cfg.timelineOut = sim_timeline ? timelineOut : std::string();
+        cfg.heatmapOut = heatmapOut;
+    }
+};
+
 /** Sweep-cache path resolution shared by sweep and report:
  *  --cache FILE beats $WASTESIM_CACHE beats the default. */
 std::string
@@ -345,6 +474,7 @@ cmdRecord(Args args)
     std::string bench_name, out;
     unsigned scale = 1;
     TopoArgs topo;
+    ObsCli obs;
     while (!args.done()) {
         const std::string a = args.next();
         if (a == "--bench")
@@ -359,9 +489,11 @@ cmdRecord(Args args)
             topo.mcTiles = parseTileList(a, args.value(a));
         else if (a == "--out" || a == "-o")
             out = args.value(a);
-        else
+        else if (obs.tryParse(a, args)) {
+        } else
             fatal("record: unknown option '%s'", a.c_str());
     }
+    obs.apply("record");
     fatal_if(bench_name.empty(), "record: --bench is required");
     fatal_if(out.empty(), "record: --out is required");
 
@@ -387,6 +519,7 @@ cmdReplay(Args args)
     std::vector<ProtocolName> protocols;
     SimParams params = SimParams::scaled();
     TopoArgs topo;
+    ObsCli obs;
     while (!args.done()) {
         const std::string a = args.next();
         if (a == "--trace")
@@ -401,9 +534,11 @@ cmdReplay(Args args)
             topo.mcTiles = parseTileList(a, args.value(a));
         else if (a == "--full-size")
             params = SimParams{};
-        else
+        else if (obs.tryParse(a, args)) {
+        } else
             fatal("replay: unknown option '%s'", a.c_str());
     }
+    obs.apply("replay");
     fatal_if(trace_path.empty(), "replay: --trace is required");
     if (protocols.empty())
         protocols = defaultProtocols();
@@ -457,6 +592,7 @@ cmdSynth(Args args)
     TopoArgs topo;
     Topology presetTopo;
     bool full_size = false, have_preset = false;
+    ObsCli obs;
     // Preset parameters are derived from the FINAL topology (--mesh
     // may refine the preset's curated mesh), so parameter flags are
     // collected as deferred tuners and applied after the preset.
@@ -524,9 +660,11 @@ cmdSynth(Args args)
         else if (a == "--full-size") {
             params = SimParams{};
             full_size = true;
+        } else if (obs.tryParse(a, args)) {
         } else
             fatal("synth: unknown option '%s'", a.c_str());
     }
+    obs.apply("synth");
 
     fatal_if(!out.empty() && (!protocols.empty() || full_size),
              "synth: --out saves a trace without simulating; it "
@@ -692,7 +830,9 @@ cmdSweep(Args args)
     TopoArgs topo;
     std::string meshListSpec, cachePath;
     unsigned shard = 0, numShards = 1;
+    unsigned progressMs = 0;
     ReportFormat fmt = ReportFormat::Table;
+    ObsCli obs;
     while (!args.done()) {
         const std::string a = args.next();
         if (a == "--scale")
@@ -738,9 +878,16 @@ cmdSweep(Args args)
             setSweepJobs(jobs);
         } else if (a == "--full-size")
             params = SimParams{};
-        else
+        else if (a == "--progress")
+            progressMs = 5000;
+        else if (obs.tryParse(a, args)) {
+        } else
             fatal("sweep: unknown option '%s'", a.c_str());
     }
+    // In a sweep, --timeline means the wall-clock cell-lifecycle
+    // trace (the engine's view), not a per-simulation sim-time trace:
+    // cells run concurrently and would race on one sim-time file.
+    obs.apply("sweep", /*sim_timeline=*/false);
     if (reports.empty())
         reports = {"fig5.1a", "headline"};
     // inform() status lines share stdout with the reports; in the
@@ -776,6 +923,8 @@ cmdSweep(Args args)
     // autosave of the last cell doubles as the final cache write.
     if (!no_cache)
         engine.setAutosave(path);
+    engine.setProgress(progressMs);
+    engine.setTimeline(obs.timelineOut);
     const std::vector<Sweep> sweeps = engine.run(cache);
 
     // In the structured formats the status line must not pollute the
@@ -817,8 +966,11 @@ cmdReport(Args args)
     std::vector<std::string> reports;
     TopoArgs topo;
     std::string meshListSpec, cachePath;
+    std::string inPath, baselinePath;
+    double tolerance = 0.25;
     ReportFormat fmt = ReportFormat::Table;
     bool schema = false, compute_missing = false;
+    ObsCli obs;
     while (!args.done()) {
         const std::string a = args.next();
         if (a == "--scale")
@@ -848,9 +1000,24 @@ cmdReport(Args args)
             schema = true;
         else if (a == "--compute-missing")
             compute_missing = true;
-        else
+        else if (a == "--in")
+            inPath = args.value(a);
+        else if (a == "--baseline")
+            baselinePath = args.value(a);
+        else if (a == "--tolerance") {
+            const std::string v = args.value(a);
+            char *end = nullptr;
+            tolerance = std::strtod(v.c_str(), &end);
+            fatal_if(end != v.c_str() + v.size() || tolerance < 0 ||
+                         tolerance >= 1,
+                     "report: --tolerance needs a fraction in "
+                     "[0, 1), got '%s'",
+                     v.c_str());
+        } else if (obs.tryParse(a, args)) {
+        } else
             fatal("report: unknown option '%s'", a.c_str());
     }
+    obs.apply("report");
 
     if (schema) {
         // The machine-readable metric schema: fingerprint first, one
@@ -870,16 +1037,28 @@ cmdReport(Args args)
         logVerbosity = 0;
     topo.apply(params);
 
-    // The placement study is a multi-sweep report; everything else
-    // renders from one grid per mesh.
-    bool placement = false;
+    // The placement study is a multi-sweep report, and the
+    // observability reports (timeline, bench) render from --in files
+    // instead of the sweep cache; everything else renders from one
+    // grid per mesh.
+    bool placement = false, want_timeline = false, want_bench = false;
     std::vector<std::string> single;
     for (const std::string &r : reports) {
         if (r == "placement")
             placement = true;
+        else if (r == "timeline")
+            want_timeline = true;
+        else if (r == "bench")
+            want_bench = true;
         else
             single.push_back(r);
     }
+    fatal_if((want_timeline || want_bench) && inPath.empty(),
+             "report: the %s report reads a JSON file; pass --in FILE",
+             want_timeline ? "timeline" : "bench");
+    fatal_if(want_timeline && want_bench,
+             "report: timeline and bench read different --in formats; "
+             "request them in separate invocations");
 
     const std::string path = resolveCachePath(cachePath);
     // WASTESIM_NO_CACHE means the same as for `sweep`: neither serve
@@ -961,8 +1140,58 @@ cmdReport(Args args)
         texts.push_back(std::move(text));
     }
 
+    int rc = 0;
+
+    if (want_timeline) {
+        const std::string text = readTextFile("report", inPath);
+        SampleData data;
+        std::string err;
+        fatal_if(!sampleDataFromJson(text, data, &err),
+                 "report: '%s' is not a sampler JSON file: %s",
+                 inPath.c_str(), err.c_str());
+        Figure f = buildTimelineFigure(data);
+        f.context = inPath;
+        std::string rendered = renderFigure(f, fmt);
+        if (fmt == ReportFormat::Table)
+            rendered += "\n";
+        texts.push_back(std::move(rendered));
+    }
+
+    if (want_bench) {
+        JsonValue current;
+        std::string err;
+        fatal_if(!jsonParse(readTextFile("report", inPath), current,
+                            &err),
+                 "report: cannot parse '%s': %s", inPath.c_str(),
+                 err.c_str());
+        JsonValue baseline;
+        const bool have_base = !baselinePath.empty();
+        if (have_base)
+            fatal_if(!jsonParse(readTextFile("report", baselinePath),
+                                baseline, &err),
+                     "report: cannot parse '%s': %s",
+                     baselinePath.c_str(), err.c_str());
+        bool regressed = false;
+        Figure f = buildBenchFigure(
+            current, have_base ? &baseline : nullptr, tolerance,
+            regressed);
+        f.context = inPath;
+        std::string rendered = renderFigure(f, fmt);
+        if (fmt == ReportFormat::Table)
+            rendered += "\n";
+        texts.push_back(std::move(rendered));
+        if (regressed) {
+            std::fprintf(stderr,
+                         "report: bench regression: at least one "
+                         "rate fell more than %.0f%% below the "
+                         "baseline\n",
+                         tolerance * 100.0);
+            rc = 1;
+        }
+    }
+
     emitFigureTexts(texts, fmt);
-    return 0;
+    return rc;
 }
 
 int
@@ -970,15 +1199,18 @@ cmdMerge(Args args)
 {
     std::string out;
     std::vector<std::string> inputs;
+    ObsCli obs;
     while (!args.done()) {
         const std::string a = args.next();
         if (a == "--out" || a == "-o")
             out = args.value(a);
-        else if (!a.empty() && a[0] == '-')
+        else if (obs.tryParse(a, args)) {
+        } else if (!a.empty() && a[0] == '-')
             fatal("merge: unknown option '%s'", a.c_str());
         else
             inputs.push_back(a);
     }
+    obs.apply("merge");
     fatal_if(out.empty(), "merge: --out is required");
     fatal_if(inputs.empty(), "merge: no input caches given");
 
@@ -1003,13 +1235,16 @@ int
 cmdInfo(Args args)
 {
     std::string trace_path;
+    ObsCli obs;
     while (!args.done()) {
         const std::string a = args.next();
         if (a == "--trace")
             trace_path = args.value(a);
-        else
+        else if (obs.tryParse(a, args)) {
+        } else
             fatal("info: unknown option '%s'", a.c_str());
     }
+    obs.apply("info");
     fatal_if(trace_path.empty(), "info: --trace is required");
 
     std::string err;

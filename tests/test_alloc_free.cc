@@ -15,6 +15,8 @@
 #include <new>
 
 #include "noc/network.hh"
+#include "obs/debug.hh"
+#include "obs/observer.hh"
 #include "profile/traffic.hh"
 #include "protocol/message.hh"
 #include "sim/event_queue.hh"
@@ -143,6 +145,47 @@ TEST(AllocFree, NetworkSendSteadyState)
     EXPECT_EQ(after - before, 0u)
         << "Network::send steady state performed heap allocations";
     EXPECT_EQ(sink.received, 1024u);
+}
+
+TEST(AllocFree, DisabledObservabilityAllocatesNothing)
+{
+    // The observability sites compiled into the hot path (DPRINTF in
+    // Network::send, the thread-local observer check around timeline
+    // spans) must cost nothing when disabled: after a round with
+    // tracing ON, flags off + no observer must be as allocation-free
+    // as a build without the instrumentation.
+    EventQueue eq;
+    TrafficRecorder traffic;
+    Network net(eq, traffic);
+    Sink sink;
+    for (unsigned t = 0; t < numTiles; ++t)
+        net.attach(l1Ep(t), &sink);
+
+    auto blast = [&](unsigned msgs) {
+        for (unsigned i = 0; i < msgs; ++i)
+            net.send(makeDataMessage(i % numTiles,
+                                     (i * 7 + 3) % numTiles));
+        eq.run();
+    };
+
+    blast(512); // warm pools
+
+    // One traced round proves the sites are live in this binary, not
+    // compiled out.
+    ASSERT_TRUE(debug::setFlags("noc"));
+    std::size_t traced = 0;
+    debug::sink = [&](const std::string &) { ++traced; };
+    blast(16);
+    EXPECT_GT(traced, 0u) << "DPRINTF(Noc) sites not reached";
+    debug::clearFlags();
+    debug::sink = nullptr;
+
+    ASSERT_EQ(simObserver(), nullptr);
+    const std::size_t before = g_news;
+    blast(512);
+    const std::size_t after = g_news;
+    EXPECT_EQ(after - before, 0u)
+        << "disabled observability performed heap allocations";
 }
 
 TEST(AllocFree, MessageCopyAndMove)
