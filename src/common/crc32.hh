@@ -1,0 +1,62 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) used to
+ * checksum sweep-cache cell blocks and worker output files.  The
+ * standard parameterization (init 0xFFFFFFFF, final xor) matches
+ * zlib's crc32(), so checksums in cache files can be verified with
+ * any off-the-shelf tool: crc32("123456789") == 0xCBF43926.
+ */
+
+#ifndef WASTESIM_COMMON_CRC32_HH
+#define WASTESIM_COMMON_CRC32_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace wastesim
+{
+
+namespace detail
+{
+
+inline const std::array<std::uint32_t, 256> &
+crc32Table()
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // namespace detail
+
+/** CRC-32 of @p len bytes at @p data. */
+inline std::uint32_t
+crc32(const void *data, std::size_t len)
+{
+    const auto &table = detail::crc32Table();
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < len; ++i)
+        c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+inline std::uint32_t
+crc32(const std::string &bytes)
+{
+    return crc32(bytes.data(), bytes.size());
+}
+
+} // namespace wastesim
+
+#endif // WASTESIM_COMMON_CRC32_HH

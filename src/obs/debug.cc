@@ -15,6 +15,8 @@ Flag Noc{"noc", "network sends with route and flit counts"};
 Flag Dram{"dram", "DRAM request issue with row-buffer outcome"};
 Flag Queue{"queue", "event-queue occupancy milestones"};
 Flag Sweep{"sweep", "sweep-engine cell lifecycle (wall clock)"};
+Flag Supervisor{"supervisor",
+                "worker-pool spawn/reap/retry decisions"};
 
 Tick windowStart = 0;
 Tick windowEnd = ~Tick(0);
@@ -24,8 +26,8 @@ std::function<void(const std::string &)> sink;
 const std::vector<Flag *> &
 allFlags()
 {
-    static const std::vector<Flag *> flags{&Mesi, &DeNovo, &Noc,
-                                           &Dram,  &Queue, &Sweep};
+    static const std::vector<Flag *> flags{
+        &Mesi, &DeNovo, &Noc, &Dram, &Queue, &Sweep, &Supervisor};
     return flags;
 }
 

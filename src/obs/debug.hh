@@ -43,6 +43,7 @@ extern Flag Noc;    //!< every Network::send with route and flits
 extern Flag Dram;   //!< per-request DRAM issue with row outcome
 extern Flag Queue;  //!< event-queue occupancy milestones
 extern Flag Sweep;  //!< sweep-engine cell lifecycle (wall clock)
+extern Flag Supervisor; //!< worker-pool spawn/reap/retry decisions
 
 /** Tick window outside which enabled flags stay silent:
  *  [windowStart, windowEnd). */

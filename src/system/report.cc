@@ -52,14 +52,22 @@ buildStacked(const Sweep &s, const char *id,
         t.labelCols = {s.benchNames[b]};
         t.valueCols = cats;
         t.valueCols.push_back("Total");
+        // A quarantined MESI cell poisons the whole table: every row
+        // normalizes to it, so all of them become holes, not just the
+        // base row.
+        const bool base_hole = s.holeAt(b, 0);
         for (std::size_t p = 0; p < s.protoNames.size(); ++p) {
             FigureRow row;
             row.labels = {s.protoNames[p]};
-            row.values = row_fn(s.results[b][p], s.results[b][0]);
-            double total = 0;
-            for (double v : row.values)
-                total += v;
-            row.values.push_back(total);
+            if (base_hole || s.holeAt(b, p)) {
+                row.values.assign(cats.size() + 1, std::nan(""));
+            } else {
+                row.values = row_fn(s.results[b][p], s.results[b][0]);
+                double total = 0;
+                for (double v : row.values)
+                    total += v;
+                row.values.push_back(total);
+            }
             t.rows.push_back(std::move(row));
         }
         f.tables.push_back(std::move(t));
@@ -225,7 +233,9 @@ buildOverheadComposition(const Sweep &s)
             const double oh = tr.overhead();
             FigureRow row;
             row.labels = {s.benchNames[b], s.protoNames[p]};
-            if (oh == 0) {
+            if (s.holeAt(b, p)) {
+                row.values.assign(7, none);
+            } else if (oh == 0) {
                 row.values = {safeDiv(oh, tr.total()), none, none,
                               none, none, none, none};
             } else {
@@ -262,16 +272,23 @@ buildHeadline(const Sweep &s)
     }
     f.title = "Headline comparisons (paper values in brackets):";
 
+    // Benchmarks with a quarantined cell on either side drop out of
+    // the average; an average over zero benchmarks is a hole, not the
+    // mean([])==0 the stats helper would report.
     auto avg_reduction = [&](int from, int to,
                              auto &&metric) -> double {
         std::vector<double> reds;
-        for (const auto &row : s.results) {
+        for (std::size_t bi = 0; bi < s.results.size(); ++bi) {
+            if (s.holeAt(bi, static_cast<std::size_t>(from)) ||
+                s.holeAt(bi, static_cast<std::size_t>(to)))
+                continue;
+            const auto &row = s.results[bi];
             const double a = metric(row[from]);
             const double b = metric(row[to]);
             if (a > 0)
                 reds.push_back(1.0 - b / a);
         }
-        return mean(reds);
+        return reds.empty() ? std::nan("") : mean(reds);
     };
 
     auto traffic = [](const RunResult &r) { return r.traffic.total(); };
@@ -300,14 +317,21 @@ buildHeadline(const Sweep &s)
     // MESI overhead fraction and DBypFull residual waste fraction.
     {
         std::vector<double> ohs, wastes;
-        for (const auto &row : s.results) {
-            const TrafficStats &m = row[mesi].traffic;
-            ohs.push_back(safeDiv(m.overhead(), m.total()));
-            const TrafficStats &d = row[dbyp].traffic;
-            wastes.push_back(safeDiv(d.wasteData(), d.total()));
+        for (std::size_t bi = 0; bi < s.results.size(); ++bi) {
+            const auto &row = s.results[bi];
+            if (!s.holeAt(bi, static_cast<std::size_t>(mesi))) {
+                const TrafficStats &m = row[mesi].traffic;
+                ohs.push_back(safeDiv(m.overhead(), m.total()));
+            }
+            if (!s.holeAt(bi, static_cast<std::size_t>(dbyp))) {
+                const TrafficStats &d = row[dbyp].traffic;
+                wastes.push_back(safeDiv(d.wasteData(), d.total()));
+            }
         }
-        add("MESI overhead fraction", mean(ohs), 0.136);
-        add("DBypFull waste fraction", mean(wastes), 0.088);
+        add("MESI overhead fraction",
+            ohs.empty() ? std::nan("") : mean(ohs), 0.136);
+        add("DBypFull waste fraction",
+            wastes.empty() ? std::nan("") : mean(wastes), 0.088);
     }
     f.tables.push_back(std::move(t));
     return f;
@@ -329,9 +353,16 @@ buildEnergy(const Sweep &s, const Topology &topo)
         t.name = s.benchNames[b];
         t.labelCols = {s.benchNames[b]};
         t.valueCols = {"Network", "L1", "L2", "DRAM", "Total"};
+        const bool base_hole = s.holeAt(b, 0);
         const double base =
             model.estimate(s.results[b][0]).total();
         for (std::size_t p = 0; p < s.protoNames.size(); ++p) {
+            if (base_hole || s.holeAt(b, p)) {
+                t.rows.push_back(FigureRow{
+                    {s.protoNames[p]},
+                    std::vector<double>(5, std::nan(""))});
+                continue;
+            }
             const EnergyBreakdown e = model.estimate(s.results[b][p]);
             t.rows.push_back(FigureRow{
                 {s.protoNames[p]},
@@ -447,6 +478,12 @@ buildPlacementStudy(const std::vector<std::string> &names,
         for (std::size_t i = 0; i < sweeps.size(); ++i) {
             const EnergyModel model(topos[i]);
             for (std::size_t p : protos) {
+                if (sweeps[i].holeAt(b, p)) {
+                    t.rows.push_back(FigureRow{
+                        {names[i], sweeps[i].protoNames[p]},
+                        std::vector<double>(3, std::nan(""))});
+                    continue;
+                }
                 const RunResult &r = sweeps[i].results[b][p];
                 // Read through the metric registry: the placement
                 // figure consumes the same schema paths as the JSON
@@ -531,6 +568,13 @@ buildReportByName(const std::string &name, const Sweep &s,
     for (const ReportEntry &e : reportRegistry) {
         if (name == e.name) {
             out = e.build(s, topo);
+            // Quarantined cells render as "-" holes; the title says
+            // so, because a silent dash invites misreading the grid
+            // as complete.
+            const std::size_t nh = s.numHoles();
+            if (nh > 0 && !out.title.empty())
+                out.title += " [" + std::to_string(nh) +
+                             " quarantined cell(s) shown as -]";
             return true;
         }
     }

@@ -272,8 +272,16 @@ cachedFullSweep(unsigned scale, SimParams params,
     // its own cells without invalidating anything else in the file.
     const SweepSpec spec = SweepSpec::fullGrid(scale, params);
     CellCache cache;
-    if (!no_cache)
-        cache.load(path);
+    if (!no_cache) {
+        // Salvage mode: a corrupt cell costs one re-simulation, not
+        // the whole cache.
+        CacheLoadReport rep;
+        cache.load(path, rep, CacheLoadMode::Salvage);
+        if (rep.badCells > 0 || rep.truncated)
+            warn("sweep cache '%s' was damaged (%s); %zu cell(s) "
+                 "dropped and re-simulated",
+                 path.c_str(), rep.error.c_str(), rep.badCells);
+    }
 
     if (compute) {
         // Injected whole-sweep producer (tests): cache hits only when

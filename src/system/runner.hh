@@ -26,11 +26,39 @@ struct Sweep
     std::vector<std::vector<RunResult>> results;
 
     /**
+     * Quarantine annotations: holes[b][p] carries the failure reason
+     * of a cell that has no result (the supervisor gave up on it).
+     * Empty string — or an unsized vector, for sweeps produced by
+     * paths without quarantine support — means data is present.  The
+     * figure builders render hole cells as "-" instead of erroring.
+     */
+    std::vector<std::vector<std::string>> holes;
+
+    /**
      * Fingerprint of the configuration that produced the sweep
      * (scale + SimParams); cachedFullSweep uses it to reject cache
      * files computed under a different configuration.
      */
     std::string configTag;
+
+    /** True when cell (b, p) is an annotated hole. */
+    bool
+    holeAt(std::size_t b, std::size_t p) const
+    {
+        return b < holes.size() && p < holes[b].size() &&
+               !holes[b][p].empty();
+    }
+
+    std::size_t
+    numHoles() const
+    {
+        std::size_t n = 0;
+        for (const auto &row : holes)
+            for (const auto &h : row)
+                if (!h.empty())
+                    ++n;
+        return n;
+    }
 };
 
 /**

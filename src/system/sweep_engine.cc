@@ -13,6 +13,7 @@
 #include <sstream>
 #include <thread>
 
+#include "common/crc32.hh"
 #include "common/log.hh"
 #include "obs/debug.hh"
 #include "obs/timeline.hh"
@@ -23,7 +24,8 @@ namespace wastesim
 namespace
 {
 
-constexpr const char *cellCacheMagic = "wastesim-cells-v1";
+constexpr const char *cellCacheMagicV1 = "wastesim-cells-v1";
+constexpr const char *cellCacheMagicV2 = "wastesim-cells-v2";
 
 /** Canonical text form of one cell result (cache value). */
 std::string
@@ -33,6 +35,16 @@ serializeResult(const RunResult &r)
     os.precision(17);
     writeRunResult(os, r);
     return os.str();
+}
+
+/** One-line form of a quarantine reason (the record is line-framed). */
+std::string
+sanitizeReason(std::string reason)
+{
+    for (char &c : reason)
+        if (c == '\n' || c == '\r')
+            c = ' ';
+    return reason;
 }
 
 /**
@@ -113,38 +125,197 @@ SweepSpec::cellKey(const SweepCell &c) const
 bool
 CellCache::load(const std::string &path)
 {
+    CacheLoadReport rep;
+    return load(path, rep, CacheLoadMode::Strict);
+}
+
+bool
+CellCache::load(const std::string &path, CacheLoadReport &rep,
+                CacheLoadMode mode)
+{
     cells_.clear();
-    std::ifstream is(path);
+    quarantine_.clear();
+    rep = CacheLoadReport{};
+    std::ifstream is(path, std::ios::binary);
     if (!is)
         return false;
+    rep.found = true;
     std::string magic;
     std::getline(is, magic);
-    if (magic != cellCacheMagic)
+    bool intact = false;
+    if (magic == cellCacheMagicV2) {
+        rep.formatOk = true;
+        intact = loadV2(is, rep, mode);
+    } else if (magic == cellCacheMagicV1) {
+        rep.formatOk = true;
+        intact = loadV1(is, rep, mode);
+    } else {
+        rep.error = "unrecognized cache magic";
         return false;
+    }
+    if (mode == CacheLoadMode::Strict &&
+        (!intact || rep.badCells > 0)) {
+        cells_.clear();
+        quarantine_.clear();
+        return false;
+    }
+    // Salvage: whatever survived the scan is served; dropped cells
+    // are simply recomputed by the next sweep.
+    return true;
+}
+
+bool
+CellCache::loadV1(std::istream &is, CacheLoadReport &rep,
+                  CacheLoadMode)
+{
     std::size_t n = 0;
     is >> n;
     is.ignore();
     // Corrupt counts must fail the load, not drive the loop below; a
     // real cache holds at most a few thousand cells.
-    if (!is || n > (1u << 20))
+    if (!is || n > (1u << 20)) {
+        rep.truncated = true;
+        rep.error = "cache header: unreadable cell count";
         return false;
+    }
     for (std::size_t i = 0; i < n; ++i) {
+        const long long off = static_cast<long long>(is.tellg());
         std::string key;
         std::getline(is, key);
         if (!is || key.empty()) {
-            cells_.clear();
+            rep.truncated = true;
+            rep.error = "cell " + std::to_string(i) +
+                        ": missing key at byte offset " +
+                        std::to_string(off);
             return false;
         }
-        // A cell block is parsed (not copied by line count) so a
-        // malformed block fails the load instead of shifting every
-        // subsequent cell.
+        // A cell block is parsed (not copied by line count), so a
+        // malformed block fails here instead of shifting every
+        // subsequent cell.  v1 blocks carry no length, so there is no
+        // per-cell resync: damage truncates the salvageable prefix.
         RunResult r;
         if (!readRunResult(is, r)) {
-            cells_.clear();
+            rep.truncated = true;
+            ++rep.badCells;
+            rep.badKeys.push_back(key);
+            rep.error = "cell " + std::to_string(i) + " ('" + key +
+                        "') at byte offset " + std::to_string(off) +
+                        ": unparseable v1 result block";
             return false;
         }
         is.ignore(); // trailing newline of the block
         cells_[key] = serializeResult(r);
+        ++rep.cells;
+    }
+    return true;
+}
+
+bool
+CellCache::loadV2(std::istream &is, CacheLoadReport &rep,
+                  CacheLoadMode mode)
+{
+    std::size_t n = 0, nq = 0;
+    is >> n >> nq;
+    is.ignore();
+    if (!is || n > (1u << 20) || nq > (1u << 20)) {
+        rep.truncated = true;
+        rep.error = "cache header: unreadable cell counts";
+        return false;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        const long long off = static_cast<long long>(is.tellg());
+        std::string key;
+        std::getline(is, key);
+        if (!is || key.empty()) {
+            rep.truncated = true;
+            rep.error = "cell " + std::to_string(i) +
+                        ": missing key at byte offset " +
+                        std::to_string(off);
+            return false;
+        }
+        auto cell_err = [&](const std::string &why) {
+            return "cell " + std::to_string(i) + " ('" + key +
+                   "') at byte offset " + std::to_string(off) + ": " +
+                   why;
+        };
+        std::string meta;
+        std::getline(is, meta);
+        std::size_t nbytes = 0;
+        std::uint32_t want_crc = 0;
+        {
+            std::istringstream ms(meta);
+            char eq = 0;
+            ms >> eq >> nbytes >> std::hex >> want_crc;
+            if (!is || !ms || eq != '=' || nbytes == 0 ||
+                nbytes > (1u << 22)) {
+                rep.truncated = true;
+                rep.error = cell_err("malformed block header '" +
+                                     meta + "'");
+                return false;
+            }
+        }
+        std::string block(nbytes, '\0');
+        is.read(block.data(), static_cast<std::streamsize>(nbytes));
+        if (static_cast<std::size_t>(is.gcount()) != nbytes) {
+            rep.truncated = true;
+            ++rep.badCells;
+            rep.badKeys.push_back(key);
+            rep.error = cell_err(
+                "truncated block (" + std::to_string(is.gcount()) +
+                " of " + std::to_string(nbytes) + " bytes)");
+            return false;
+        }
+        // Per-cell integrity: the declared length was sound, so a bad
+        // block is skippable damage — salvage resyncs at the next key.
+        std::string why;
+        const std::uint32_t got_crc = crc32(block);
+        RunResult r;
+        if (got_crc != want_crc) {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf),
+                          "checksum mismatch (stored %08x, computed "
+                          "%08x)",
+                          want_crc, got_crc);
+            why = buf;
+        } else {
+            std::istringstream bs(block);
+            if (!readRunResult(bs, r))
+                why = "unparseable result block";
+        }
+        if (!why.empty()) {
+            ++rep.badCells;
+            rep.badKeys.push_back(key);
+            if (rep.error.empty())
+                rep.error = cell_err(why);
+            if (mode == CacheLoadMode::Strict)
+                return false;
+            continue;
+        }
+        cells_[key] = serializeResult(r);
+        ++rep.cells;
+    }
+    for (std::size_t i = 0; i < nq; ++i) {
+        const long long off = static_cast<long long>(is.tellg());
+        std::string key, meta;
+        std::getline(is, key);
+        std::getline(is, meta);
+        unsigned attempts = 0;
+        std::string reason;
+        std::istringstream ms(meta);
+        char bang = 0;
+        ms >> bang >> attempts;
+        std::getline(ms, reason);
+        if (!is || !ms || key.empty() || bang != '!') {
+            rep.truncated = true;
+            rep.error = "quarantine record " + std::to_string(i) +
+                        " at byte offset " + std::to_string(off) +
+                        ": malformed";
+            return false;
+        }
+        if (!reason.empty() && reason.front() == ' ')
+            reason.erase(0, 1);
+        quarantine_[key] = CellFailure{attempts, reason};
+        ++rep.quarantined;
     }
     return true;
 }
@@ -153,18 +324,26 @@ std::string
 CellCache::serialized() const
 {
     std::ostringstream os;
-    os << cellCacheMagic << '\n' << cells_.size() << '\n';
+    os << cellCacheMagicV2 << '\n' << cells_.size() << ' '
+       << quarantine_.size() << '\n';
     // std::map iterates in key order: the file is canonical, so any
     // two caches holding the same cells are byte-identical.
-    for (const auto &[key, block] : cells_)
-        os << key << '\n' << block;
+    for (const auto &[key, block] : cells_) {
+        char meta[32];
+        std::snprintf(meta, sizeof(meta), "= %zu %08x", block.size(),
+                      crc32(block));
+        os << key << '\n' << meta << '\n' << block;
+    }
+    for (const auto &[key, cf] : quarantine_)
+        os << key << '\n'
+           << "! " << cf.attempts << ' ' << cf.reason << '\n';
     return os.str();
 }
 
 bool
 CellCache::save(const std::string &path) const
 {
-    std::ofstream os(path);
+    std::ofstream os(path, std::ios::binary);
     if (!os)
         return false;
     os << serialized();
@@ -197,6 +376,33 @@ void
 CellCache::put(const std::string &key, const RunResult &r)
 {
     cells_[key] = serializeResult(r);
+    quarantine_.erase(key);
+}
+
+void
+CellCache::quarantine(const std::string &key, unsigned attempts,
+                      const std::string &reason)
+{
+    if (cells_.count(key))
+        return;
+    quarantine_[key] = CellFailure{attempts, sanitizeReason(reason)};
+}
+
+bool
+CellCache::isQuarantined(const std::string &key, CellFailure *out) const
+{
+    auto it = quarantine_.find(key);
+    if (it == quarantine_.end())
+        return false;
+    if (out)
+        *out = it->second;
+    return true;
+}
+
+void
+CellCache::clearQuarantine(const std::string &key)
+{
+    quarantine_.erase(key);
 }
 
 bool
@@ -211,6 +417,25 @@ CellCache::merge(const CellCache &other, std::string *err)
         }
     }
     cells_.insert(other.cells_.begin(), other.cells_.end());
+    for (const auto &[key, cf] : other.quarantine_) {
+        if (cells_.count(key))
+            continue;
+        auto it = quarantine_.find(key);
+        if (it == quarantine_.end())
+            quarantine_[key] = cf;
+        else if (cf.attempts > it->second.attempts ||
+                 (cf.attempts == it->second.attempts &&
+                  cf.reason < it->second.reason))
+            it->second = cf;
+    }
+    // A result on either side lifts the quarantine: some shard got
+    // the cell to complete.
+    for (auto it = quarantine_.begin(); it != quarantine_.end();) {
+        if (cells_.count(it->first))
+            it = quarantine_.erase(it);
+        else
+            ++it;
+    }
     return true;
 }
 
@@ -264,6 +489,8 @@ SweepEngine::run(CellCache &cache)
             s.protoNames.emplace_back(protocolName(p));
         s.results.assign(num_benches,
                          std::vector<RunResult>(num_protos));
+        s.holes.assign(num_benches,
+                       std::vector<std::string>(num_protos));
         s.configTag = sweepConfigTag(
             spec_.scale, spec_.paramsFor(static_cast<unsigned>(t)));
     }
@@ -290,29 +517,50 @@ SweepEngine::run(CellCache &cache)
     if (want_timeline)
         timeline.threadName(1, 999, "cache");
 
-    // Serve hits, queue misses.
+    // Serve hits, skip quarantined cells, queue the rest.
     const std::vector<std::size_t> owned = shardCellIndices();
     statTotal_ = owned.size();
-    statHit_ = statComputed_ = 0;
+    statHit_ = statComputed_ = statQuarantined_ = 0;
+    interrupted_ = false;
 
     std::vector<std::size_t> pending;
     for (std::size_t flat : owned) {
         const SweepCell c = spec_.cellAt(flat);
+        const std::string key = spec_.cellKey(c);
         RunResult &slot =
             sweeps[c.topoIdx].results[c.benchIdx][c.protoIdx];
-        if (cache.get(spec_.cellKey(c), slot)) {
+        CellFailure cf;
+        if (cache.get(key, slot)) {
             ++statHit_;
             if (want_timeline) {
                 timeline.instant("sweep", "hit " + cell_label(c),
+                                 now_us(), 1, 999);
+            }
+        } else if (!retryQuarantined_ &&
+                   cache.isQuarantined(key, &cf)) {
+            // A poisoned cell stays a hole: re-running a known-bad
+            // simulation on every report would wedge the pipeline.
+            ++statQuarantined_;
+            sweeps[c.topoIdx].holes[c.benchIdx][c.protoIdx] =
+                cf.reason;
+            warn("cell '%s' is quarantined (%u attempts; %s); "
+                 "rendering it as a hole — retry-quarantined "
+                 "recomputes it",
+                 key.c_str(), cf.attempts, cf.reason.c_str());
+            if (want_timeline) {
+                timeline.instant("sweep",
+                                 "quarantined " + cell_label(c),
                                  now_us(), 1, 999);
             }
         } else {
             pending.push_back(flat);
         }
     }
-    DPRINTF_NT(Sweep, "shard %u/%u: %zu cells, %zu cached, %zu to run",
+    DPRINTF_NT(Sweep,
+               "shard %u/%u: %zu cells, %zu cached, %zu quarantined, "
+               "%zu to run",
                shard_, numShards_, statTotal_, statHit_,
-               pending.size());
+               statQuarantined_, pending.size());
     if (pending.empty()) {
         save_timeline();
         return sweeps;
@@ -427,6 +675,8 @@ SweepEngine::run(CellCache &cache)
     }
 
     std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> computedCount{0};
+    std::atomic<bool> stopped{false};
     std::mutex cacheMutex;
 
     // Autosave plumbing: the cache is snapshotted to a string under
@@ -470,6 +720,7 @@ SweepEngine::run(CellCache &cache)
         }
 
         sweeps[c.topoIdx].results[c.benchIdx][c.protoIdx] = r;
+        ++computedCount;
 
         const double cell_end = now_us();
         DPRINTF_NT(Sweep, "worker %u finished %s in %.1f ms", wid,
@@ -518,8 +769,16 @@ SweepEngine::run(CellCache &cache)
 
     auto worker = [&](unsigned wid) {
         for (std::size_t i = next.fetch_add(1); i < pending.size();
-             i = next.fetch_add(1))
+             i = next.fetch_add(1)) {
+            // Graceful drain: once the stop check fires, in-flight
+            // cells finish (their autosave flushed them already) and
+            // no new ones start.
+            if (stopCheck_ && stopCheck_()) {
+                stopped.store(true);
+                break;
+            }
             run_cell(pending[i], wid);
+        }
     };
 
     if (jobs <= 1) {
@@ -543,7 +802,8 @@ SweepEngine::run(CellCache &cache)
     }
     save_timeline();
 
-    statComputed_ = pending.size();
+    statComputed_ = computedCount.load();
+    interrupted_ = stopped.load();
     return sweeps;
 }
 

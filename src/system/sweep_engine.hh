@@ -27,6 +27,15 @@
  *    CellCache::merge() combines partials, and the merged file is
  *    byte-identical to a single-process sweep's cache because cells
  *    are serialized in canonical key order.
+ *
+ *  - **Integrity**: the v2 cache format carries a CRC-32 and byte
+ *    length per cell block, so a corrupt or truncated cell is
+ *    detected at load (and either reported or salvaged around) rather
+ *    than silently served; v1 caches remain readable.  Poisoned cells
+ *    — ones the supervisor gave up on — are recorded as quarantine
+ *    entries with their failure reason, so reports can render them as
+ *    annotated holes instead of erroring or re-running known-bad
+ *    simulations.
  */
 
 #ifndef WASTESIM_SYSTEM_SWEEP_ENGINE_HH
@@ -85,23 +94,75 @@ struct SweepSpec
     std::string cellKey(const SweepCell &c) const;
 };
 
+/** Quarantine record of a poisoned cell: why the last attempt failed
+ *  and how many attempts were spent before giving up. */
+struct CellFailure
+{
+    unsigned attempts = 0;
+    std::string reason;
+};
+
+/** How CellCache::load treats a damaged file. */
+enum class CacheLoadMode
+{
+    /** Any corrupt or truncated cell fails the whole load (and clears
+     *  the cache); the report names the first bad cell and its byte
+     *  offset.  What `merge` wants: a damaged shard should be
+     *  surfaced, not silently thinned. */
+    Strict,
+    /** Corrupt cells are dropped (reported via badKeys) and a
+     *  structural truncation stops the scan, keeping everything read
+     *  so far.  What `sweep`/`report` want: salvaged cells are served,
+     *  dropped ones are simply re-simulated. */
+    Salvage,
+};
+
+/** What CellCache::load found; valid in both modes, success or not. */
+struct CacheLoadReport
+{
+    bool found = false;     //!< the file existed and was readable
+    bool formatOk = false;  //!< magic was a known cache format
+    bool truncated = false; //!< structural damage stopped the scan
+    std::size_t cells = 0;       //!< result cells loaded
+    std::size_t quarantined = 0; //!< quarantine records loaded
+    std::size_t badCells = 0;    //!< cells dropped (or, strict: hit)
+    /** Keys of the dropped cells (when recoverable from the file). */
+    std::vector<std::string> badKeys;
+    /** Human-readable description of the first problem, naming the
+     *  cell and its byte offset in the file. */
+    std::string error;
+};
+
 /**
  * Per-cell sweep result store, on disk as a text file in canonical
  * (key-sorted) order: equal cell sets always serialize to identical
  * bytes, which is what makes sharded-and-merged caches comparable to
  * single-process ones with cmp(1).
+ *
+ * Format v2 ("wastesim-cells-v2") prefixes every cell block with its
+ * byte length and CRC-32, and appends quarantine records after the
+ * result cells; v1 files load transparently, saves always write v2.
  */
 class CellCache
 {
   public:
-    /** Load from @p path; false (and empty cache) when the file is
-     *  missing, a legacy-format cache, or corrupt. */
+    /** Strict load from @p path; false (and empty cache) when the
+     *  file is missing, a legacy-format cache, or corrupt. */
     bool load(const std::string &path);
 
-    /** The canonical file bytes (magic, count, key-ordered cells);
-     *  what save()/saveAtomic() write.  Snapshotting to a string lets
-     *  the engine serialize under its cache lock but perform the
-     *  disk write outside it. */
+    /**
+     * Load with an outcome report.  Strict mode returns false on any
+     * damage (cache cleared); Salvage mode returns true whenever the
+     * magic was recognized, keeping every intact cell and listing the
+     * dropped ones in @p rep.
+     */
+    bool load(const std::string &path, CacheLoadReport &rep,
+              CacheLoadMode mode);
+
+    /** The canonical file bytes (magic, counts, key-ordered cells,
+     *  key-ordered quarantine records); what save()/saveAtomic()
+     *  write.  Snapshotting to a string lets the engine serialize
+     *  under its cache lock but perform the disk write outside it. */
     std::string serialized() const;
 
     /** Write all cells in canonical order; false on I/O error. */
@@ -121,21 +182,53 @@ class CellCache
     /** Fetch and deserialize; false when absent. */
     bool get(const std::string &key, RunResult &out) const;
 
+    /** Insert a result (and lift any quarantine on the key: a cell
+     *  that finally computed is no longer poison). */
     void put(const std::string &key, const RunResult &r);
+
+    /** Record @p key as poisoned: @p attempts were spent, the last
+     *  failing for @p reason.  No-op if the key has a result. */
+    void quarantine(const std::string &key, unsigned attempts,
+                    const std::string &reason);
+
+    /** True when @p key is quarantined; fills @p out when given. */
+    bool isQuarantined(const std::string &key,
+                       CellFailure *out = nullptr) const;
+
+    void clearQuarantine(const std::string &key);
 
     /**
      * Absorb every cell of @p other.  A key present on both sides
      * must carry an identical result (the cells are deterministic
      * simulations of the same configuration); a contradiction leaves
      * this cache unchanged and reports the offending key via @p err.
+     * Quarantine records merge too: a real result on either side
+     * beats a quarantine, and two quarantines keep the higher attempt
+     * count (ties: the lexicographically smaller reason, so merge
+     * order cannot change the output bytes).
      */
     bool merge(const CellCache &other, std::string *err = nullptr);
 
     std::size_t size() const { return cells_.size(); }
 
+    std::size_t numQuarantined() const { return quarantine_.size(); }
+
+    const std::map<std::string, CellFailure> &
+    quarantined() const
+    {
+        return quarantine_;
+    }
+
   private:
+    bool loadV1(std::istream &is, CacheLoadReport &rep,
+                CacheLoadMode mode);
+    bool loadV2(std::istream &is, CacheLoadReport &rep,
+                CacheLoadMode mode);
+
     /** key -> serialized RunResult block (precision-17 text). */
     std::map<std::string, std::string> cells_;
+    /** key -> why the supervisor gave up on the cell. */
+    std::map<std::string, CellFailure> quarantine_;
 };
 
 /**
@@ -185,6 +278,23 @@ class SweepEngine
         timelinePath_ = std::move(path);
     }
 
+    /** Recompute quarantined cells instead of honoring their records
+     *  (`--retry-quarantined`).  Off by default: a poisoned cell is
+     *  rendered as a hole, not re-run on every report. */
+    void setRetryQuarantined(bool on) { retryQuarantined_ = on; }
+
+    /**
+     * Cooperative cancellation (SIGINT/SIGTERM graceful drain): the
+     * predicate is polled between cells; once it returns true,
+     * workers finish their in-flight cell — whose autosave flushes it
+     * to disk — and stop pulling new ones.  interrupted() reports
+     * whether a run was cut short this way.
+     */
+    void setStopCheck(std::function<bool()> fn)
+    {
+        stopCheck_ = std::move(fn);
+    }
+
     const SweepSpec &spec() const { return spec_; }
 
     /** Flat indices of this shard's cells, in figure order. */
@@ -194,7 +304,8 @@ class SweepEngine
      * Run this shard's slice.  Returns one figure-ordered Sweep per
      * topology; with an active shard only the cells this slice owns
      * are filled in (the partial cache, not the Sweeps, is the
-     * product of a sharded run).
+     * product of a sharded run).  Quarantined cells are annotated as
+     * holes on the Sweeps (Sweep::holes) and skipped.
      */
     std::vector<Sweep> run(CellCache &cache);
 
@@ -204,6 +315,11 @@ class SweepEngine
     std::size_t cellsHit() const { return statHit_; }
     /** ...of which were simulated. */
     std::size_t cellsComputed() const { return statComputed_; }
+    /** ...of which were skipped as quarantined (holes). */
+    std::size_t cellsQuarantined() const { return statQuarantined_; }
+
+    /** True when the last run() was cut short by the stop check. */
+    bool interrupted() const { return interrupted_; }
 
   private:
     SweepSpec spec_;
@@ -213,10 +329,14 @@ class SweepEngine
     std::string autosave_;
     unsigned progressMs_ = 0;
     std::string timelinePath_;
+    bool retryQuarantined_ = false;
+    std::function<bool()> stopCheck_;
 
     std::size_t statTotal_ = 0;
     std::size_t statHit_ = 0;
     std::size_t statComputed_ = 0;
+    std::size_t statQuarantined_ = 0;
+    bool interrupted_ = false;
 };
 
 } // namespace wastesim

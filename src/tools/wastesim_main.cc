@@ -17,6 +17,9 @@
  *       metric-schema dump (--schema)
  *   wastesim merge   --out FILE CACHE...
  *       combine partial (sharded) sweep caches into one
+ *   wastesim cell    --bench B --protocol P --out FILE ...
+ *       compute one sweep cell and write a checksummed result file
+ *       (the worker half of `sweep --supervise`)
  *   wastesim info    --trace FILE
  *       print a trace file's header, regions and op counts
  *
@@ -25,8 +28,11 @@
  * --full-size is given.
  */
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cerrno>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -45,6 +51,7 @@
 #include "system/report.hh"
 #include "system/report_obs.hh"
 #include "system/runner.hh"
+#include "system/supervisor.hh"
 #include "system/sweep_engine.hh"
 #include "trace/synthetic.hh"
 #include "trace/trace_workload.hh"
@@ -86,7 +93,11 @@ usage(const char *prog)
         "          --mesh-list WxH,WxH,...] [--mcs N]\n"
         "          [--mc-tiles T,T,...] [--shard I/N] [--cache FILE]\n"
         "          [--jobs N] [--format table|json|csv] [--full-size]\n"
-        "          [--progress]\n"
+        "          [--progress] [--supervise N] [--max-retries N]\n"
+        "          [--retry-backoff-ms N] [--cell-deadline-ms N]\n"
+        "          [--retry-quarantined]\n"
+        "          [--fault-inject crash:P,hang:P,corrupt:P]\n"
+        "          [--fault-seed N]\n"
         "          full 9-protocol x 6-benchmark grid over every\n"
         "          listed mesh, against a per-cell disk cache that\n"
         "          only computes missing cells — finished cells are\n"
@@ -99,11 +110,17 @@ usage(const char *prog)
         "          overriding $WASTESIM_JOBS; --progress prints a\n"
         "          heartbeat with ETA and flags stalled cells; in a\n"
         "          sweep --timeline traces wall-clock cell\n"
-        "          lifecycles, not sim time)\n"
+        "          lifecycles, not sim time; --supervise N computes\n"
+        "          cells on N crash-isolated worker processes with\n"
+        "          retry/backoff, per-cell deadlines and poison-cell\n"
+        "          quarantine — SIGINT drains gracefully, and\n"
+        "          --fault-inject exercises the failure paths with\n"
+        "          seeded deterministic faults)\n"
         "  report  [--report NAME ...] [--format table|json|csv]\n"
         "          [--mesh WxH | --mesh-list ...] [--mcs N]\n"
         "          [--mc-tiles T,T,...] [--scale N] [--cache FILE]\n"
-        "          [--jobs N] [--compute-missing] [--schema]\n"
+        "          [--jobs N] [--compute-missing]\n"
+        "          [--retry-quarantined] [--schema]\n"
         "          [--full-size] [--in FILE] [--baseline FILE]\n"
         "          [--tolerance F]\n"
         "          render figures from a sweep cache without\n"
@@ -115,11 +132,21 @@ usage(const char *prog)
         "          sampler JSON (--in) as a windowed time series;\n"
         "          `bench` renders a BENCH_*.json (--in) and exits 1\n"
         "          when any rate falls more than --tolerance (0.25)\n"
-        "          below --baseline)\n"
-        "  merge   --out FILE CACHE...\n"
+        "          below --baseline; quarantined cells render as\n"
+        "          annotated holes — --retry-quarantined recomputes\n"
+        "          them with --compute-missing instead)\n"
+        "  merge   [--skip-bad] --out FILE CACHE...\n"
         "          combine partial sweep caches (from --shard runs)\n"
         "          into one; the result is byte-identical to an\n"
-        "          unsharded sweep's cache\n"
+        "          unsharded sweep's cache; a corrupt cell fails the\n"
+        "          merge naming the cell and byte offset, unless\n"
+        "          --skip-bad salvages the intact cells around it\n"
+        "  cell    --bench B --protocol P --out FILE [--scale N]\n"
+        "          [--mesh WxH] [--mc-tiles T,T,...] [--full-size]\n"
+        "          [--fault-inject SPEC --fault-seed N\n"
+        "          --fault-attempt K]\n"
+        "          compute one sweep cell; used internally by\n"
+        "          `sweep --supervise` worker processes\n"
         "  info    --trace FILE\n"
         "          describe a trace file\n"
         "\n"
@@ -129,7 +156,8 @@ usage(const char *prog)
         "(edge vs center vs diagonal placement studies)\n"
         "\n"
         "observability (every command): --debug-flags F,F,... enables\n"
-        "sim-time tracing (flags: mesi denovo noc dram queue sweep;\n"
+        "sim-time tracing (flags: mesi denovo noc dram queue sweep\n"
+        "supervisor;\n"
         "`all` enables everything), windowed by --debug-start T and\n"
         "--debug-end T; --sample-window N samples registered counters\n"
         "every N ticks into --sample-out FILE (default\n"
@@ -438,6 +466,29 @@ resolveCachePath(const std::string &cache_flag)
     if (const char *env = std::getenv("WASTESIM_CACHE"))
         return env;
     return "wastesim_sweep.cache";
+}
+
+/**
+ * Salvage-mode cache load shared by sweep and report: corrupt or
+ * truncated cells are dropped (with a warning naming the damage) and
+ * simply re-simulated; only `merge` treats damage as an error.
+ */
+void
+loadCacheSalvage(const char *cmd, CellCache &cache,
+                 const std::string &path)
+{
+    CacheLoadReport rep;
+    cache.load(path, rep, CacheLoadMode::Salvage);
+    if (rep.found && !rep.formatOk) {
+        warn("%s: '%s' is not a sweep cache (%s); starting empty",
+             cmd, path.c_str(), rep.error.c_str());
+    } else if (rep.badCells > 0 || rep.truncated) {
+        warn("%s: sweep cache '%s' was damaged (%s); salvaged %zu "
+             "cell(s), dropped %zu — dropped cells will be "
+             "re-simulated",
+             cmd, path.c_str(), rep.error.c_str(), rep.cells,
+             rep.badCells);
+    }
 }
 
 /**
@@ -821,6 +872,119 @@ emitFigureTexts(const std::vector<std::string> &texts,
         std::fputs(t.c_str(), stdout);
 }
 
+/**
+ * `wastesim cell` — the worker half of `sweep --supervise`: compute
+ * exactly one (topology, benchmark, protocol) cell and write it as a
+ * checksummed hand-off file (supervisor.hh documents the format).
+ * The cell key is recomputed here from the same flags the parent
+ * passed, and echoed in the output, so a parent/child configuration
+ * drift is caught as a key mismatch instead of a silently wrong
+ * cached result.
+ *
+ * With --fault-inject the worker draws its fate from (seed, cell key,
+ * attempt) — the same deterministic draw the tests predict — and
+ * crashes, hangs or corrupts its own output on demand.
+ */
+int
+cmdCell(Args args)
+{
+    std::string bench_name, proto_name, out, faultSpecStr;
+    unsigned scale = 1;
+    std::uint64_t faultSeed = 0;
+    unsigned faultAttempt = 0;
+    SimParams params = SimParams::scaled();
+    TopoArgs topo;
+    ObsCli obs;
+    while (!args.done()) {
+        const std::string a = args.next();
+        if (a == "--bench")
+            bench_name = args.value(a);
+        else if (a == "--protocol")
+            proto_name = args.value(a);
+        else if (a == "--scale")
+            scale = args.u32value(a);
+        else if (a == "--mesh")
+            topo.parseMesh(a, args.value(a));
+        else if (a == "--mcs")
+            topo.mcs = args.u32value(a);
+        else if (a == "--mc-tiles")
+            topo.mcTiles = parseTileList(a, args.value(a));
+        else if (a == "--full-size")
+            params = SimParams{};
+        else if (a == "--out" || a == "-o")
+            out = args.value(a);
+        else if (a == "--fault-inject")
+            faultSpecStr = args.value(a);
+        else if (a == "--fault-seed")
+            faultSeed = args.uvalue(a);
+        else if (a == "--fault-attempt")
+            faultAttempt = args.u32value(a);
+        else if (obs.tryParse(a, args)) {
+        } else
+            fatal("cell: unknown option '%s'", a.c_str());
+    }
+    obs.apply("cell");
+    // Workers share the parent's stderr; status chatter from dozens
+    // of children would drown the supervisor's own reporting.
+    if (obs.verbosity <= 1)
+        logVerbosity = 0;
+    fatal_if(bench_name.empty(), "cell: --bench is required");
+    fatal_if(proto_name.empty(), "cell: --protocol is required");
+    fatal_if(out.empty(), "cell: --out is required");
+
+    BenchmarkName bench;
+    fatal_if(!benchmarkFromName(bench_name, bench),
+             "cell: unknown benchmark '%s'", bench_name.c_str());
+    ProtocolName proto;
+    fatal_if(!protocolFromName(proto_name, proto),
+             "cell: unknown protocol '%s'", proto_name.c_str());
+    FaultSpec faults;
+    if (!faultSpecStr.empty()) {
+        std::string err;
+        fatal_if(!FaultSpec::parse(faultSpecStr, faults, &err),
+                 "cell: %s", err.c_str());
+    }
+    topo.apply(params);
+
+    const std::string cell_id = sweepConfigTag(scale, params) +
+                                ",bench=" + benchmarkName(bench) +
+                                ",proto=" + protocolName(proto);
+
+    // Injected faults fire before the simulation: a crashed or hung
+    // worker never gets as far as producing a result, exactly like a
+    // real SIGSEGV or livelock would behave.
+    const FaultKind fate =
+        faultDraw(faults, faultSeed, cell_id, faultAttempt);
+    switch (fate) {
+      case FaultKind::CrashSegv:
+        std::raise(SIGSEGV);
+        break;
+      case FaultKind::CrashKill:
+        std::raise(SIGKILL);
+        break;
+      case FaultKind::CrashExit:
+        std::_Exit(3);
+      case FaultKind::Hang:
+        for (;;)
+            ::pause();
+      default:
+        break;
+    }
+
+    const RunResult r = runOne(proto, bench, scale, params);
+    std::string bytes = formatWorkerOutput(cell_id, r);
+    if (fate == FaultKind::Corrupt)
+        corruptWorkerOutput(bytes, faultSeed, faultAttempt);
+
+    std::FILE *f = std::fopen(out.c_str(), "wb");
+    fatal_if(!f, "cell: cannot write '%s'", out.c_str());
+    const bool ok =
+        std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+    std::fclose(f);
+    fatal_if(!ok, "cell: short write to '%s'", out.c_str());
+    return 0;
+}
+
 int
 cmdSweep(Args args)
 {
@@ -831,6 +995,11 @@ cmdSweep(Args args)
     std::string meshListSpec, cachePath;
     unsigned shard = 0, numShards = 1;
     unsigned progressMs = 0;
+    unsigned supervise = 0;
+    unsigned maxRetries = 3, backoffMs = 200, deadlineMs = 0;
+    std::string faultSpecStr;
+    std::uint64_t faultSeed = 0;
+    bool retryQuarantined = false, full_size = false;
     ReportFormat fmt = ReportFormat::Table;
     ObsCli obs;
     while (!args.done()) {
@@ -876,14 +1045,45 @@ cmdSweep(Args args)
             fatal_if(jobs < 1 || jobs > 1024,
                      "sweep: --jobs needs a value in [1, 1024]");
             setSweepJobs(jobs);
-        } else if (a == "--full-size")
+        } else if (a == "--full-size") {
             params = SimParams{};
-        else if (a == "--progress")
+            full_size = true;
+        } else if (a == "--progress")
             progressMs = 5000;
+        else if (a == "--supervise") {
+            supervise = args.u32value(a);
+            fatal_if(supervise < 1 || supervise > 256,
+                     "sweep: --supervise needs a worker count in "
+                     "[1, 256]");
+        } else if (a == "--max-retries")
+            maxRetries = args.u32value(a);
+        else if (a == "--retry-backoff-ms")
+            backoffMs = args.u32value(a);
+        else if (a == "--cell-deadline-ms")
+            deadlineMs = args.u32value(a);
+        else if (a == "--retry-quarantined")
+            retryQuarantined = true;
+        else if (a == "--fault-inject")
+            faultSpecStr = args.value(a);
+        else if (a == "--fault-seed")
+            faultSeed = args.uvalue(a);
         else if (obs.tryParse(a, args)) {
         } else
             fatal("sweep: unknown option '%s'", a.c_str());
     }
+    FaultSpec faults;
+    if (!faultSpecStr.empty()) {
+        std::string fault_err;
+        fatal_if(!FaultSpec::parse(faultSpecStr, faults, &fault_err),
+                 "sweep: %s", fault_err.c_str());
+    }
+    // Faults only make sense where a crash is isolated to one worker
+    // process; injecting them into the threaded engine would take
+    // down the whole sweep, which is exactly the failure mode the
+    // supervisor exists to prevent.
+    fatal_if(faults.any() && supervise == 0,
+             "sweep: --fault-inject needs --supervise N (faults "
+             "crash worker processes, not the sweep itself)");
     // In a sweep, --timeline means the wall-clock cell-lifecycle
     // trace (the engine's view), not a per-simulation sim-time trace:
     // cells run concurrently and would race on one sim-time file.
@@ -912,28 +1112,93 @@ cmdSweep(Args args)
 
     CellCache cache;
     if (!no_cache)
-        cache.load(path);
+        loadCacheSalvage("sweep", cache, path);
 
-    SweepEngine engine(spec);
-    if (numShards > 1)
-        engine.setShard(shard, numShards);
-    // Partial-cache resume: every finished cell is persisted
-    // immediately (atomic rename), so a killed shard restarts from
-    // its completed cells instead of recomputing the slice — the
-    // autosave of the last cell doubles as the final cache write.
-    if (!no_cache)
-        engine.setAutosave(path);
-    engine.setProgress(progressMs);
-    engine.setTimeline(obs.timelineOut);
-    const std::vector<Sweep> sweeps = engine.run(cache);
+    // Graceful drain: the first SIGINT/SIGTERM lets in-flight cells
+    // finish (each is autosaved as it completes), a second one stops
+    // immediately.  Shared by both execution paths.
+    installDrainHandlers();
+
+    std::vector<Sweep> sweeps;
+    std::size_t cellsTotal, cellsHit, cellsComputed, cellsQuarantined;
+    std::size_t numRetries = 0, numKills = 0;
+    bool was_interrupted;
+    if (supervise > 0) {
+        SupervisorConfig cfg;
+        cfg.workers = supervise;
+        cfg.maxRetries = maxRetries;
+        cfg.backoffBaseMs = backoffMs;
+        cfg.deadlineMs = deadlineMs;
+        cfg.faultSeed = faultSeed;
+        cfg.faults = faults;
+        cfg.retryQuarantined = retryQuarantined;
+        cfg.progressMs = progressMs;
+        if (!no_cache)
+            cfg.autosavePath = path;
+        cfg.timelinePath = obs.timelineOut;
+        cfg.shard = shard;
+        cfg.numShards = numShards;
+        // The worker must rebuild the exact SimParams of this parent;
+        // topology travels per cell, scale and the full-size switch
+        // travel here.
+        cfg.workerParamArgs = {"--scale", std::to_string(scale)};
+        if (full_size)
+            cfg.workerParamArgs.push_back("--full-size");
+        SweepSupervisor sup(spec, cfg);
+        sweeps = sup.run(cache);
+        cellsTotal = sup.cellsTotal();
+        cellsHit = sup.cellsHit();
+        cellsComputed = sup.cellsComputed();
+        cellsQuarantined = sup.cellsQuarantined();
+        numRetries = sup.retries();
+        numKills = sup.deadlineKills();
+        was_interrupted = sup.interrupted();
+    } else {
+        SweepEngine engine(spec);
+        if (numShards > 1)
+            engine.setShard(shard, numShards);
+        // Partial-cache resume: every finished cell is persisted
+        // immediately (atomic rename), so a killed shard restarts
+        // from its completed cells instead of recomputing the slice —
+        // the autosave of the last cell doubles as the final cache
+        // write.
+        if (!no_cache)
+            engine.setAutosave(path);
+        engine.setProgress(progressMs);
+        engine.setTimeline(obs.timelineOut);
+        engine.setRetryQuarantined(retryQuarantined);
+        engine.setStopCheck([] { return drainRequestCount() > 0; });
+        sweeps = engine.run(cache);
+        cellsTotal = engine.cellsTotal();
+        cellsHit = engine.cellsHit();
+        cellsComputed = engine.cellsComputed();
+        cellsQuarantined = engine.cellsQuarantined();
+        was_interrupted = engine.interrupted();
+    }
 
     // In the structured formats the status line must not pollute the
     // machine-readable stream.
+    char extras[96] = "";
+    if (numRetries > 0 || numKills > 0 || cellsQuarantined > 0)
+        std::snprintf(extras, sizeof(extras),
+                      ", %zu retries, %zu deadline kills, "
+                      "%zu quarantined",
+                      numRetries, numKills, cellsQuarantined);
     std::fprintf(fmt == ReportFormat::Table ? stdout : stderr,
-                 "sweep: %zu cells (%zu cached, %zu computed)%s\n",
-                 engine.cellsTotal(), engine.cellsHit(),
-                 engine.cellsComputed(),
+                 "sweep: %zu cells (%zu cached, %zu computed)%s%s\n",
+                 cellsTotal, cellsHit, cellsComputed, extras,
                  no_cache ? " [cache disabled]" : "");
+
+    if (was_interrupted) {
+        // Completed cells are on disk (autosave); rerunning the same
+        // command resumes from them.  The conventional SIGINT exit.
+        std::fprintf(stderr,
+                     "sweep: interrupted — completed cells are saved"
+                     "%s%s; rerun to resume\n",
+                     no_cache ? "" : " in ",
+                     no_cache ? "" : path.c_str());
+        return 130;
+    }
 
     if (numShards > 1) {
         // A shard owns a grid slice, so its Sweeps are partial; the
@@ -970,6 +1235,7 @@ cmdReport(Args args)
     double tolerance = 0.25;
     ReportFormat fmt = ReportFormat::Table;
     bool schema = false, compute_missing = false;
+    bool retry_quarantined = false;
     ObsCli obs;
     while (!args.done()) {
         const std::string a = args.next();
@@ -1000,6 +1266,8 @@ cmdReport(Args args)
             schema = true;
         else if (a == "--compute-missing")
             compute_missing = true;
+        else if (a == "--retry-quarantined")
+            retry_quarantined = true;
         else if (a == "--in")
             inPath = args.value(a);
         else if (a == "--baseline")
@@ -1067,7 +1335,7 @@ cmdReport(Args args)
     const bool no_cache = std::getenv("WASTESIM_NO_CACHE") != nullptr;
     CellCache cache;
     if (!no_cache)
-        cache.load(path); // a missing cache file just means zero cells
+        loadCacheSalvage("report", cache, path);
 
     fatal_if(placement && !meshListSpec.empty(),
              "report: the placement study sweeps placements of one "
@@ -1083,17 +1351,26 @@ cmdReport(Args args)
 
     // Assemble a grid of fully cached cells (or, with
     // --compute-missing, simulate the holes and persist them).
+    // Quarantined cells are not "missing": they render as annotated
+    // holes, and only --retry-quarantined re-runs them.
     auto assemble = [&](SweepSpec spec) -> std::vector<Sweep> {
-        std::size_t missing = 0;
-        for (std::size_t i = 0; i < spec.numCells(); ++i)
-            if (!cache.has(spec.cellKey(spec.cellAt(i))))
+        std::size_t missing = 0, quarantined = 0;
+        for (std::size_t i = 0; i < spec.numCells(); ++i) {
+            const std::string key = spec.cellKey(spec.cellAt(i));
+            if (cache.has(key))
+                continue;
+            if (!retry_quarantined && cache.isQuarantined(key))
+                ++quarantined;
+            else
                 ++missing;
+        }
         fatal_if(missing > 0 && !compute_missing,
                  "report: %zu of %zu cells are not in %s; run "
                  "`wastesim sweep` with the same topology flags "
                  "first, or pass --compute-missing to simulate them",
                  missing, spec.numCells(), path.c_str());
         SweepEngine engine(spec);
+        engine.setRetryQuarantined(retry_quarantined);
         // The per-cell autosave persists the full cache as it grows;
         // the last cell's write is the final state, no explicit save.
         if (missing > 0 && !no_cache)
@@ -1199,11 +1476,14 @@ cmdMerge(Args args)
 {
     std::string out;
     std::vector<std::string> inputs;
+    bool skip_bad = false;
     ObsCli obs;
     while (!args.done()) {
         const std::string a = args.next();
         if (a == "--out" || a == "-o")
             out = args.value(a);
+        else if (a == "--skip-bad")
+            skip_bad = true;
         else if (obs.tryParse(a, args)) {
         } else if (!a.empty() && a[0] == '-')
             fatal("merge: unknown option '%s'", a.c_str());
@@ -1214,11 +1494,33 @@ cmdMerge(Args args)
     fatal_if(out.empty(), "merge: --out is required");
     fatal_if(inputs.empty(), "merge: no input caches given");
 
+    // Strict by default: a damaged shard cache is an error naming the
+    // first bad cell and its byte offset, because silently thinning a
+    // partial cache would masquerade as a complete merge.  --skip-bad
+    // opts into salvage: intact cells are kept, dropped ones listed.
     CellCache merged;
+    std::size_t dropped = 0;
     for (const std::string &in : inputs) {
         CellCache part;
-        fatal_if(!part.load(in),
-                 "merge: cannot read sweep cache '%s'", in.c_str());
+        CacheLoadReport rep;
+        const CacheLoadMode mode = skip_bad ? CacheLoadMode::Salvage
+                                            : CacheLoadMode::Strict;
+        if (!part.load(in, rep, mode)) {
+            fatal("merge: cannot read sweep cache '%s': %s "
+                  "(--skip-bad salvages the intact cells)",
+                  in.c_str(),
+                  rep.error.empty() ? "no such file or unreadable"
+                                    : rep.error.c_str());
+        }
+        if (rep.badCells > 0 || rep.truncated) {
+            warn("merge: '%s' was damaged (%s); salvaged %zu "
+                 "cell(s), dropped %zu",
+                 in.c_str(), rep.error.c_str(), rep.cells,
+                 rep.badCells);
+            for (const std::string &k : rep.badKeys)
+                warn("merge: dropped cell '%s'", k.c_str());
+            dropped += rep.badCells;
+        }
         std::string err;
         fatal_if(!merged.merge(part, &err), "merge: %s in '%s'",
                  err.c_str(), in.c_str());
@@ -1227,7 +1529,13 @@ cmdMerge(Args args)
     }
     fatal_if(!merged.save(out), "merge: cannot write '%s'",
              out.c_str());
-    std::printf("wrote %zu cells to %s\n", merged.size(), out.c_str());
+    std::printf("wrote %zu cells", merged.size());
+    if (merged.numQuarantined() > 0)
+        std::printf(" + %zu quarantine record(s)",
+                    merged.numQuarantined());
+    if (dropped > 0)
+        std::printf(" (%zu corrupt cell(s) skipped)", dropped);
+    std::printf(" to %s\n", out.c_str());
     return 0;
 }
 
@@ -1301,6 +1609,8 @@ main(int argc, char **argv)
         return cmdReport(rest);
     if (cmd == "merge")
         return cmdMerge(rest);
+    if (cmd == "cell")
+        return cmdCell(rest);
     if (cmd == "info")
         return cmdInfo(rest);
     if (cmd == "help" || cmd == "--help" || cmd == "-h") {
