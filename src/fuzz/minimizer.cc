@@ -1,0 +1,157 @@
+#include "fuzz/minimizer.hh"
+
+#include <algorithm>
+
+namespace wastesim
+{
+
+namespace
+{
+
+/** Re-establish cross-field validity after a shrink: the sharing
+ *  degree and MC placement depend on the tile count. */
+void
+fixup(Scenario &s)
+{
+    const unsigned tiles = s.meshX * s.meshY;
+    s.synth.sharingDegree =
+        std::clamp(s.synth.sharingDegree, 1u, tiles);
+    if (!s.mcTiles.empty()) {
+        bool in_range = true;
+        for (NodeId t : s.mcTiles)
+            in_range = in_range && t < tiles;
+        if (!in_range) {
+            // Explicit placement no longer fits; fall back to the
+            // default corner placement.
+            s.mcTiles.clear();
+            s.numMcs = 0;
+        }
+    } else if (s.numMcs > tiles) {
+        s.numMcs = 0;
+    }
+}
+
+struct Axis
+{
+    const char *name;
+    /** Strictly-smaller candidates, most aggressive first. */
+    std::vector<Scenario> (*candidates)(const Scenario &);
+};
+
+std::vector<Scenario>
+meshCandidates(const Scenario &s)
+{
+    std::vector<Scenario> out;
+    const auto push = [&](unsigned x, unsigned y) {
+        if (x * y >= s.meshX * s.meshY)
+            return;
+        Scenario c = s;
+        c.meshX = x;
+        c.meshY = y;
+        fixup(c);
+        out.push_back(std::move(c));
+    };
+    push(2, 2);
+    push(std::max(2u, s.meshX / 2), s.meshY);
+    push(s.meshX, std::max(2u, s.meshY / 2));
+    return out;
+}
+
+template <unsigned SynthParams::*Field, unsigned Floor>
+std::vector<Scenario>
+shrinkSynthField(const Scenario &s)
+{
+    std::vector<Scenario> out;
+    const unsigned cur = s.synth.*Field;
+    const auto push = [&](unsigned v) {
+        if (v >= cur)
+            return;
+        Scenario c = s;
+        c.synth.*Field = v;
+        fixup(c);
+        out.push_back(std::move(c));
+    };
+    push(Floor);
+    push(std::max(Floor, cur / 2));
+    return out;
+}
+
+const Axis axes[] = {
+    {"mesh", meshCandidates},
+    {"ops", shrinkSynthField<&SynthParams::opsPerCore, 1>},
+    {"phases", shrinkSynthField<&SynthParams::phases, 1>},
+    {"regions", shrinkSynthField<&SynthParams::sharedRegions, 1>},
+    {"rbytes", shrinkSynthField<&SynthParams::regionBytes, 64>},
+    {"pbytes", shrinkSynthField<&SynthParams::privateBytes, 64>},
+    {"share", shrinkSynthField<&SynthParams::sharingDegree, 1>},
+    {"stride", shrinkSynthField<&SynthParams::strideWords, 1>},
+    {"work", shrinkSynthField<&SynthParams::workCycles, 0>},
+};
+
+void
+recordAxis(MinimizeStats *stats, const char *name)
+{
+    if (!stats)
+        return;
+    if (std::find(stats->shrunkAxes.begin(), stats->shrunkAxes.end(),
+                  name) == stats->shrunkAxes.end())
+        stats->shrunkAxes.push_back(name);
+}
+
+} // namespace
+
+Scenario
+minimizeScenario(const Scenario &failing,
+                 const ReproducePredicate &reproduces,
+                 MinimizeStats *stats, unsigned max_tests)
+{
+    Scenario best = failing;
+    unsigned tests = 0;
+    bool changed = true;
+    while (changed && tests < max_tests) {
+        changed = false;
+        for (const Axis &axis : axes) {
+            // Greedy per-axis fixpoint: keep taking the most
+            // aggressive surviving shrink before moving on.
+            bool axis_changed = true;
+            while (axis_changed && tests < max_tests) {
+                axis_changed = false;
+                for (Scenario &cand : axis.candidates(best)) {
+                    if (!cand.validate() || cand == best)
+                        continue;
+                    ++tests;
+                    if (!reproduces(cand))
+                        continue;
+                    best = std::move(cand);
+                    axis_changed = true;
+                    changed = true;
+                    recordAxis(stats, axis.name);
+                    if (stats)
+                        ++stats->stepsAccepted;
+                    break;
+                }
+            }
+        }
+    }
+    if (stats)
+        stats->testsRun = tests;
+    return best;
+}
+
+unsigned
+countSmallerAxes(const Scenario &orig, const Scenario &smaller)
+{
+    unsigned n = 0;
+    n += smaller.meshX * smaller.meshY < orig.meshX * orig.meshY;
+    n += smaller.synth.opsPerCore < orig.synth.opsPerCore;
+    n += smaller.synth.phases < orig.synth.phases;
+    n += smaller.synth.sharedRegions < orig.synth.sharedRegions;
+    n += smaller.synth.regionBytes < orig.synth.regionBytes;
+    n += smaller.synth.privateBytes < orig.synth.privateBytes;
+    n += smaller.synth.sharingDegree < orig.synth.sharingDegree;
+    n += smaller.synth.strideWords < orig.synth.strideWords;
+    n += smaller.synth.workCycles < orig.synth.workCycles;
+    return n;
+}
+
+} // namespace wastesim

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Delta-debugging scenario minimizer: given a failing Scenario and a
+ * predicate that re-runs it, greedily shrink every size axis (mesh,
+ * ops, phases, regions, arena sizes, sharing, stride, work) while the
+ * failure still reproduces, so the committed regression corpus holds
+ * near-minimal one-line reproducers instead of whatever the fuzzer
+ * stumbled on.
+ *
+ * The predicate owns the definition of "still fails" — same invariant
+ * violated, or still crashes — so the minimizer never trades one bug
+ * for a different one.  Candidates are validated (and fixed up:
+ * sharing degree / MC placement re-clamped when the mesh shrinks)
+ * before the predicate ever sees them.
+ */
+
+#ifndef WASTESIM_FUZZ_MINIMIZER_HH
+#define WASTESIM_FUZZ_MINIMIZER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fuzz/scenario.hh"
+
+namespace wastesim
+{
+
+/** How a minimization went. */
+struct MinimizeStats
+{
+    unsigned testsRun = 0;     //!< predicate invocations
+    unsigned stepsAccepted = 0; //!< candidates that still failed
+    std::vector<std::string> shrunkAxes; //!< axes made smaller (unique)
+};
+
+/** True when the candidate still exhibits the original failure. */
+using ReproducePredicate = std::function<bool(const Scenario &)>;
+
+/**
+ * Shrink @p failing along every axis while @p reproduces holds.
+ * Deterministic: fixed axis order, greedy per-axis fixpoint, bounded
+ * by @p max_tests predicate runs.
+ */
+Scenario minimizeScenario(const Scenario &failing,
+                          const ReproducePredicate &reproduces,
+                          MinimizeStats *stats = nullptr,
+                          unsigned max_tests = 256);
+
+/** Number of size axes on which @p smaller is strictly below
+ *  @p orig (tiles, ops, phases, regions, arena bytes, sharing,
+ *  stride, work) — the acceptance metric for "strictly smaller on
+ *  >= 2 axes". */
+unsigned countSmallerAxes(const Scenario &orig,
+                          const Scenario &smaller);
+
+} // namespace wastesim
+
+#endif // WASTESIM_FUZZ_MINIMIZER_HH

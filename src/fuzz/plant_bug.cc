@@ -1,0 +1,47 @@
+#include "fuzz/plant_bug.hh"
+
+#include <cstdlib>
+
+namespace wastesim
+{
+
+#ifdef WASTESIM_PLANT_BUG
+
+namespace
+{
+
+bool
+envToggle()
+{
+    const char *e = std::getenv("WASTESIM_PLANT_BUG");
+    return e && *e && *e != '0';
+}
+
+// Initialized from the environment so re-exec'd fuzz workers inherit
+// the toggle; tests flip it in-process via setPlantBug().
+bool g_plantBug = envToggle();
+
+} // namespace
+
+bool
+plantBugEnabled()
+{
+    return g_plantBug;
+}
+
+void
+setPlantBug(bool on)
+{
+    g_plantBug = on;
+}
+
+#else
+
+void
+setPlantBug(bool)
+{
+}
+
+#endif
+
+} // namespace wastesim

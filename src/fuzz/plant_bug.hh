@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The planted conservation bug: a compile-time-gated, runtime-toggled
+ * defect the fuzzing harness must be able to find.
+ *
+ * Built only under -DWASTESIM_PLANT_BUG=ON (a dedicated CI job); even
+ * then it stays dormant until $WASTESIM_PLANT_BUG=1 (or setPlantBug),
+ * so a plant-enabled build with the toggle off behaves byte-identically
+ * to a normal build.  When active, Network::send() drops the
+ * ejection-link charge of multi-hop messages — the per-link flit-hop
+ * conservation invariant catches the undercount, and the minimizer
+ * must shrink the triggering scenario.  This is the self-test proving
+ * the harness can actually find things, not just run green.
+ */
+
+#ifndef WASTESIM_FUZZ_PLANT_BUG_HH
+#define WASTESIM_FUZZ_PLANT_BUG_HH
+
+namespace wastesim
+{
+
+/** True when the planted bug is compiled in AND toggled on.  Always
+ *  false (constant-foldable) in normal builds. */
+#ifdef WASTESIM_PLANT_BUG
+bool plantBugEnabled();
+#else
+constexpr bool plantBugEnabled() { return false; }
+#endif
+
+/** Toggle the planted bug at runtime (tests).  No-op in normal
+ *  builds. */
+void setPlantBug(bool on);
+
+} // namespace wastesim
+
+#endif // WASTESIM_FUZZ_PLANT_BUG_HH

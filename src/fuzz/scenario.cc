@@ -1,0 +1,396 @@
+#include "fuzz/scenario.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iterator>
+#include <sstream>
+
+#include "common/rng.hh"
+#include "metrics/metric_set.hh"
+
+namespace wastesim
+{
+
+std::uint64_t
+scenarioSeed(std::uint64_t campaign_seed, std::uint64_t index)
+{
+    // Golden-ratio mix, then one splitmix round so neighbouring
+    // indices land in unrelated Rng states.
+    std::uint64_t z = campaign_seed * 0x9e3779b97f4a7c15ULL +
+                      (index + 1) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+Topology
+Scenario::topology() const
+{
+    if (!mcTiles.empty())
+        return Topology(meshX, meshY, mcTiles);
+    return Topology(meshX, meshY, numMcs);
+}
+
+SimParams
+Scenario::simParams() const
+{
+    SimParams p = SimParams::scaled();
+    p.topo = topology();
+    p.l1Sets = l1Sets;
+    p.l2Sets = l2Sets;
+    p.linkLatency = linkLatency;
+    p.dram.tCas = tCas;
+    p.dram.tRcd = tRcd;
+    p.dram.tRp = tRp;
+    p.dram.tBurst = tBurst;
+    p.dram.linesPerRow = linesPerRow;
+    p.dram.numRanks = numRanks;
+    p.dram.numBanksPerRank = numBanksPerRank;
+    p.dram.partialReads = partialReads;
+    return p;
+}
+
+std::unique_ptr<Workload>
+Scenario::makeWorkload() const
+{
+    return makeSynthetic(synth, topology());
+}
+
+bool
+Scenario::validate(std::string *err) const
+{
+    const auto fail = [&](const std::string &m) {
+        if (err)
+            *err = m;
+        return false;
+    };
+
+    if (meshX == 0 || meshY == 0)
+        return fail("mesh dimensions must be nonzero");
+    if (meshX > Topology::maxDim || meshY > Topology::maxDim)
+        return fail("mesh dimension exceeds " +
+                    std::to_string(Topology::maxDim));
+    const unsigned tiles = meshX * meshY;
+    if (tiles > maxTiles)
+        return fail("tile count exceeds " + std::to_string(maxTiles));
+    if (mcTiles.empty()) {
+        if (numMcs > tiles)
+            return fail("more memory controllers than tiles");
+    } else {
+        std::vector<NodeId> sorted = mcTiles;
+        std::sort(sorted.begin(), sorted.end());
+        if (std::adjacent_find(sorted.begin(), sorted.end()) !=
+            sorted.end())
+            return fail("duplicate MC tile");
+        for (NodeId t : mcTiles)
+            if (t >= tiles)
+                return fail("MC tile " + std::to_string(t) +
+                            " outside the mesh");
+    }
+    if (l1Sets == 0 || l2Sets == 0)
+        return fail("cache set counts must be nonzero");
+    if (linkLatency == 0)
+        return fail("link latency must be nonzero");
+    if (tCas == 0 || tRcd == 0 || tRp == 0 || tBurst == 0)
+        return fail("DRAM timings must be nonzero");
+    if (linesPerRow == 0 || numRanks == 0 || numBanksPerRank == 0)
+        return fail("DRAM geometry must be nonzero");
+
+    // Mirror SyntheticWorkload's fatal_if constraints.
+    if (synth.opsPerCore == 0)
+        return fail("opsPerCore must be > 0");
+    if (synth.phases == 0)
+        return fail("phases must be > 0");
+    if (synth.sharedRegions == 0)
+        return fail("sharedRegions must be > 0");
+    if (synth.regionBytes < bytesPerLine ||
+        synth.privateBytes < bytesPerLine)
+        return fail("region/private arenas must be at least one line");
+    if (synth.sharingDegree == 0 || synth.sharingDegree > tiles)
+        return fail("sharingDegree must be in [1, " +
+                    std::to_string(tiles) + "]");
+    if (synth.strideWords == 0)
+        return fail("strideWords must be > 0");
+    if (!(synth.readFraction >= 0 && synth.readFraction <= 1) ||
+        !(synth.sharedFraction >= 0 && synth.sharedFraction <= 1))
+        return fail("fractions must lie in [0, 1]");
+    if (synth.pattern == SynthParams::Pattern::HotSet &&
+        (!(synth.hotFraction > 0 && synth.hotFraction <= 1) ||
+         !(synth.hotProbability >= 0 && synth.hotProbability <= 1)))
+        return fail("hotFraction must lie in (0, 1] and "
+                    "hotProbability in [0, 1]");
+    return true;
+}
+
+std::string
+Scenario::encode() const
+{
+    std::ostringstream os;
+    os << scenarioMagic;
+    os << " proto=" << protocolName(protocol);
+    os << " mesh=" << meshX << 'x' << meshY;
+    if (!mcTiles.empty()) {
+        os << " mcs=@";
+        for (std::size_t i = 0; i < mcTiles.size(); ++i)
+            os << (i ? "," : "") << mcTiles[i];
+    } else {
+        os << " mcs=" << numMcs;
+    }
+    os << " l1s=" << l1Sets << " l2s=" << l2Sets
+       << " link=" << linkLatency;
+    os << " cas=" << tCas << " rcd=" << tRcd << " rp=" << tRp
+       << " burst=" << tBurst << " rows=" << linesPerRow
+       << " ranks=" << numRanks << " banks=" << numBanksPerRank
+       << " partial=" << (partialReads ? 1 : 0);
+    os << " seed=" << synth.seed
+       << " pat=" << SynthParams::patternName(synth.pattern)
+       << " ops=" << synth.opsPerCore << " phases=" << synth.phases
+       << " regions=" << synth.sharedRegions
+       << " rbytes=" << synth.regionBytes
+       << " pbytes=" << synth.privateBytes
+       << " share=" << synth.sharingDegree
+       << " read=" << formatDouble(synth.readFraction)
+       << " shared=" << formatDouble(synth.sharedFraction)
+       << " stride=" << synth.strideWords
+       << " hotf=" << formatDouble(synth.hotFraction)
+       << " hotp=" << formatDouble(synth.hotProbability)
+       << " work=" << synth.workCycles
+       << " bypass=" << (synth.bypassShared ? 1 : 0);
+    return os.str();
+}
+
+namespace
+{
+
+bool
+parseU64(const std::string &v, std::uint64_t &out)
+{
+    if (v.empty() || v.find('-') != std::string::npos)
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long r = std::strtoull(v.c_str(), &end, 10);
+    if (end != v.c_str() + v.size() || errno == ERANGE)
+        return false;
+    out = r;
+    return true;
+}
+
+bool
+parseUnsigned(const std::string &v, unsigned &out)
+{
+    std::uint64_t u;
+    if (!parseU64(v, u) || u > 0xffffffffULL)
+        return false;
+    out = static_cast<unsigned>(u);
+    return true;
+}
+
+bool
+parseDoubleStrict(const std::string &v, double &out)
+{
+    if (v.empty())
+        return false;
+    char *end = nullptr;
+    const double r = std::strtod(v.c_str(), &end);
+    if (end != v.c_str() + v.size())
+        return false;
+    out = r;
+    return true;
+}
+
+bool
+parseBool01(const std::string &v, bool &out)
+{
+    if (v == "0")
+        out = false;
+    else if (v == "1")
+        out = true;
+    else
+        return false;
+    return true;
+}
+
+} // namespace
+
+bool
+Scenario::parse(const std::string &line, Scenario &out,
+                std::string *err)
+{
+    const auto fail = [&](const std::string &m) {
+        if (err)
+            *err = m;
+        return false;
+    };
+
+    std::istringstream is(line);
+    std::string tok;
+    if (!(is >> tok) || tok != scenarioMagic)
+        return fail("not a " + std::string(scenarioMagic) +
+                    " scenario line");
+
+    Scenario s;
+    std::vector<std::string> seen;
+    while (is >> tok) {
+        const std::size_t eq = tok.find('=');
+        if (eq == std::string::npos || eq == 0)
+            return fail("token '" + tok + "' is not key=value");
+        const std::string key = tok.substr(0, eq);
+        const std::string val = tok.substr(eq + 1);
+        if (std::find(seen.begin(), seen.end(), key) != seen.end())
+            return fail("duplicate key '" + key + "'");
+        seen.push_back(key);
+
+        bool ok = true;
+        if (key == "proto") {
+            ok = protocolFromName(val, s.protocol);
+        } else if (key == "mesh") {
+            ok = Topology::parseMesh(val, s.meshX, s.meshY);
+        } else if (key == "mcs") {
+            if (!val.empty() && val[0] == '@') {
+                ok = Topology::parseTileList(val.substr(1), s.mcTiles);
+                s.numMcs = 0;
+            } else {
+                s.mcTiles.clear();
+                ok = parseUnsigned(val, s.numMcs);
+            }
+        } else if (key == "l1s") {
+            ok = parseUnsigned(val, s.l1Sets);
+        } else if (key == "l2s") {
+            ok = parseUnsigned(val, s.l2Sets);
+        } else if (key == "link") {
+            ok = parseU64(val, s.linkLatency);
+        } else if (key == "cas") {
+            ok = parseU64(val, s.tCas);
+        } else if (key == "rcd") {
+            ok = parseU64(val, s.tRcd);
+        } else if (key == "rp") {
+            ok = parseU64(val, s.tRp);
+        } else if (key == "burst") {
+            ok = parseU64(val, s.tBurst);
+        } else if (key == "rows") {
+            ok = parseUnsigned(val, s.linesPerRow);
+        } else if (key == "ranks") {
+            ok = parseUnsigned(val, s.numRanks);
+        } else if (key == "banks") {
+            ok = parseUnsigned(val, s.numBanksPerRank);
+        } else if (key == "partial") {
+            ok = parseBool01(val, s.partialReads);
+        } else if (key == "seed") {
+            ok = parseU64(val, s.synth.seed);
+        } else if (key == "pat") {
+            ok = SynthParams::patternFromName(val, s.synth.pattern);
+        } else if (key == "ops") {
+            ok = parseUnsigned(val, s.synth.opsPerCore);
+        } else if (key == "phases") {
+            ok = parseUnsigned(val, s.synth.phases);
+        } else if (key == "regions") {
+            ok = parseUnsigned(val, s.synth.sharedRegions);
+        } else if (key == "rbytes") {
+            ok = parseUnsigned(val, s.synth.regionBytes);
+        } else if (key == "pbytes") {
+            ok = parseUnsigned(val, s.synth.privateBytes);
+        } else if (key == "share") {
+            ok = parseUnsigned(val, s.synth.sharingDegree);
+        } else if (key == "read") {
+            ok = parseDoubleStrict(val, s.synth.readFraction);
+        } else if (key == "shared") {
+            ok = parseDoubleStrict(val, s.synth.sharedFraction);
+        } else if (key == "stride") {
+            ok = parseUnsigned(val, s.synth.strideWords);
+        } else if (key == "hotf") {
+            ok = parseDoubleStrict(val, s.synth.hotFraction);
+        } else if (key == "hotp") {
+            ok = parseDoubleStrict(val, s.synth.hotProbability);
+        } else if (key == "work") {
+            ok = parseUnsigned(val, s.synth.workCycles);
+        } else if (key == "bypass") {
+            ok = parseBool01(val, s.synth.bypassShared);
+        } else {
+            return fail("unknown key '" + key + "'");
+        }
+        if (!ok)
+            return fail("bad value for '" + key + "': '" + val + "'");
+    }
+
+    std::string verr;
+    if (!s.validate(&verr))
+        return fail("invalid scenario: " + verr);
+    out = std::move(s);
+    return true;
+}
+
+Scenario
+ScenarioGen::at(std::uint64_t index) const
+{
+    Rng rng(scenarioSeed(seed_, index));
+    Scenario s;
+
+    s.protocol = allProtocols[rng.below(numProtocols)];
+
+    // Mesh dims, weighted toward small geometries so most draws
+    // simulate in well under a second; the tail still reaches 16x16.
+    static const unsigned dims[] = {2, 2, 2, 2, 3, 3, 4, 4,
+                                    4, 5, 6, 8, 8, 12, 16};
+    s.meshX = dims[rng.below(std::size(dims))];
+    s.meshY = dims[rng.below(std::size(dims))];
+    const unsigned tiles = s.meshX * s.meshY;
+
+    // MC placement: mostly the default corners, sometimes an explicit
+    // count, sometimes explicit (distinct) tiles.
+    const std::uint64_t mc_mode = rng.below(10);
+    if (mc_mode < 6) {
+        s.numMcs = 0;
+    } else if (mc_mode < 8) {
+        static const unsigned counts[] = {1, 2, 4, 8};
+        s.numMcs = std::min(counts[rng.below(4)], tiles);
+    } else {
+        const unsigned k =
+            1 + static_cast<unsigned>(rng.below(std::min(4u, tiles)));
+        while (s.mcTiles.size() < k) {
+            const NodeId t = static_cast<NodeId>(rng.below(tiles));
+            if (std::find(s.mcTiles.begin(), s.mcTiles.end(), t) ==
+                s.mcTiles.end())
+                s.mcTiles.push_back(t);
+        }
+    }
+
+    s.l1Sets = 4u << rng.below(3);  // 4 / 8 / 16
+    s.l2Sets = 16u << rng.below(3); // 16 / 32 / 64
+    s.linkLatency = 1 + rng.below(5);
+
+    s.tCas = 10 + rng.below(31);
+    s.tRcd = 10 + rng.below(31);
+    s.tRp = 10 + rng.below(31);
+    s.tBurst = 4 + rng.below(17);
+    s.linesPerRow = 8u << rng.below(4);
+    s.numRanks = 1 + static_cast<unsigned>(rng.below(2));
+    s.numBanksPerRank = 4u << rng.below(2);
+    s.partialReads = rng.chance(0.5);
+
+    SynthParams &p = s.synth;
+    p.seed = rng.next();
+    p.pattern = static_cast<SynthParams::Pattern>(rng.below(3));
+    // Bound total issued ops so big meshes stay fast.
+    const unsigned max_ops_shift = tiles >= 144 ? 2 : tiles >= 64 ? 3 : 5;
+    p.opsPerCore = 16u << rng.below(max_ops_shift); // 16..512
+    p.phases = 1 + static_cast<unsigned>(rng.below(5));
+    p.sharedRegions = 1 + static_cast<unsigned>(rng.below(8));
+    p.regionBytes = 64u << rng.below(8);  // 64 B .. 8 KB
+    p.privateBytes = 64u << rng.below(7); // 64 B .. 4 KB
+    p.sharingDegree = 1 + static_cast<unsigned>(rng.below(tiles));
+    p.readFraction = static_cast<double>(rng.below(21)) / 20.0;
+    p.sharedFraction = static_cast<double>(rng.below(21)) / 20.0;
+    p.strideWords = 1u << rng.below(5);
+    p.hotFraction = static_cast<double>(1 + rng.below(20)) / 20.0;
+    p.hotProbability = static_cast<double>(rng.below(21)) / 20.0;
+    p.workCycles = static_cast<unsigned>(rng.below(5));
+    p.bypassShared = rng.chance(0.25);
+
+    return s;
+}
+
+} // namespace wastesim

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Fuzz scenarios: one randomized-but-valid point in the
+ * SimParams x topology x protocol x SyntheticWorkload space, with a
+ * versioned one-line text encoding so every draw is a copy-pasteable
+ * reproducer.
+ *
+ * The paper's Table-4.2 grid samples a handful of fixed
+ * configurations; ScenarioGen draws from the whole space the
+ * simulator claims to support (2x2..16x16 meshes, MC count and
+ * placement, all nine protocols, DRAM timings, every synthetic
+ * workload knob) under the same validity rules the CLI enforces.
+ * Determinism is total: a (campaign seed, index) pair always yields
+ * the same scenario, independent of draw order or platform, because
+ * everything comes from the repo's own xoshiro256** Rng.
+ */
+
+#ifndef WASTESIM_FUZZ_SCENARIO_HH
+#define WASTESIM_FUZZ_SCENARIO_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "system/config.hh"
+#include "trace/synthetic.hh"
+
+namespace wastesim
+{
+
+/** Version tag leading every encoded scenario line. */
+inline constexpr const char *scenarioMagic = "wfz1";
+
+/** One fuzzable simulation configuration. */
+struct Scenario
+{
+    ProtocolName protocol = ProtocolName::MESI;
+
+    // Topology.
+    unsigned meshX = 4, meshY = 4;
+    unsigned numMcs = 0;          //!< default placement count; 0 = corners
+    std::vector<NodeId> mcTiles;  //!< explicit placement (overrides numMcs)
+
+    // Cache geometry (scaled-hierarchy defaults) and link latency.
+    unsigned l1Sets = 8;
+    unsigned l2Sets = 32;
+    Tick linkLatency = 3;
+
+    // DRAM timings.
+    Tick tCas = 26, tRcd = 26, tRp = 26, tBurst = 15;
+    unsigned linesPerRow = 32;
+    unsigned numRanks = 2;
+    unsigned numBanksPerRank = 8;
+    bool partialReads = false;
+
+    // Workload.
+    SynthParams synth;
+
+    /** The topology this scenario configures (validate() first). */
+    Topology topology() const;
+
+    /** Full SimParams: the scaled hierarchy with this scenario's
+     *  overrides applied. */
+    SimParams simParams() const;
+
+    /** Build the synthetic workload (validate() first). */
+    std::unique_ptr<Workload> makeWorkload() const;
+
+    /**
+     * Check every constraint the constructors would fatal() on —
+     * mesh bounds, MC tile range, sharing degree vs tile count,
+     * region sizes, fraction ranges — so fuzz machinery can reject
+     * invalid hand-edited lines with an error instead of dying.
+     */
+    bool validate(std::string *err = nullptr) const;
+
+    /**
+     * One-line reproducer: "wfz1 k=v k=v ...".  Every field is
+     * emitted, keys in fixed order, doubles in the shortest form that
+     * round-trips — so encode(parse(encode(s))) is byte-identical.
+     */
+    std::string encode() const;
+
+    /** Parse an encode()d line (unknown magic/key/value -> error). */
+    static bool parse(const std::string &line, Scenario &out,
+                      std::string *err = nullptr);
+
+    bool operator==(const Scenario &) const = default;
+};
+
+/** Deterministic per-(campaign, index) scenario derivation seed. */
+std::uint64_t scenarioSeed(std::uint64_t campaign_seed,
+                           std::uint64_t index);
+
+/**
+ * Seeded scenario generator: at(i) is a pure function of
+ * (campaign seed, i), so campaigns can be replayed, sharded or
+ * resumed without recording anything but the seed.
+ */
+class ScenarioGen
+{
+  public:
+    explicit ScenarioGen(std::uint64_t campaign_seed)
+        : seed_(campaign_seed)
+    {
+    }
+
+    std::uint64_t campaignSeed() const { return seed_; }
+
+    /** Draw scenario @p index; always validate()s. */
+    Scenario at(std::uint64_t index) const;
+
+  private:
+    std::uint64_t seed_;
+};
+
+} // namespace wastesim
+
+#endif // WASTESIM_FUZZ_SCENARIO_HH

@@ -6,6 +6,10 @@
 #include "common/log.hh"
 #include "obs/debug.hh"
 
+#ifdef WASTESIM_PLANT_BUG
+#include "fuzz/plant_bug.hh"
+#endif
+
 namespace wastesim
 {
 
@@ -80,11 +84,19 @@ Network::send(Message msg)
             ++hops;
         }
         // The ejection link into the destination tile.
-        linkFlits_[static_cast<std::size_t>(prev) * tiles + prev] +=
-            total_flits;
+#ifdef WASTESIM_PLANT_BUG
+        // Deliberate, runtime-gated conservation bug for the fuzzer
+        // self-test: drop the ejection-link charge of multi-hop
+        // messages, so totalLinkFlits() undercounts flitHopsCharged().
+        if (!(plantBugEnabled() && hops >= 2))
+#endif
+            linkFlits_[static_cast<std::size_t>(prev) * tiles + prev] +=
+                total_flits;
         msg.hops = hops + 1;
     }
 
+    flitHopsCharged_ +=
+        static_cast<std::uint64_t>(total_flits) * msg.hops;
     traffic_.addRaw(static_cast<double>(total_flits) * msg.hops);
 
     // Control flit.

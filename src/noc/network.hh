@@ -108,6 +108,20 @@ class Network
     /** Sum over all links (equals total flit-hops). */
     std::uint64_t totalLinkFlits() const;
 
+    /**
+     * Whole-run flit-hops charged at injection (sum of
+     * flits x hops per message, ejection included).  Integer twin of
+     * the epoch-windowed rawFlitHops(): the fuzzer's per-link
+     * conservation invariant compares it against totalLinkFlits(),
+     * which must account for exactly the same flits.
+     */
+    std::uint64_t flitHopsCharged() const { return flitHopsCharged_; }
+
+    /** Message-pool occupancy (steady-state invariant: after a run
+     *  drains, every slot is back on the free list). */
+    std::size_t msgPoolSlots() const { return msgPool_.size(); }
+    std::size_t msgPoolFreeSlots() const { return msgFree_.size(); }
+
     /** The raw directed link-flit matrix (src * numTiles + dst);
      *  snapshot source for the per-window heatmap dump. */
     const std::vector<std::uint64_t> &
@@ -132,6 +146,7 @@ class Network
     Topology topo_;
     Mesh mesh_;
     std::uint64_t msgsSent_ = 0;
+    std::uint64_t flitHopsCharged_ = 0;
     std::vector<MessageHandler *> handlers_;
     /** Directed per-link flit counters, indexed a*numTiles+b. */
     std::vector<std::uint64_t> linkFlits_;

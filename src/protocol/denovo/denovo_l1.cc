@@ -65,6 +65,7 @@ DenovoL1::isReadable(Addr a) const
 void
 DenovoL1::load(Addr a, LoadCallback done)
 {
+    ++demandLoads_;
     const Addr la = lineAddr(a);
     CacheLine *cl = array_.find(la);
     const unsigned w = wordIndex(a);
@@ -323,6 +324,7 @@ DenovoL1::evictLine(CacheLine &cl)
 void
 DenovoL1::store(Addr a, PlainCallback accepted)
 {
+    ++demandStores_;
     const Addr la = lineAddr(a);
     const unsigned w = wordIndex(a);
     const Addr wn = wordNumber(a);

@@ -54,6 +54,8 @@ class DenovoL1 : public L1Cache
     // Statistics.
     std::uint64_t loadHits() const { return loadHits_; }
     std::uint64_t loadMisses() const { return loadMisses_; }
+    std::uint64_t demandLoads() const override { return demandLoads_; }
+    std::uint64_t demandStores() const override { return demandStores_; }
     std::uint64_t bypassDirect() const { return bypassDirect_; }
     std::uint64_t bypassViaL2() const { return bypassViaL2_; }
     std::uint64_t selfInvalidated() const { return selfInvalidated_; }
@@ -137,6 +139,7 @@ class DenovoL1 : public L1Cache
     std::vector<PlainCallback> drainWaiters_;
 
     std::uint64_t loadHits_ = 0, loadMisses_ = 0;
+    std::uint64_t demandLoads_ = 0, demandStores_ = 0;
     std::uint64_t bypassDirect_ = 0, bypassViaL2_ = 0;
     std::uint64_t selfInvalidated_ = 0;
 };

@@ -46,6 +46,7 @@ MesiL1::hitStore(CacheLine &cl, Addr a)
 void
 MesiL1::load(Addr a, LoadCallback done)
 {
+    ++demandLoads_;
     const Addr la = lineAddr(a);
     CacheLine *cl = array_.find(la);
     if (cl && cl->mesi != MesiState::I) {
@@ -79,6 +80,7 @@ MesiL1::load(Addr a, LoadCallback done)
 void
 MesiL1::store(Addr a, PlainCallback accepted)
 {
+    ++demandStores_;
     const Addr la = lineAddr(a);
     CacheLine *cl = array_.find(la);
     if (cl && (cl->mesi == MesiState::M || cl->mesi == MesiState::E)) {
@@ -103,6 +105,9 @@ MesiL1::store(Addr a, PlainCallback accepted)
     }
 
     if (storeSlotsUsed_ >= params_.writeBufferEntries) {
+        // retireStoreSlot() re-enters store() for stalled stores;
+        // uncount this attempt so the demand counter sees the op once.
+        --demandStores_;
         stalledStores_.emplace_back(a, std::move(accepted));
         return;
     }

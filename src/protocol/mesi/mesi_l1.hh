@@ -50,6 +50,8 @@ class MesiL1 : public L1Cache
     std::uint64_t loadMisses() const { return loadMisses_; }
     std::uint64_t storeHits() const { return storeHits_; }
     std::uint64_t storeMisses() const { return storeMisses_; }
+    std::uint64_t demandLoads() const override { return demandLoads_; }
+    std::uint64_t demandStores() const override { return demandStores_; }
 
     /** Testing hook. */
     const CacheArray &array() const { return array_; }
@@ -129,6 +131,7 @@ class MesiL1 : public L1Cache
 
     std::uint64_t loadHits_ = 0, loadMisses_ = 0;
     std::uint64_t storeHits_ = 0, storeMisses_ = 0;
+    std::uint64_t demandLoads_ = 0, demandStores_ = 0;
 };
 
 } // namespace wastesim

@@ -69,6 +69,16 @@ class L1Cache : public MessageHandler
      */
     virtual void barrierRelease(const std::vector<RegionId> &inv_regions)
         = 0;
+
+    /**
+     * Demand requests accepted from the core, counted exactly once
+     * per issued op regardless of hit/miss/MSHR-coalesce/stall fate.
+     * The fuzzer's issue-count invariant checks these against the
+     * workload's trace op counts — unlike loadHits()+loadMisses(),
+     * which deliberately do not count coalesced waiters.
+     */
+    virtual std::uint64_t demandLoads() const = 0;
+    virtual std::uint64_t demandStores() const = 0;
 };
 
 } // namespace wastesim

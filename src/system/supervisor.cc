@@ -107,11 +107,18 @@ FaultSpec::describe() const
     return buf;
 }
 
+std::string
+describeWaitStatus(int status)
+{
+    return waitReason(status);
+}
+
 bool
 FaultSpec::parse(const std::string &spec, FaultSpec &out,
                  std::string *err)
 {
     FaultSpec f;
+    bool seen_crash = false, seen_hang = false, seen_corrupt = false;
     std::size_t pos = 0;
     while (pos < spec.size()) {
         std::size_t comma = spec.find(',', pos);
@@ -132,24 +139,38 @@ FaultSpec::parse(const std::string &spec, FaultSpec &out,
         const std::string pstr = item.substr(colon + 1);
         char *end = nullptr;
         const double p = std::strtod(pstr.c_str(), &end);
-        if (end != pstr.c_str() + pstr.size() || p < 0 || p > 1) {
+        // Negated >=/<= form so NaN is rejected too, and an explicit
+        // empty check: strtod("") "consumes" the whole empty string,
+        // which the end-pointer test alone would accept as 0.
+        if (pstr.empty() || end != pstr.c_str() + pstr.size() ||
+            !(p >= 0 && p <= 1)) {
             if (err)
                 *err = "fault probability '" + pstr +
                        "' is not in [0, 1]";
             return false;
         }
-        if (name == "crash")
+        bool *seen = nullptr;
+        if (name == "crash") {
             f.crash = p;
-        else if (name == "hang")
+            seen = &seen_crash;
+        } else if (name == "hang") {
             f.hang = p;
-        else if (name == "corrupt")
+            seen = &seen_hang;
+        } else if (name == "corrupt") {
             f.corrupt = p;
-        else {
+            seen = &seen_corrupt;
+        } else {
             if (err)
                 *err = "unknown fault kind '" + name +
                        "' (crash, hang, corrupt)";
             return false;
         }
+        if (*seen) {
+            if (err)
+                *err = "duplicate fault kind '" + name + "'";
+            return false;
+        }
+        *seen = true;
     }
     if (f.crash + f.hang + f.corrupt > 1.0) {
         if (err)

@@ -193,6 +193,10 @@ class SweepSupervisor
 void installDrainHandlers();
 int drainRequestCount();
 
+/** Human-readable waitpid() status ("exit 3", "signal 11 (...)");
+ *  shared with the fuzz campaign's crashed-scenario reporting. */
+std::string describeWaitStatus(int status);
+
 } // namespace wastesim
 
 #endif // WASTESIM_SYSTEM_SUPERVISOR_HH

@@ -264,6 +264,31 @@ System::run(Tick max_ticks)
         }
     }
 
+    // Per-channel counters and the aggregates are derived from the
+    // same DRAM channels with the same epoch baselines, so they must
+    // balance exactly; a mismatch means a counter path regressed.
+    {
+        std::uint64_t chan_reads = 0, chan_writes = 0;
+        for (const auto &s : r.dramChan) {
+            chan_reads += s.reads;
+            chan_writes += s.writes;
+        }
+        panic_if(chan_reads != r.dramReads,
+                 "dram.chan.*.reads sum %llu != dram.reads %llu "
+                 "(delta %lld)",
+                 static_cast<unsigned long long>(chan_reads),
+                 static_cast<unsigned long long>(r.dramReads),
+                 static_cast<long long>(chan_reads) -
+                     static_cast<long long>(r.dramReads));
+        panic_if(chan_writes != r.dramWrites,
+                 "dram.chan.*.writes sum %llu != dram.writes %llu "
+                 "(delta %lld)",
+                 static_cast<unsigned long long>(chan_writes),
+                 static_cast<unsigned long long>(r.dramWrites),
+                 static_cast<long long>(chan_writes) -
+                     static_cast<long long>(r.dramWrites));
+    }
+
     if (cfg_.isMesi()) {
         for (const auto &d : mesiDirs_) {
             r.nacks += d->nacks();
@@ -486,6 +511,23 @@ System::checkInvariants() const
                 });
         }
     }
+}
+
+SystemProbe
+System::probe() const
+{
+    SystemProbe p;
+    for (const L1Cache *l1 : l1Ifaces_) {
+        p.demandLoads += l1->demandLoads();
+        p.demandStores += l1->demandStores();
+    }
+    p.msgPoolSlots = net_->msgPoolSlots();
+    p.msgPoolFree = net_->msgPoolFreeSlots();
+    p.eqPending = eq_.pending();
+    p.eqOverflow = eq_.overflowSize();
+    p.linkFlitsTotal = net_->totalLinkFlits();
+    p.flitHopsCharged = net_->flitHopsCharged();
+    return p;
 }
 
 } // namespace wastesim

@@ -83,6 +83,25 @@ struct RunResult
     std::vector<DramChanStats> dramChan;
 };
 
+/**
+ * End-of-run structural state snapshot for the fuzzer's invariant
+ * checker: demand-request totals to balance against the workload's
+ * trace op counts, pool/queue occupancy for the alloc-free
+ * steady-state law, and the network's two independently maintained
+ * flit-hop totals for per-link conservation.
+ */
+struct SystemProbe
+{
+    std::uint64_t demandLoads = 0;  //!< ops accepted at the L1s
+    std::uint64_t demandStores = 0;
+    std::size_t msgPoolSlots = 0;   //!< network message pool size
+    std::size_t msgPoolFree = 0;    //!< free-listed slots (== size when idle)
+    std::size_t eqPending = 0;      //!< events still queued
+    std::size_t eqOverflow = 0;     //!< overflow-heap residue
+    std::uint64_t linkFlitsTotal = 0; //!< sum of the per-link matrix
+    std::uint64_t flitHopsCharged = 0; //!< flits x hops at injection
+};
+
 /** One protocol x workload simulation instance. */
 class System
 {
@@ -118,6 +137,9 @@ class System
     /** Coherence invariant check (property tests): at most one MESI
      *  owner per line; a DeNovo word registered to at most one L1. */
     void checkInvariants() const;
+
+    /** Structural end-of-run snapshot for checkSystemInvariants(). */
+    SystemProbe probe() const;
 
   private:
     void onEpoch();

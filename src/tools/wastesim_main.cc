@@ -20,6 +20,13 @@
  *   wastesim cell    --bench B --protocol P --out FILE ...
  *       compute one sweep cell and write a checksummed result file
  *       (the worker half of `sweep --supervise`)
+ *   wastesim fuzz    [--seed N] [--runs N] [--time-budget SEC]
+ *       [--minimize] [--corpus DIR] ...
+ *       seeded scenario fuzzing under the runtime invariant checker;
+ *       each scenario runs in a crash-isolated worker process
+ *   wastesim fuzzone --scenario LINE --out FILE ...
+ *       check one encoded scenario and write a checksummed verdict
+ *       (the worker half of `fuzz`)
  *   wastesim info    --trace FILE
  *       print a trace file's header, regions and op counts
  *
@@ -43,6 +50,7 @@
 
 #include "common/log.hh"
 #include "common/topology.hh"
+#include "fuzz/campaign.hh"
 #include "metrics/run_result_schema.hh"
 #include "obs/debug.hh"
 #include "obs/jsonv.hh"
@@ -147,6 +155,26 @@ usage(const char *prog)
         "          --fault-attempt K]\n"
         "          compute one sweep cell; used internally by\n"
         "          `sweep --supervise` worker processes\n"
+        "  fuzz    [--seed N] [--runs N] [--time-budget SEC]\n"
+        "          [--minimize] [--corpus DIR] [--report FILE]\n"
+        "          [--no-isolate] [--no-replay] [--max-ticks N]\n"
+        "          [--deadline-ms N] [--minimize-tests N]\n"
+        "          draw N seeded random-but-valid scenarios (mesh,\n"
+        "          MC placement, protocol, DRAM timings, synthetic\n"
+        "          workload mix) and run each under the runtime\n"
+        "          invariant checker — conservation laws plus\n"
+        "          run-twice replay determinism; every scenario runs\n"
+        "          in a crash-isolated worker with a deadline, so a\n"
+        "          crash or hang is captured in the report (with its\n"
+        "          one-line reproducer) instead of killing the\n"
+        "          campaign; --minimize delta-debugs each failure to\n"
+        "          a near-minimal scenario; --corpus DIR emits the\n"
+        "          minimized anomalies as regression .scn files;\n"
+        "          exits nonzero on any violation or crash\n"
+        "  fuzzone --scenario LINE --out FILE [--max-ticks N]\n"
+        "          [--no-replay]\n"
+        "          check one encoded scenario and write a checksummed\n"
+        "          verdict file; used internally by `fuzz` workers\n"
         "  info    --trace FILE\n"
         "          describe a trace file\n"
         "\n"
@@ -1585,6 +1613,101 @@ cmdInfo(Args args)
     return 0;
 }
 
+/**
+ * `wastesim fuzz` — the seeded invariant-checking fuzz campaign.
+ * Everything is derived from --seed, so a failing run is reproduced
+ * by re-running with the same seed (or pasting the reported scenario
+ * line into `fuzzone`).
+ */
+int
+cmdFuzz(Args args)
+{
+    FuzzOptions opts;
+    std::string reportPath;
+    ObsCli obs;
+    while (!args.done()) {
+        const std::string a = args.next();
+        if (a == "--seed")
+            opts.seed = args.uvalue(a);
+        else if (a == "--runs")
+            opts.runs = args.uvalue(a);
+        else if (a == "--time-budget")
+            opts.timeBudgetSec = args.fvalue(a);
+        else if (a == "--minimize")
+            opts.minimize = true;
+        else if (a == "--corpus")
+            opts.corpusDir = args.value(a);
+        else if (a == "--report")
+            reportPath = args.value(a);
+        else if (a == "--no-isolate")
+            opts.isolate = false;
+        else if (a == "--no-replay")
+            opts.checkReplay = false;
+        else if (a == "--max-ticks")
+            opts.maxTicks = args.uvalue(a);
+        else if (a == "--deadline-ms")
+            opts.deadlineMs = args.u32value(a);
+        else if (a == "--minimize-tests")
+            opts.minimizeMaxTests = args.u32value(a);
+        else if (obs.tryParse(a, args)) {
+        } else
+            fatal("fuzz: unknown option '%s'", a.c_str());
+    }
+    obs.apply("fuzz");
+    fatal_if(opts.timeBudgetSec < 0, "fuzz: --time-budget must be >= 0");
+
+    // SIGINT drains: finish the in-flight scenario, then report what
+    // ran instead of losing the campaign.
+    installDrainHandlers();
+
+    FuzzCampaign campaign(std::move(opts));
+    const FuzzReport rep = campaign.run();
+    const std::string text = rep.toText();
+    std::fputs(text.c_str(), stdout);
+    if (!reportPath.empty()) {
+        std::FILE *f = std::fopen(reportPath.c_str(), "wb");
+        fatal_if(!f, "fuzz: cannot write '%s'", reportPath.c_str());
+        const bool ok = std::fwrite(text.data(), 1, text.size(), f) ==
+                        text.size();
+        std::fclose(f);
+        fatal_if(!ok, "fuzz: short write to '%s'", reportPath.c_str());
+    }
+    return rep.clean() ? 0 : 1;
+}
+
+/** `wastesim fuzzone` — one scenario, checked in this process; the
+ *  worker half of `fuzz` (kept as a public subcommand so a reported
+ *  scenario line is directly replayable). */
+int
+cmdFuzzone(Args args)
+{
+    std::string line, out;
+    Tick maxTicks = FuzzOptions{}.maxTicks;
+    bool checkReplay = true;
+    ObsCli obs;
+    while (!args.done()) {
+        const std::string a = args.next();
+        if (a == "--scenario")
+            line = args.value(a);
+        else if (a == "--out" || a == "-o")
+            out = args.value(a);
+        else if (a == "--max-ticks")
+            maxTicks = args.uvalue(a);
+        else if (a == "--no-replay")
+            checkReplay = false;
+        else if (obs.tryParse(a, args)) {
+        } else
+            fatal("fuzzone: unknown option '%s'", a.c_str());
+    }
+    obs.apply("fuzzone");
+    // Workers share the campaign's stderr; keep them quiet unless -v.
+    if (obs.verbosity <= 1)
+        logVerbosity = 0;
+    fatal_if(line.empty(), "fuzzone: --scenario is required");
+    fatal_if(out.empty(), "fuzzone: --out is required");
+    return fuzzWorkerMain(line, out, maxTicks, checkReplay);
+}
+
 } // namespace
 
 int
@@ -1611,6 +1734,10 @@ main(int argc, char **argv)
         return cmdMerge(rest);
     if (cmd == "cell")
         return cmdCell(rest);
+    if (cmd == "fuzz")
+        return cmdFuzz(rest);
+    if (cmd == "fuzzone")
+        return cmdFuzzone(rest);
     if (cmd == "info")
         return cmdInfo(rest);
     if (cmd == "help" || cmd == "--help" || cmd == "-h") {

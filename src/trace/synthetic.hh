@@ -69,6 +69,8 @@ struct SynthParams
 
     /** One-line parameter summary (reports, CLI). */
     std::string describe() const;
+
+    bool operator==(const SynthParams &) const = default;
 };
 
 /** A generated synthetic scenario. */

@@ -67,6 +67,9 @@ class FakeL1 : public L1Cache
 
     void handle(Message) override {}
 
+    std::uint64_t demandLoads() const override { return loads; }
+    std::uint64_t demandStores() const override { return stores; }
+
     EventQueue &eq_;
     Tick loadDelay = 0;
     Tick storeDelay = 0;

@@ -12,12 +12,15 @@
 #include <sstream>
 #include <string>
 
+#include "fuzz/invariants.hh"
 #include "golden_util.hh"
 #include "metrics/figure.hh"
 #include "metrics/metric_set.hh"
 #include "metrics/run_result_schema.hh"
 #include "profile/energy.hh"
+#include "system/runner.hh"
 #include "system/sweep_engine.hh"
+#include "trace/synthetic.hh"
 
 namespace wastesim
 {
@@ -225,6 +228,34 @@ TEST(FormatDouble, RoundTripsAndPrintsIntegersPlainly)
         const std::string s = formatDouble(v);
         EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
     }
+}
+
+TEST(Invariants, DramChanCountersSumToAggregates)
+{
+    // Every real run must satisfy the channel-sum law (System::run
+    // also panics on it; this exercises the reusable checker).
+    SynthParams p;
+    p.opsPerCore = 256;
+    const SyntheticWorkload wl(p, Topology(4, 4, 4));
+    const RunResult r =
+        runOne(ProtocolName::MESI, wl, SimParams::scaled());
+    ASSERT_GT(r.dramChan.size(), 1u);
+    EXPECT_GT(r.dramReads, 0u);
+
+    InvariantReport rep;
+    checkResultInvariants(r, rep);
+    EXPECT_TRUE(rep.ok()) << rep.describe();
+
+    // Tampering with one channel counter must trip exactly that law,
+    // with the delta in the report.
+    RunResult bad = r;
+    bad.dramChan[0].reads += 7;
+    InvariantReport brep;
+    checkResultInvariants(bad, brep);
+    ASSERT_FALSE(brep.ok());
+    EXPECT_EQ(brep.violations[0].invariant, "dram.chan-sum");
+    EXPECT_EQ(brep.violations[0].path, "dram.reads");
+    EXPECT_DOUBLE_EQ(brep.violations[0].delta(), 7.0);
 }
 
 } // namespace wastesim

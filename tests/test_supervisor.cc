@@ -140,6 +140,34 @@ TEST(FaultSpec, ParsesDescribesAndRejects)
     EXPECT_FALSE(none.any());
 }
 
+TEST(FaultSpec, RejectsMalformedProbabilitiesAndDuplicates)
+{
+    FaultSpec f;
+    std::string err;
+
+    // NaN compares false against every bound, so a naive
+    // "p < 0 || p > 1" check would accept it.
+    EXPECT_FALSE(FaultSpec::parse("crash:nan", f, &err));
+    EXPECT_NE(err.find("not in [0, 1]"), std::string::npos);
+    EXPECT_FALSE(FaultSpec::parse("crash:inf", f, &err));
+
+    // strtod("") consumes the whole (empty) string; the end-pointer
+    // test alone would accept it as probability 0.
+    EXPECT_FALSE(FaultSpec::parse("crash:", f, &err));
+    EXPECT_NE(err.find("not in [0, 1]"), std::string::npos);
+
+    EXPECT_FALSE(FaultSpec::parse("crash:-0.1", f, &err));
+    EXPECT_FALSE(FaultSpec::parse("crash:0.5junk", f, &err));
+
+    // A repeated kind is a typo'd spec, not a refinement.
+    EXPECT_FALSE(FaultSpec::parse("crash:0.1,crash:0.2", f, &err));
+    EXPECT_NE(err.find("duplicate fault kind"), std::string::npos);
+
+    // Whole-spec validity: a good prefix must not survive a bad item.
+    ASSERT_TRUE(FaultSpec::parse("hang:0.5", f, &err));
+    EXPECT_FALSE(FaultSpec::parse("hang:0.5,corrupt:bogus", f, &err));
+}
+
 TEST(FaultDraw, IsDeterministicPerCellAndAttempt)
 {
     FaultSpec f;
