@@ -94,9 +94,15 @@ setFlags(const std::string &csv, std::string *err)
 namespace
 {
 
+thread_local std::string *tlsBuf = nullptr;
+
 void
 emit(const std::string &line)
 {
+    if (tlsBuf) {
+        *tlsBuf += line;
+        return;
+    }
     if (sink) {
         sink(line);
         return;
@@ -121,6 +127,12 @@ vformat(const char *fmt, va_list ap)
 }
 
 } // namespace
+
+void
+setThreadBuffer(std::string *buf)
+{
+    tlsBuf = buf;
+}
 
 void
 print(const Flag &f, Tick now, const char *fmt, ...)

@@ -1,0 +1,23 @@
+#include "sim/domain.hh"
+
+namespace wastesim
+{
+
+namespace
+{
+thread_local unsigned tlsDomain = 0;
+} // namespace
+
+unsigned
+currentDomain()
+{
+    return tlsDomain;
+}
+
+void
+setCurrentDomain(unsigned d)
+{
+    tlsDomain = d;
+}
+
+} // namespace wastesim

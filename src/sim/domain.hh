@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Spatial decomposition of the mesh into parallel event domains.
+ *
+ * A domain is a horizontal band of mesh rows.  It owns everything on
+ * its tiles — cores, L1s, the L2/directory slices, any memory
+ * controllers (and their DRAM channels) placed there — plus a private
+ * EventQueue.  XY routing means every cross-domain message crosses at
+ * least one mesh link, so the per-hop link latency is a guaranteed
+ * lookahead window for conservative time-window synchronization.
+ */
+
+#ifndef WASTESIM_SIM_DOMAIN_HH
+#define WASTESIM_SIM_DOMAIN_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/topology.hh"
+#include "common/types.hh"
+
+namespace wastesim
+{
+
+/** Accounting domain of the running thread (0 in serial runs).
+ *  Domain threads bind once per round; the merged-mode executor
+ *  rebinds per event. */
+unsigned currentDomain();
+void setCurrentDomain(unsigned d);
+
+/** Hard cap on event domains: the memory profiler tags instance ids
+ *  with a 3-bit domain. */
+inline constexpr unsigned maxEventDomains = 8;
+
+/** Tile -> domain assignment for one run. */
+struct DomainLayout
+{
+    /** Number of domains (1 = the serial kernel). */
+    unsigned count = 1;
+    /** Domain owning each tile, indexed by NodeId. */
+    std::vector<std::uint16_t> tileDomain;
+
+    std::uint16_t
+    of(NodeId tile) const
+    {
+        return tileDomain[tile];
+    }
+
+    bool parallel() const { return count > 1; }
+
+    /**
+     * Row-band partition: @p threads contiguous bands of mesh rows,
+     * balanced to within one row.  The domain count is clamped to the
+     * row count (a 4x4 mesh cannot use more than 4 domains) and to 8
+     * (the memory profiler tags instance ids with a 3-bit domain).
+     */
+    static DomainLayout
+    rowBands(const Topology &topo, unsigned threads)
+    {
+        DomainLayout d;
+        const unsigned rows = topo.meshY();
+        d.count =
+            std::max(1u, std::min({threads, rows, maxEventDomains}));
+        d.tileDomain.resize(topo.numTiles());
+        for (unsigned y = 0; y < rows; ++y) {
+            // Row y belongs to band floor(y * count / rows).
+            const std::uint16_t dom = static_cast<std::uint16_t>(
+                static_cast<std::uint64_t>(y) * d.count / rows);
+            for (unsigned x = 0; x < topo.meshX(); ++x)
+                d.tileDomain[y * topo.meshX() + x] = dom;
+        }
+        return d;
+    }
+};
+
+} // namespace wastesim
+
+#endif // WASTESIM_SIM_DOMAIN_HH

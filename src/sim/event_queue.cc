@@ -30,7 +30,8 @@ EventQueue::recycle(std::uint32_t idx)
 }
 
 std::uint32_t
-EventQueue::prepareEntry(Tick when)
+EventQueue::prepareEntry(Tick when, Tick sched_tick, std::uint16_t src,
+                         std::uint64_t seq, std::uint16_t tile)
 {
     panic_if(when < now_, "scheduling event in the past (%llu < %llu)",
              static_cast<unsigned long long>(when),
@@ -39,14 +40,66 @@ EventQueue::prepareEntry(Tick when)
     const std::uint32_t idx = allocEntry();
     Entry &e = pool_[idx];
     e.when = when;
-    e.seq = nextSeq_++;
+    e.schedTick = sched_tick;
+    e.seq = seq;
+    e.src = src;
+    e.tile = tile;
     e.next = nil;
     return idx;
 }
 
 void
+EventQueue::requeueDrain()
+{
+    // A schedule landed below the open drain's tick.  That is only
+    // possible between parallel rounds: a round can stop with a drain
+    // suspended above now_, and the next sync may legally inject
+    // staged cross-domain keys earlier than the suspended tick.  The
+    // drain fast path assumes nothing is pending below it, so push the
+    // un-executed drain entries back into their wheel slot and close
+    // the drain; selection falls back to pure key order and the slot
+    // re-sorts when its tick becomes current again.
+    const std::size_t slot = drainTick_ & wheelMask;
+    Bucket &b = wheel_[slot];
+    for (std::size_t i = drainPos_; i < drainVec_.size(); ++i) {
+        const std::uint32_t idx = drainVec_[i].idx;
+        pool_[idx].next = nil;
+        if (b.head == nil) {
+            b.head = b.tail = idx;
+            occupied_[slot >> 6] |= std::uint64_t(1) << (slot & 63);
+        } else {
+            pool_[b.tail].next = idx;
+            b.tail = idx;
+        }
+        ++wheelPending_;
+    }
+    if (wheelPending_ > 0 && drainTick_ < wheelHint_)
+        wheelHint_ = drainTick_;
+    drainActive_ = false;
+    drainVec_.clear();
+    drainPos_ = 0;
+}
+
+void
 EventQueue::commitEntry(std::uint32_t idx, Tick when)
 {
+    if (drainActive_ && when < drainTick_)
+        requeueDrain();
+    if (drainActive_ && when == drainTick_) {
+        // Same-tick schedule while that tick is draining: insert at
+        // the canonical position, clamped to "next" so an event never
+        // lands behind the drain cursor (it cannot execute before its
+        // own creator).  The clamp depends only on canonical
+        // execution state, so every partitioning resolves it the same
+        // way.
+        const Entry &e = pool_[idx];
+        const DrainRef r{e.schedTick, e.seq, idx, e.src};
+        auto it = std::lower_bound(drainVec_.begin() + drainPos_,
+                                   drainVec_.end(), r);
+        drainVec_.insert(it, r);
+        ++pending_;
+        return;
+    }
     if (when - now_ < wheelSize) {
         const std::size_t slot = when & wheelMask;
         Bucket &b = wheel_[slot];
@@ -61,7 +114,9 @@ EventQueue::commitEntry(std::uint32_t idx, Tick when)
             wheelHint_ = when;
         ++wheelPending_;
     } else {
-        overflow_.push_back(OverflowRef{when, pool_[idx].seq, idx});
+        const Entry &e = pool_[idx];
+        overflow_.push_back(
+            OverflowRef{when, e.schedTick, e.seq, idx, e.src});
         std::push_heap(overflow_.begin(), overflow_.end(),
                        OverflowLater{});
     }
@@ -93,57 +148,122 @@ EventQueue::firstOccupiedSlot() const
     return nil;
 }
 
+void
+EventQueue::openDrain(std::uint32_t slot, Tick when)
+{
+    Bucket &b = wheel_[slot];
+    drainVec_.clear();
+    for (std::uint32_t idx = b.head; idx != nil;) {
+        const Entry &e = pool_[idx];
+        drainVec_.push_back(DrainRef{e.schedTick, e.seq, idx, e.src});
+        --wheelPending_;
+        idx = e.next;
+    }
+    b.head = b.tail = nil;
+    occupied_[slot >> 6] &= ~(std::uint64_t(1) << (slot & 63));
+    // Chains arrive nearly sorted (schedTick is monotone per queue);
+    // keys are unique so an unstable sort is canonical.
+    std::sort(drainVec_.begin(), drainVec_.end());
+    drainActive_ = true;
+    drainTick_ = when;
+    drainPos_ = 0;
+    wheelHint_ = when;
+}
+
+int
+EventQueue::selectNext(std::uint32_t &idx_out, bool &from_overflow,
+                       Tick &when_out)
+{
+    for (;;) {
+        if (drainActive_) {
+            if (drainPos_ < drainVec_.size()) {
+                idx_out = drainVec_[drainPos_].idx;
+                from_overflow = false;
+                when_out = drainTick_;
+                return 0;
+            }
+            drainActive_ = false;
+            drainVec_.clear();
+        }
+        if (pending_ == 0)
+            return 1;
+
+        const std::uint32_t slot = firstOccupiedSlot();
+        const Tick wheel_when =
+            slot != nil ? pool_[wheel_[slot].head].when : ~Tick(0);
+        const Tick ov_when =
+            overflow_.empty() ? ~Tick(0) : overflow_.front().when;
+
+        // On a tick tie the overflow entry was scheduled while the
+        // tick was still beyond the horizon, hence at a strictly
+        // earlier schedTick than any wheel entry: overflow first is
+        // canonical order.
+        if (ov_when <= wheel_when) {
+            if (ov_when == ~Tick(0))
+                return 1;
+            idx_out = overflow_.front().idx;
+            from_overflow = true;
+            when_out = ov_when;
+            return 0;
+        }
+        openDrain(slot, wheel_when);
+    }
+}
+
+void
+EventQueue::execute(std::uint32_t idx)
+{
+    Entry &e = pool_[idx];
+    panic_if(e.when < now_, "executing event in the past (%llu < %llu)",
+             static_cast<unsigned long long>(e.when),
+             static_cast<unsigned long long>(now_));
+    curKey_ = EventKey{e.when, e.schedTick, e.src, e.seq};
+    curTile_ = e.tile;
+    now_ = e.when;
+    // Move the callback out and recycle the record before invoking:
+    // the callback may schedule (growing the arena), so no Entry
+    // reference survives past this point.
+    Callback cb = std::move(e.cb);
+    recycle(idx);
+    --pending_;
+    ++executed_;
+    cb();
+}
+
 int
 EventQueue::stepBounded(Tick limit)
 {
-    if (pending_ == 0)
-        return 1;
-
-    const std::uint32_t slot = firstOccupiedSlot();
-    const Tick wheel_when =
-        slot != nil ? pool_[wheel_[slot].head].when : ~Tick(0);
-
-    // On a tick tie the overflow entry always has the smaller
-    // sequence number: it was scheduled while the tick was still
-    // beyond the horizon, hence strictly earlier.
-    const bool from_overflow =
-        !overflow_.empty() &&
-        (slot == nil || overflow_.front().when <= wheel_when);
-
-    const Tick when =
-        from_overflow ? overflow_.front().when : wheel_when;
+    std::uint32_t idx;
+    bool from_overflow;
+    Tick when;
+    const int r = selectNext(idx, from_overflow, when);
+    if (r != 0)
+        return r;
     if (when > limit)
         return 2;
 
-    std::uint32_t idx;
     if (from_overflow) {
-        idx = overflow_.front().idx;
         std::pop_heap(overflow_.begin(), overflow_.end(),
                       OverflowLater{});
         overflow_.pop_back();
     } else {
-        Bucket &b = wheel_[slot];
-        idx = b.head;
-        b.head = pool_[idx].next;
-        if (b.head == nil) {
-            b.tail = nil;
-            occupied_[slot >> 6] &=
-                ~(std::uint64_t(1) << (slot & 63));
-        }
-        --wheelPending_;
-        wheelHint_ = when;
+        ++drainPos_;
     }
-
-    // Move the callback out and recycle the record before invoking:
-    // the callback may schedule (growing the arena), so no Entry
-    // reference survives past this point.
-    Callback cb = std::move(pool_[idx].cb);
-    recycle(idx);
-    --pending_;
-    now_ = when;
-    ++executed_;
-    cb();
+    execute(idx);
     return 0;
+}
+
+bool
+EventQueue::nextKey(EventKey &out)
+{
+    std::uint32_t idx;
+    bool from_overflow;
+    Tick when;
+    if (selectNext(idx, from_overflow, when) != 0)
+        return false;
+    const Entry &e = pool_[idx];
+    out = EventKey{e.when, e.schedTick, e.src, e.seq};
+    return true;
 }
 
 bool
@@ -168,6 +288,23 @@ EventQueue::run(Tick limit)
     }
 }
 
+bool
+EventQueue::runWindow(Tick bound, const bool *stop)
+{
+    for (;;) {
+        switch (stepBounded(bound - 1)) {
+          case 0:
+            if (stop && *stop)
+                return false;
+            break;
+          case 1:
+            return true;
+          case 2:
+            return false;
+        }
+    }
+}
+
 void
 EventQueue::reset()
 {
@@ -183,6 +320,14 @@ EventQueue::reset()
         }
         b.head = b.tail = nil;
     }
+    for (std::size_t i = drainPos_; drainActive_ && i < drainVec_.size();
+         ++i) {
+        recycle(drainVec_[i].idx);
+        --pending_;
+    }
+    drainActive_ = false;
+    drainVec_.clear();
+    drainPos_ = 0;
     for (const OverflowRef &r : overflow_) {
         recycle(r.idx);
         --pending_;
@@ -195,6 +340,8 @@ EventQueue::reset()
     nextSeq_ = 0;
     executed_ = 0;
     wheelHint_ = 0;
+    curTile_ = 0;
+    curKey_ = EventKey{};
 }
 
 std::size_t

@@ -2,10 +2,21 @@
  * @file
  * Discrete-event simulation engine.
  *
- * Events execute in strict (tick, scheduling sequence) order, which
- * keeps protocol handlers deterministic: two events at the same tick
- * run in the order they were scheduled, exactly as the original
- * global priority queue executed them.
+ * Events execute in strict canonical key order
+ *
+ *     (when, schedTick, srcTile, srcSeq)
+ *
+ * where `schedTick` is the tick the event was scheduled at, `srcTile`
+ * is the tile whose component was executing when it was scheduled,
+ * and `srcSeq` is that source queue's monotone scheduling counter.
+ * The key is independent of how the mesh is partitioned into event
+ * queues: a single-queue (serial) run and a multi-queue (parallel
+ * domain) run of the same simulation execute the exact same event
+ * interleaving, which is what makes the parallel kernel's results
+ * provably byte-identical to the serial kernel's for every domain
+ * count.  (Two events scheduled by the same tile compare by seq from
+ * the same queue — a tile executes in exactly one domain — so per
+ * queue counters never need to be comparable across queues.)
  *
  * The kernel is allocation-free in steady state.  Event records live
  * in a free-list-recycled arena and are indexed, never pointed to, so
@@ -14,16 +25,15 @@
  *
  *  - a timing wheel of `wheelSize` one-tick buckets covering
  *    [now, now + wheelSize): each bucket is a FIFO chain of entries
- *    for exactly one tick (two ticks can only collide in a slot if
- *    they are a full wheel apart, and the earlier one has always
- *    drained by the time the later is scheduled), with an occupancy
- *    bitmap for O(1)-ish next-event scans;
+ *    for exactly one tick, sorted by key once when the tick becomes
+ *    current (chains arrive nearly sorted: schedTick is monotone per
+ *    queue, so the sort is cheap);
  *
- *  - an overflow binary min-heap on (tick, seq) for events beyond the
- *    horizon.  Because the horizon only ever shrinks as time
- *    advances, every overflow entry for a tick predates (in sequence)
- *    every wheel entry for that tick, so popping overflow-first on
- *    ties preserves global FIFO order.
+ *  - an overflow binary min-heap on the full key for events beyond
+ *    the horizon.  Every overflow entry for a tick was scheduled
+ *    strictly earlier (smaller schedTick) than every wheel entry for
+ *    that tick, so draining overflow-first on tick ties preserves
+ *    canonical order.
  *
  * Callbacks are stored in a 64-byte small-buffer InlineFunction, so
  * the common captures (`this` + an address + a word mask, or a pooled
@@ -43,7 +53,28 @@
 namespace wastesim
 {
 
-/** The event-driven simulation kernel. */
+/** Canonical, partition-independent event ordering key. */
+struct EventKey
+{
+    Tick when = 0;          //!< execution tick
+    Tick schedTick = 0;     //!< tick the event was scheduled at
+    std::uint16_t src = 0;  //!< tile executing when it was scheduled
+    std::uint64_t seq = 0;  //!< source queue scheduling counter
+
+    friend bool
+    operator<(const EventKey &a, const EventKey &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        if (a.schedTick != b.schedTick)
+            return a.schedTick < b.schedTick;
+        if (a.src != b.src)
+            return a.src < b.src;
+        return a.seq < b.seq;
+    }
+};
+
+/** The event-driven simulation kernel (one per mesh domain). */
 class EventQueue
 {
   public:
@@ -65,15 +96,72 @@ class EventQueue
 
     /**
      * Schedule @p cb at absolute tick @p when (must be >= now).  The
-     * callable is constructed directly into the pooled event record.
+     * callable is constructed directly into the pooled event record;
+     * the event inherits the currently executing event's tile.
      */
     template <typename F>
     void
     scheduleAt(Tick when, F &&cb)
     {
-        const std::uint32_t idx = prepareEntry(when);
+        scheduleFor(when, curTile_, std::forward<F>(cb));
+    }
+
+    /** Schedule at @p when, executing on behalf of tile @p tile
+     *  (message deliveries name the destination tile here). */
+    template <typename F>
+    void
+    scheduleFor(Tick when, std::uint16_t tile, F &&cb)
+    {
+        const std::uint32_t idx =
+            prepareEntry(when, now_, curTile_, nextSeq_++, tile);
         pool_[idx].cb = std::forward<F>(cb);
         commitEntry(idx, when);
+    }
+
+    /**
+     * Schedule with an explicit canonical key: cross-domain staged
+     * deliveries carry the key assigned by the *source* queue at send
+     * time (see allocSeq()) so they land in the destination queue at
+     * their canonical position.
+     */
+    template <typename F>
+    void
+    scheduleKeyed(const EventKey &key, std::uint16_t tile, F &&cb)
+    {
+        const std::uint32_t idx =
+            prepareEntry(key.when, key.schedTick, key.src, key.seq, tile);
+        pool_[idx].cb = std::forward<F>(cb);
+        commitEntry(idx, key.when);
+    }
+
+    /** Reserve a scheduling sequence number (staged sends draw their
+     *  key's seq from the source queue without filing an entry). */
+    std::uint64_t allocSeq() { return nextSeq_++; }
+
+    /** Tile context for events scheduled outside any event (root
+     *  events such as core starts). */
+    void setContextTile(std::uint16_t t) { curTile_ = t; }
+
+    /** Tile of the currently executing event. */
+    std::uint16_t contextTile() const { return curTile_; }
+
+    /** Canonical key of the currently executing event (journal
+     *  stamping). */
+    const EventKey &currentKey() const { return curKey_; }
+
+    /**
+     * Peek the canonical key of the earliest pending event without
+     * executing it.  @return false when the queue is empty.
+     */
+    bool nextKey(EventKey &out);
+
+    /** Advance time without executing (barrier releases observed from
+     *  another domain's event; never moves backwards). */
+    void
+    setNow(Tick t)
+    {
+        if (t > now_)
+            now_ = t;
     }
 
     /** Number of pending events. */
@@ -93,6 +181,16 @@ class EventQueue
      * @return true if the queue drained, false if the limit was hit.
      */
     bool run(Tick limit = ~Tick(0));
+
+    /**
+     * Parallel-round execution: run every event with when < @p bound,
+     * stopping early (after the current event) once @p *stop turns
+     * true.  Does not advance now_ to the bound — between rounds the
+     * clock rests on the last executed event.
+     *
+     * @return true if the queue drained entirely.
+     */
+    bool runWindow(Tick bound, const bool *stop);
 
     /** Execute at most one event. @return false if queue empty. */
     bool step();
@@ -118,8 +216,11 @@ class EventQueue
     struct Entry
     {
         Tick when = 0;
+        Tick schedTick = 0;
         std::uint64_t seq = 0;
         std::uint32_t next = nil; //!< bucket FIFO / free-list link
+        std::uint16_t src = 0;    //!< key: scheduling tile
+        std::uint16_t tile = 0;   //!< execution context tile
         Callback cb;
     };
 
@@ -129,12 +230,33 @@ class EventQueue
         std::uint32_t tail = nil;
     };
 
+    /** Sorted view of the bucket currently being drained. */
+    struct DrainRef
+    {
+        Tick schedTick;
+        std::uint64_t seq;
+        std::uint32_t idx;
+        std::uint16_t src;
+
+        friend bool
+        operator<(const DrainRef &a, const DrainRef &b)
+        {
+            if (a.schedTick != b.schedTick)
+                return a.schedTick < b.schedTick;
+            if (a.src != b.src)
+                return a.src < b.src;
+            return a.seq < b.seq;
+        }
+    };
+
     /** Far-future reference; the entry itself lives in the arena. */
     struct OverflowRef
     {
         Tick when;
+        Tick schedTick;
         std::uint64_t seq;
         std::uint32_t idx;
+        std::uint16_t src;
     };
 
     struct OverflowLater
@@ -144,6 +266,10 @@ class EventQueue
         {
             if (a.when != b.when)
                 return a.when > b.when;
+            if (a.schedTick != b.schedTick)
+                return a.schedTick > b.schedTick;
+            if (a.src != b.src)
+                return a.src > b.src;
             return a.seq > b.seq;
         }
     };
@@ -151,8 +277,10 @@ class EventQueue
     std::uint32_t allocEntry();
     void recycle(std::uint32_t idx);
 
-    /** Validate @p when, pull a record, stamp (when, seq, next). */
-    std::uint32_t prepareEntry(Tick when);
+    /** Validate @p when, pull a record, stamp key + context tile. */
+    std::uint32_t prepareEntry(Tick when, Tick sched_tick,
+                               std::uint16_t src, std::uint64_t seq,
+                               std::uint16_t tile);
 
     /** File the prepared record into the wheel or the overflow heap. */
     void commitEntry(std::uint32_t idx, Tick when);
@@ -160,6 +288,23 @@ class EventQueue
     /** First occupied wheel slot at or (circularly) after now.
      *  @return nil when the wheel holds nothing. */
     std::uint32_t firstOccupiedSlot() const;
+
+    /** Pull bucket @p slot's chain into drainVec_, sorted by key. */
+    void openDrain(std::uint32_t slot, Tick when);
+
+    /** Push un-executed drain entries back into their wheel slot and
+     *  close the drain (a schedule landed below the drain tick). */
+    void requeueDrain();
+
+    /** Execute the arena record @p idx (stamps now_/curKey_). */
+    void execute(std::uint32_t idx);
+
+    /**
+     * Locate the earliest pending event.  Opens the drain vector when
+     * the wheel is next.  @return 0 found (out set), 1 queue empty.
+     */
+    int selectNext(std::uint32_t &idx_out, bool &from_overflow,
+                   Tick &when_out);
 
     /** Execute the earliest event if its tick is <= @p limit.
      *  @return 0 executed, 1 queue empty, 2 event beyond limit. */
@@ -173,6 +318,15 @@ class EventQueue
     /** Lower bound on the earliest wheel tick: bitmap scans start
      *  here instead of at now_, skipping known-empty slots. */
     Tick wheelHint_ = 0;
+
+    std::uint16_t curTile_ = 0;
+    EventKey curKey_{};
+
+    /** Drain state for the tick currently executing from the wheel. */
+    bool drainActive_ = false;
+    Tick drainTick_ = 0;
+    std::size_t drainPos_ = 0;
+    std::vector<DrainRef> drainVec_;
 
     std::vector<Entry> pool_;
     std::uint32_t freeHead_ = nil;

@@ -1,0 +1,112 @@
+#include "sim/parallel.hh"
+
+#include <limits>
+
+#include "common/log.hh"
+
+namespace wastesim
+{
+
+WindowDriver::WindowDriver(std::vector<EventQueue *> queues,
+                           Tick lookahead, ParallelHooks &hooks)
+    : queues_(std::move(queues)), lookahead_(lookahead), hooks_(hooks)
+{
+    panic_if(queues_.empty(), "WindowDriver needs at least one queue");
+    panic_if(lookahead_ == 0, "zero lookahead cannot make progress");
+    acked_.reserve(queues_.size());
+    for (std::size_t d = 0; d < queues_.size(); ++d)
+        acked_.push_back(
+            std::make_unique<std::atomic<std::uint64_t>>(0));
+    // Domain 0 runs on the coordinator thread; the rest get workers.
+    for (unsigned d = 1; d < queues_.size(); ++d)
+        threads_.emplace_back([this, d] { workerLoop(d); });
+}
+
+WindowDriver::~WindowDriver()
+{
+    quit_.store(true, std::memory_order_release);
+    gen_.fetch_add(1, std::memory_order_release);
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+WindowDriver::runRound(unsigned d)
+{
+    hooks_.enterDomain(d);
+    queues_[d]->runWindow(bound_.load(std::memory_order_relaxed),
+                          hooks_.stopFlag(d));
+    hooks_.leaveDomain(d);
+}
+
+void
+WindowDriver::workerLoop(unsigned d)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        // Spin-then-yield: rounds are microseconds apart, so parking
+        // on a mutex would dominate the sync cost.
+        unsigned spins = 0;
+        while (gen_.load(std::memory_order_acquire) == seen) {
+            if (++spins > 4096) {
+                std::this_thread::yield();
+                spins = 0;
+            }
+        }
+        seen = gen_.load(std::memory_order_acquire);
+        if (quit_.load(std::memory_order_acquire))
+            return;
+        runRound(d);
+        acked_[d]->store(seen, std::memory_order_release);
+    }
+}
+
+bool
+WindowDriver::run(Tick max_ticks)
+{
+    constexpr Tick inf = std::numeric_limits<Tick>::max();
+    for (;;) {
+        // --- single-threaded section -------------------------------
+        hooks_.atSync(bound_.load(std::memory_order_relaxed));
+        if (hooks_.needMerged()) {
+            ++merged_;
+            hooks_.runMerged();
+        }
+
+        // Every round starts at the earliest pending key: empty
+        // stretches (DRAM waits, barrier skew) cost one sync, not
+        // one sync per lookahead window.
+        Tick front = inf;
+        for (EventQueue *q : queues_) {
+            EventKey k;
+            if (q->nextKey(k) && k.when < front)
+                front = k.when;
+        }
+        if (front == inf)
+            return true;
+        if (front > max_ticks)
+            return false;
+
+        Tick bound = front + lookahead_;
+        if (bound > max_ticks + 1 || bound < front /* overflow */)
+            bound = max_ticks + 1;
+        bound_.store(bound, std::memory_order_relaxed);
+
+        // --- parallel round ----------------------------------------
+        const std::uint64_t g =
+            gen_.fetch_add(1, std::memory_order_release) + 1;
+        runRound(0);
+        for (unsigned d = 1; d < queues_.size(); ++d) {
+            unsigned spins = 0;
+            while (acked_[d]->load(std::memory_order_acquire) != g) {
+                if (++spins > 4096) {
+                    std::this_thread::yield();
+                    spins = 0;
+                }
+            }
+        }
+        ++rounds_;
+    }
+}
+
+} // namespace wastesim

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Conservative time-window driver for multi-domain simulation.
+ *
+ * The mesh is split into spatial domains (DomainLayout), each with a
+ * private EventQueue.  The minimum cross-domain message delay is the
+ * per-hop link latency L, so every domain can execute the window
+ * [F, F + L) without observing anything another domain does inside
+ * the same window: a message sent at tick t lands at t + L or later.
+ * Rounds alternate with single-threaded synchronization points where
+ * staged cross-domain messages are injected in canonical key order
+ * (EventKey), deferred profiler journals are applied, and barrier
+ * arrivals are resolved.
+ *
+ * Zero-lookahead interactions (the global fork-join barrier) drop to
+ * a merged serial mode: the coordinator executes all domains' events
+ * in global canonical key order until the barrier episode resolves,
+ * then parallel rounds resume.  Merged mode is exact — it produces
+ * the same canonical interleaving the domain threads would — so it
+ * trades only speed, never determinism.
+ *
+ * The driver owns the worker threads; everything simulation-specific
+ * (network staging, profiler journals, barrier routing, observation)
+ * is behind ParallelHooks, implemented by System.
+ */
+
+#ifndef WASTESIM_SIM_PARALLEL_HH
+#define WASTESIM_SIM_PARALLEL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/event_queue.hh"
+
+namespace wastesim
+{
+
+/** Simulation-side callbacks for the window driver. */
+class ParallelHooks
+{
+  public:
+    virtual ~ParallelHooks() = default;
+
+    /** Install thread-local context for domain @p d (called on the
+     *  thread about to execute the domain's round). */
+    virtual void enterDomain(unsigned d) = 0;
+
+    /** Tear down the round's thread-local context. */
+    virtual void leaveDomain(unsigned d) = 0;
+
+    /** Per-domain early-stop flag for the current round (set by the
+     *  barrier router when the domain's last active core arrives). */
+    virtual const bool *stopFlag(unsigned d) const = 0;
+
+    /** Single-threaded synchronization: inject staged cross-domain
+     *  messages, apply profiler journals, stage barrier arrivals.
+     *  @p frontier is the window bound the round just executed to. */
+    virtual void atSync(Tick frontier) = 0;
+
+    /** True while a barrier episode requires merged serial
+     *  execution before rounds may resume. */
+    virtual bool needMerged() const = 0;
+
+    /** Merged serial execution (coordinator thread) until the
+     *  episode resolves or the simulation drains. */
+    virtual void runMerged() = 0;
+};
+
+/** Thread pool + round/sync loop over per-domain event queues. */
+class WindowDriver
+{
+  public:
+    WindowDriver(std::vector<EventQueue *> queues, Tick lookahead,
+                 ParallelHooks &hooks);
+    ~WindowDriver();
+
+    WindowDriver(const WindowDriver &) = delete;
+    WindowDriver &operator=(const WindowDriver &) = delete;
+
+    /**
+     * Run to completion.
+     * @return true if every queue drained; false if the next event
+     *         lies beyond @p max_ticks (the serial kernel's limit
+     *         semantics: events at max_ticks still execute).
+     */
+    bool run(Tick max_ticks);
+
+    /** Synchronization rounds completed (testing / stats hook). */
+    std::uint64_t rounds() const { return rounds_; }
+
+    /** Rounds that dropped to merged serial execution. */
+    std::uint64_t mergedEpisodes() const { return merged_; }
+
+  private:
+    void workerLoop(unsigned d);
+    void runRound(unsigned d);
+
+    std::vector<EventQueue *> queues_;
+    Tick lookahead_;
+    ParallelHooks &hooks_;
+
+    // Round handshake: the coordinator publishes a new generation
+    // with the window bound; workers execute and acknowledge.  All
+    // cross-thread state (queues, staging buffers) is ordered by the
+    // release/acquire pair on these atomics.
+    std::atomic<std::uint64_t> gen_{0};
+    std::atomic<Tick> bound_{0};
+    std::atomic<bool> quit_{false};
+    std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> acked_;
+
+    std::vector<std::thread> threads_;
+    std::uint64_t rounds_ = 0;
+    std::uint64_t merged_ = 0;
+};
+
+} // namespace wastesim
+
+#endif // WASTESIM_SIM_PARALLEL_HH

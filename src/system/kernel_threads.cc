@@ -1,0 +1,41 @@
+#include "system/kernel_threads.hh"
+
+#include <atomic>
+
+namespace wastesim
+{
+
+namespace
+{
+
+unsigned cellThreadsOverride = 1;
+std::atomic<std::int64_t> liveEvents{0};
+
+} // namespace
+
+void
+setCellThreads(unsigned n)
+{
+    cellThreadsOverride = n == 0 ? 1 : n;
+}
+
+unsigned
+cellThreads()
+{
+    return cellThreadsOverride;
+}
+
+std::uint64_t
+liveKernelEvents()
+{
+    const std::int64_t v = liveEvents.load(std::memory_order_relaxed);
+    return v > 0 ? static_cast<std::uint64_t>(v) : 0;
+}
+
+void
+addLiveKernelEvents(std::int64_t delta)
+{
+    liveEvents.fetch_add(delta, std::memory_order_relaxed);
+}
+
+} // namespace wastesim

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Process-wide knobs for the intra-run parallel kernel.
+ *
+ * The event-kernel thread count lives here — outside SimParams — for
+ * the same reason the observability config does: it cannot change any
+ * result (the parallel kernel is byte-identical to the serial one),
+ * so it must never reach a cell fingerprint or sweep-cache key.
+ *
+ * The live-events counter lets the sweep progress monitor see inside
+ * long-running cells: parallel kernels publish their executed-event
+ * totals at every window synchronization, so events/sec and the stall
+ * detector aggregate per-domain progress instead of assuming a cell
+ * is a black box until it completes.
+ */
+
+#ifndef WASTESIM_SYSTEM_KERNEL_THREADS_HH
+#define WASTESIM_SYSTEM_KERNEL_THREADS_HH
+
+#include <cstdint>
+
+namespace wastesim
+{
+
+/** Event-kernel threads for every subsequently constructed System
+ *  (`--threads-per-cell`); clamped per run by DomainLayout.  1 (the
+ *  default) selects the serial kernel. */
+void setCellThreads(unsigned n);
+unsigned cellThreads();
+
+/** Events executed so far by in-flight parallel kernels (summed over
+ *  their domains, updated at window syncs; a finished run withdraws
+ *  its contribution — its events then count as completed-cell work). */
+std::uint64_t liveKernelEvents();
+
+/** Adjust the live counter (parallel kernels only). */
+void addLiveKernelEvents(std::int64_t delta);
+
+} // namespace wastesim
+
+#endif // WASTESIM_SYSTEM_KERNEL_THREADS_HH

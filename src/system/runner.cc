@@ -10,6 +10,7 @@
 
 #include "common/log.hh"
 #include "metrics/run_result_schema.hh"
+#include "system/kernel_threads.hh"
 #include "system/sweep_engine.hh"
 
 namespace wastesim
@@ -60,7 +61,7 @@ readRunResult(std::istream &is, RunResult &r)
 RunResult
 runOne(ProtocolName protocol, const Workload &wl, SimParams params)
 {
-    System sys(protocol, wl, params);
+    System sys(protocol, wl, params, cellThreads());
     return sys.run();
 }
 

@@ -1,0 +1,189 @@
+/** Parallel event kernel: the determinism law.
+ *
+ *  The mesh-domain kernel (--threads-per-cell) must produce RunResults
+ *  byte-identical to the serial kernel for every domain count — that
+ *  is what lets the thread count stay outside SimParams and the
+ *  sweep-cache keys.  These tests pin the law against the committed
+ *  golden 54-cell sweep cache and the fuzz regression corpus, and
+ *  cover the event-queue edge cases only window synchronization can
+ *  reach (conservative-lookahead bounds, injections below a suspended
+ *  drain). */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fuzz/campaign.hh"
+#include "fuzz/scenario.hh"
+#include "golden_util.hh"
+#include "sim/event_queue.hh"
+#include "system/kernel_threads.hh"
+#include "system/runner.hh"
+#include "system/sweep_engine.hh"
+#include "system/system.hh"
+
+namespace wastesim
+{
+
+namespace
+{
+
+/** setCellThreads for a scope; restores the serial default. */
+class CellThreadsGuard
+{
+  public:
+    explicit CellThreadsGuard(unsigned n) { setCellThreads(n); }
+    ~CellThreadsGuard() { setCellThreads(1); }
+};
+
+/** One RunResult in cache-block form (precision-17 round-trip), the
+ *  byte representation the identity law is stated over. */
+std::string
+serialized(const std::string &key, const RunResult &r)
+{
+    CellCache c;
+    c.put(key, r);
+    return c.serialized();
+}
+
+std::vector<std::string>
+corpusFiles()
+{
+    const std::filesystem::path dir =
+        std::filesystem::path(WASTESIM_SOURCE_DIR) / "tests" / "corpus";
+    std::vector<std::string> out;
+    for (const auto &e : std::filesystem::directory_iterator(dir))
+        if (e.path().extension() == ".scn")
+            out.push_back(e.path().string());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace
+
+TEST(ParallelKernel, GoldenCellsByteIdenticalAt2And4Domains)
+{
+    // One cell per protocol (benchmarks rotated so both axes vary),
+    // recomputed under 2- and 4-domain kernels, must serialize to the
+    // exact bytes the committed serial-kernel golden cache holds.
+    CellCache golden;
+    ASSERT_TRUE(
+        golden.load(testutil::goldenPath("wastesim_sweep_4x4.cache")));
+
+    const SweepSpec spec = SweepSpec::fullGrid(1, SimParams::scaled());
+    for (unsigned proto = 0; proto < spec.protocols.size(); ++proto) {
+        const unsigned bench = proto % spec.benches.size();
+        const std::size_t flat =
+            static_cast<std::size_t>(bench) * spec.protocols.size() +
+            proto;
+        const SweepCell cell = spec.cellAt(flat);
+        const std::string key = spec.cellKey(cell);
+        SCOPED_TRACE(key);
+
+        RunResult ref;
+        ASSERT_TRUE(golden.get(key, ref));
+
+        for (unsigned threads : {2u, 4u}) {
+            CellThreadsGuard guard(threads);
+            const RunResult r =
+                runOne(spec.protocols[cell.protoIdx],
+                       spec.benches[cell.benchIdx], spec.scale,
+                       spec.paramsFor(cell.topoIdx));
+            EXPECT_EQ(serialized(key, ref), serialized(key, r))
+                << "threads=" << threads;
+        }
+    }
+}
+
+TEST(ParallelKernel, CorpusScenariosByteIdenticalAt2And4Domains)
+{
+    // The committed fuzz corpus covers non-square meshes, explicit MC
+    // placements and DRAM-timing extremes the figure grid never
+    // touches; each scenario must be partition-independent too.
+    const std::vector<std::string> files = corpusFiles();
+    ASSERT_FALSE(files.empty());
+    for (const std::string &path : files) {
+        SCOPED_TRACE(path);
+        CorpusEntry e;
+        std::string err;
+        ASSERT_TRUE(readCorpusFile(path, e, &err)) << err;
+        Scenario s;
+        ASSERT_TRUE(Scenario::parse(e.scenarioLine, s, &err)) << err;
+        ASSERT_TRUE(s.validate(&err)) << err;
+        const SimParams params = s.simParams();
+
+        std::unique_ptr<Workload> wl = s.makeWorkload();
+        System serial(s.protocol, *wl, params, 1);
+        const RunResult ref = serial.run(500'000'000ULL);
+
+        for (unsigned threads : {2u, 4u}) {
+            std::unique_ptr<Workload> wlp = s.makeWorkload();
+            System par(s.protocol, *wlp, params, threads);
+            const RunResult r = par.run(500'000'000ULL);
+            EXPECT_EQ(serialized("cell", ref), serialized("cell", r))
+                << "threads=" << threads;
+        }
+    }
+}
+
+TEST(ParallelKernel, WindowBoundIsExclusive)
+{
+    // runWindow(bound) runs events with when < bound only: an event
+    // exactly at the bound belongs to the next window (the
+    // conservative-lookahead guarantee is "nothing before bound can
+    // be affected by another domain", not "nothing at bound").
+    EventQueue q;
+    std::vector<Tick> ticks;
+    q.scheduleFor(8, 0, [&] { ticks.push_back(q.now()); });
+    bool stop = false;
+    EXPECT_FALSE(q.runWindow(8, &stop));
+    EXPECT_TRUE(ticks.empty());
+    EXPECT_EQ(q.pending(), 1u);
+    EXPECT_TRUE(q.runWindow(9, &stop));
+    ASSERT_EQ(ticks.size(), 1u);
+    EXPECT_EQ(ticks[0], 8u);
+}
+
+TEST(ParallelKernel, InjectionBelowSuspendedDrainRestoresKeyOrder)
+{
+    // A window can end with the queue's next tick already pulled into
+    // a sorted drain (runWindow found it beyond the bound); the next
+    // sync may then legally inject staged cross-domain events at
+    // EARLIER ticks.  Selection must fall back to pure key order
+    // instead of letting the suspended drain shadow them — the
+    // regression that once made a 2-domain run execute tick 292
+    // before an injected tick-252 event and diverge from serial.
+    EventQueue q;
+    std::vector<Tick> ticks;
+    const auto rec = [&] { ticks.push_back(q.now()); };
+    q.scheduleFor(3, 0, rec);
+    q.scheduleFor(10, 0, rec);
+    q.scheduleFor(10, 0, rec);
+
+    // Window [0, 8): executes tick 3, then suspends with the tick-10
+    // bucket drained-and-sorted but unexecuted.
+    bool stop = false;
+    EXPECT_FALSE(q.runWindow(8, &stop));
+    EXPECT_EQ(q.now(), 3u);
+    EXPECT_EQ(q.pending(), 2u);
+
+    // Cross-domain injection below the suspended tick.
+    q.scheduleFor(5, 1, rec);
+
+    EventKey k;
+    ASSERT_TRUE(q.nextKey(k));
+    EXPECT_EQ(k.when, 5u) << "suspended drain shadows earlier event";
+
+    EXPECT_TRUE(q.runWindow(~Tick(0), &stop));
+    ASSERT_EQ(ticks.size(), 4u);
+    EXPECT_EQ(ticks[0], 3u);
+    EXPECT_EQ(ticks[1], 5u);
+    EXPECT_EQ(ticks[2], 10u);
+    EXPECT_EQ(ticks[3], 10u);
+}
+
+} // namespace wastesim
